@@ -1,0 +1,53 @@
+// Ablation (ours, extending §V-B4): UGAL-L adaptive routing versus always-
+// minimal and always-Valiant on the radix-16 network. Adaptive should track
+// minimal under benign (uniform) traffic — avoiding Valiant's two-global
+// path tax — and divert like Valiant under the adversarial worst-case
+// pattern, giving the best of both with no configuration change.
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+using route::RouteMode;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env(cli);
+  banner("Ablation: UGAL-L adaptive vs minimal vs Valiant (radix-16)");
+
+  const int g = env.quick ? 9 : static_cast<int>(cli.get_int("g", 0));
+  const auto swless = [g](RouteMode mode) {
+    return [g, mode](sim::Network& n) {
+      auto p = core::radix16_swless();
+      p.g = g;
+      p.mode = mode;
+      topo::build_swless_dragonfly(n, p);
+    };
+  };
+
+  struct Panel {
+    const char* name;
+    const char* pattern;
+    double max_rate;
+  };
+  const Panel panels[] = {{"uniform", "uniform", 0.6},
+                          {"worst-case", "worst-case", 0.48}};
+
+  auto csv = env.csv("ablation_adaptive.csv");
+  for (const auto& p : panels) {
+    const auto rates = core::linspace_rates(p.max_rate, env.points(4));
+    const auto traffic_factory = [&](const sim::Network& n) {
+      return traffic::make_pattern(p.pattern, n);
+    };
+    std::printf("--- %s ---\n", p.name);
+    for (auto mode :
+         {RouteMode::Minimal, RouteMode::Valiant, RouteMode::Adaptive}) {
+      run_series(env, csv,
+                 std::string(p.name) + "/" + to_string(mode),
+                 swless(mode), traffic_factory, rates);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation (ours, motivated by §IV-B): the three virtual-channel schemes.
+//   Baseline     4 VCs minimal / 6 non-minimal (one class per C-group)
+//   Reduced      3 / 4 (paper's claim; label-monotone destination W-group)
+//   ReducedSafe  4 / 5 (provably acyclic split of the dest-W merge)
+// Reports (1) the CDG audit verdict per scheme on a small instance and
+// (2) latency/throughput on the radix-16 network — quantifying what the
+// monotone path discipline costs in performance.
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "route/cdg.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+using route::RouteMode;
+using route::VcScheme;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env(cli);
+  banner("Ablation: VC schemes (Baseline / Reduced / ReducedSafe)");
+
+  // --- CDG audits on a small instance (exhaustive path enumeration) ---
+  std::printf("CDG deadlock audits (a=1,b=3 C-groups of 2x2, g=5):\n");
+  for (auto mode : {RouteMode::Minimal, RouteMode::Valiant}) {
+    for (auto scheme :
+         {VcScheme::Baseline, VcScheme::Reduced, VcScheme::ReducedSafe}) {
+      topo::SwlessParams p;
+      p.a = 1;
+      p.b = 3;
+      p.chip_gx = p.chip_gy = 2;
+      p.noc_x = p.noc_y = 1;
+      p.ports_per_chiplet = 4;
+      p.local_ports = 2;
+      p.global_ports = 2;
+      p.g = 5;
+      p.scheme = scheme;
+      p.mode = mode;
+      sim::Network net;
+      topo::build_swless_dragonfly(net, p);
+      const auto rep = route::audit_cdg(net);
+      std::printf("  %-13s %-8s vcs=%d : %s\n", to_string(scheme),
+                  to_string(mode), net.num_vcs(),
+                  rep.to_string(net).c_str());
+    }
+  }
+  std::printf("\n");
+
+  // --- Performance on the radix-16 network, uniform traffic ---
+  const int g = env.quick ? 9 : 15;
+  auto csv = env.csv("ablation_vc_schemes.csv");
+  const auto rates = core::linspace_rates(0.8, env.points(5));
+  for (auto scheme :
+       {VcScheme::Baseline, VcScheme::Reduced, VcScheme::ReducedSafe}) {
+    run_series(env, csv, std::string("swless-") + to_string(scheme),
+               [g, scheme](sim::Network& n) {
+                 auto p = core::radix16_swless();
+                 p.g = g;
+                 p.scheme = scheme;
+                 topo::build_swless_dragonfly(n, p);
+               },
+               [](const sim::Network& n) {
+                 return traffic::make_pattern("uniform", n);
+               },
+               rates);
+  }
+  return 0;
+}

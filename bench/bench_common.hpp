@@ -1,0 +1,81 @@
+// Shared scaffolding for the figure/table benchmark binaries.
+//
+// Every bench accepts:
+//   --quick        shrink cycle counts and sweep points (CI smoke run)
+//   --paper        full Table IV cycle counts (5000 warmup + 10000 measured)
+//   --out DIR      CSV output directory (default ./results)
+//   --seed N       base RNG seed
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "core/experiment.hpp"
+
+namespace sldf::bench {
+
+struct BenchEnv {
+  sim::SimConfig base;
+  std::string out_dir;
+  bool quick = false;
+  bool paper = false;
+
+  explicit BenchEnv(const Cli& cli) {
+    quick = cli.has("quick");
+    paper = cli.has("paper");
+    if (paper) {
+      base.warmup = 5000;   // Table IV
+      base.measure = 10000;
+      base.drain = 5000;
+    } else if (quick) {
+      base.warmup = 400;
+      base.measure = 1000;
+      base.drain = 600;
+    } else {
+      base.warmup = 1000;
+      base.measure = 2200;
+      base.drain = 1200;
+    }
+    base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    out_dir = cli.get("out", "results");
+    std::filesystem::create_directories(out_dir);
+  }
+
+  [[nodiscard]] int points(int full) const {
+    return quick ? std::max(3, full / 2) : full;
+  }
+
+  [[nodiscard]] CsvWriter csv(const std::string& name) const {
+    return CsvWriter(out_dir + "/" + name,
+                     {"series", "offered", "avg_latency", "accepted", "p99",
+                      "delivered", "drained"});
+  }
+};
+
+inline void banner(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+/// Runs and reports one sweep series.
+inline core::SweepSeries run_series(const BenchEnv& env, CsvWriter& csv,
+                                    const std::string& label,
+                                    const core::NetFactory& net,
+                                    const core::TrafficFactory& traffic,
+                                    const std::vector<double>& rates) {
+  core::SweepConfig cfg;
+  cfg.rates = rates;
+  cfg.base = env.base;
+  auto series = core::run_sweep(label, net, traffic, cfg);
+  core::print_series(series);
+  core::append_series_csv(csv, series);
+  return series;
+}
+
+}  // namespace sldf::bench

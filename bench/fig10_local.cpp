@@ -1,0 +1,58 @@
+// Fig 10(c-f): local (intra-W-group / intra-Dragonfly-group) performance.
+// One radix-16 W-group: 8 C-groups (32 chips) fully connected, versus the
+// switch-based group (8 switches x 4 terminals). Patterns: uniform,
+// bit-reverse, bit-shuffle, bit-transpose. Paper result: the switch-less
+// group reaches 1.2-2x the switch-based saturation except under
+// bit-shuffle (inter-C-group links are the bottleneck there), and the 2B
+// on-wafer bandwidth widens the gap further.
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchEnv env(cli);
+  banner("Fig 10(c-f): intra-W-group latency vs injection rate");
+
+  const auto swless = [](int width) {
+    return [width](sim::Network& n) {
+      auto p = core::radix16_swless();
+      p.g = 1;  // a single fully-connected W-group
+      p.mesh_width = width;
+      topo::build_swless_dragonfly(n, p);
+    };
+  };
+  const auto swbased = [](sim::Network& n) {
+    auto p = core::radix16_swdf();
+    p.groups = 1;
+    topo::build_sw_dragonfly(n, p);
+  };
+
+  struct Panel {
+    const char* fig;
+    const char* pattern;
+    double max_rate;
+  };
+  const Panel panels[] = {{"fig10c", "uniform", 2.0},
+                          {"fig10d", "bit-reverse", 1.6},
+                          {"fig10e", "bit-shuffle", 0.5},
+                          {"fig10f", "bit-transpose", 1.8}};
+
+  for (const auto& p : panels) {
+    auto csv = env.csv(std::string(p.fig) + ".csv");
+    const auto rates = core::linspace_rates(p.max_rate, env.points(8));
+    const auto traffic_factory = [&](const sim::Network& n) {
+      return traffic::make_pattern(p.pattern, n);
+    };
+    std::printf("--- %s (%s) ---\n", p.fig, p.pattern);
+    run_series(env, csv, "SW-based", swbased, traffic_factory, rates);
+    run_series(env, csv, "SW-less", swless(1), traffic_factory, rates);
+    run_series(env, csv, "SW-less-2B", swless(2), traffic_factory, rates);
+  }
+  return 0;
+}

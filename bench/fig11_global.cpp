@@ -1,0 +1,60 @@
+// Fig 11(a-b): global performance of the full radix-16 networks
+// (g = 41 W-groups, 1312 chips) under uniform and bit-reverse traffic.
+// Paper result: with equal link bandwidth the switch-less Dragonfly is
+// slightly below the switch-based baseline (C-group mesh bisection is half
+// a non-blocking switch); doubling the on-wafer bandwidth (2B) puts it
+// clearly ahead.
+//
+// Default runs use a reduced measurement window (the full Table IV window
+// is available via --paper); --quick additionally trims g.
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env(cli);
+  banner("Fig 11(a-b): global latency vs injection rate (radix-16, 1312 chips)");
+
+  const int g = env.quick ? 15 : static_cast<int>(cli.get_int("g", 0));
+
+  const auto swless = [g](int width) {
+    return [g, width](sim::Network& n) {
+      auto p = core::radix16_swless();
+      p.g = g;
+      p.mesh_width = width;
+      topo::build_swless_dragonfly(n, p);
+    };
+  };
+  const auto swbased = [g](sim::Network& n) {
+    auto p = core::radix16_swdf();
+    p.groups = g;
+    topo::build_sw_dragonfly(n, p);
+  };
+
+  struct Panel {
+    const char* fig;
+    const char* pattern;
+    double max_rate;
+  };
+  const Panel panels[] = {{"fig11a", "uniform", 1.0},
+                          {"fig11b", "bit-reverse", 0.6}};
+
+  for (const auto& p : panels) {
+    auto csv = env.csv(std::string(p.fig) + ".csv");
+    const auto rates = core::linspace_rates(p.max_rate, env.points(6));
+    const auto traffic_factory = [&](const sim::Network& n) {
+      return traffic::make_pattern(p.pattern, n);
+    };
+    std::printf("--- %s (%s) ---\n", p.fig, p.pattern);
+    run_series(env, csv, "SW-based", swbased, traffic_factory, rates);
+    run_series(env, csv, "SW-less", swless(1), traffic_factory, rates);
+    run_series(env, csv, "SW-less-2B", swless(2), traffic_factory, rates);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig 12(a-b): scalability at radix-32 (paper: g = 145, 18560 chips).
+// (a) local (single W-group, 128 chips) and (b) global uniform traffic.
+// Paper result: at large scale the uniform-bandwidth switch-less network
+// is clearly constrained by the C-group mesh bisection; 2B/4B on-wafer
+// bandwidth restores and then improves the global throughput.
+//
+// The full 18560-chip system is a ~130k-router simulation; the default
+// trims g (override with --g or run --paper for the full 145 W-groups).
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env(cli);
+  banner("Fig 12(a-b): radix-32 scalability (local + global uniform)");
+
+  // Scaling down for the single-core default: trimming g alone starves
+  // global-link capacity (only g-1 of 144 ports wired) and trimming h
+  // drops the global:terminal ratio below 1 -- either way the C-group
+  // mesh-bisection effect this figure demonstrates gets masked. The
+  // default instead shrinks ab (C-groups per W-group) with h = 9 kept and
+  // the system FULL (g = ab*h + 1), preserving both the balanced global
+  // capacity and the exact radix-32 C-group mesh. --paper restores
+  // ab = 16, g = 145 (18560 chips).
+  const int ab = env.paper
+                     ? 16
+                     : static_cast<int>(cli.get_int("ab", env.quick ? 4 : 8));
+
+  // --- (a) local: one W-group of 16 C-groups (128 chips) ---
+  {
+    auto csv = env.csv("fig12a.csv");
+    const auto rates = core::linspace_rates(1.5, env.points(6));
+    const auto traffic_factory = [](const sim::Network& n) {
+      return traffic::make_pattern("uniform", n);
+    };
+    std::printf("--- fig12a (local, radix-32 W-group) ---\n");
+    run_series(env, csv, "SW-based",
+               [](sim::Network& n) {
+                 auto p = core::radix32_swdf();
+                 p.groups = 1;
+                 topo::build_sw_dragonfly(n, p);
+               },
+               traffic_factory, rates);
+    for (int width : {1, 2}) {
+      run_series(env, csv, width == 1 ? "SW-less" : "SW-less-2B",
+                 [width](sim::Network& n) {
+                   auto p = core::radix32_swless();
+                   p.g = 1;
+                   p.mesh_width = width;
+                   topo::build_swless_dragonfly(n, p);
+                 },
+                 traffic_factory, rates);
+    }
+  }
+
+  // --- (b) global ---
+  {
+    auto csv = env.csv("fig12b.csv");
+    const auto rates = core::linspace_rates(0.8, env.points(5));
+    const auto traffic_factory = [](const sim::Network& n) {
+      return traffic::make_pattern("uniform", n);
+    };
+    std::printf("--- fig12b (global, radix-32 C-groups, ab=%d, g=%d) ---\n",
+                ab, ab * 9 + 1);
+    run_series(env, csv, "SW-based",
+               [ab](sim::Network& n) {
+                 auto p = core::radix32_swdf();
+                 p.switches_per_group = ab;
+                 p.groups = 0;  // full: ab*h + 1 groups
+                 topo::build_sw_dragonfly(n, p);
+               },
+               traffic_factory, rates);
+    for (int width : {1, 2, 4}) {
+      const char* label = width == 1   ? "SW-less"
+                          : width == 2 ? "SW-less-2B"
+                                       : "SW-less-4B";
+      run_series(env, csv, label,
+                 [ab, width](sim::Network& n) {
+                   auto p = core::radix32_swless();
+                   p.a = 2;
+                   p.b = ab / 2;
+                   p.local_ports = ab - 1;
+                   p.g = 0;  // full
+                   p.mesh_width = width;
+                   topo::build_swless_dragonfly(n, p);
+                 },
+                 traffic_factory, rates);
+    }
+  }
+  return 0;
+}

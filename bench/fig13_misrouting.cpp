@@ -1,0 +1,72 @@
+// Fig 13(a-b): minimal vs non-minimal (Valiant) routing under adversarial
+// traffic on the radix-16 networks. (a) hotspot: all traffic confined to
+// 4 of the 41 W-groups (only 3 of 40 global links per group usable by
+// minimal routing); (b) worst-case: W_i -> W_{i+1} (1 of 40 links).
+// Paper result: non-minimal routing sustains an order of magnitude more
+// load; extra on-wafer bandwidth (2B) helps the hotspot case further.
+//
+// Throughput normalization: offered/accepted rates are per *active* chip
+// for the hotspot pattern (idle W-groups do not inject).
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+using route::RouteMode;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env(cli);
+  banner("Fig 13(a-b): adversarial traffic, minimal vs non-minimal routing");
+
+  const int g = env.quick ? 11 : static_cast<int>(cli.get_int("g", 0));
+
+  const auto swless = [g](RouteMode mode, int width) {
+    return [g, mode, width](sim::Network& n) {
+      auto p = core::radix16_swless();
+      p.g = g;
+      p.mode = mode;
+      p.mesh_width = width;
+      topo::build_swless_dragonfly(n, p);
+    };
+  };
+  const auto swbased = [g](RouteMode mode) {
+    return [g, mode](sim::Network& n) {
+      auto p = core::radix16_swdf();
+      p.groups = g;
+      p.mode = mode;
+      topo::build_sw_dragonfly(n, p);
+    };
+  };
+
+  struct Panel {
+    const char* fig;
+    const char* pattern;
+    double max_rate;
+  };
+  const Panel panels[] = {{"fig13a", "hotspot", 0.8},
+                          {"fig13b", "worst-case", 0.48}};
+
+  for (const auto& p : panels) {
+    auto csv = env.csv(std::string(p.fig) + ".csv");
+    const auto rates = core::linspace_rates(p.max_rate, env.points(5));
+    const auto traffic_factory = [&](const sim::Network& n) {
+      return traffic::make_pattern(p.pattern, n);
+    };
+    std::printf("--- %s (%s) ---\n", p.fig, p.pattern);
+    run_series(env, csv, "SW-based-Min", swbased(RouteMode::Minimal),
+               traffic_factory, rates);
+    run_series(env, csv, "SW-less-Min", swless(RouteMode::Minimal, 1),
+               traffic_factory, rates);
+    run_series(env, csv, "SW-based-Mis", swbased(RouteMode::Valiant),
+               traffic_factory, rates);
+    run_series(env, csv, "SW-less-Mis", swless(RouteMode::Valiant, 1),
+               traffic_factory, rates);
+    run_series(env, csv, "SW-less-2B-Mis", swless(RouteMode::Valiant, 2),
+               traffic_factory, rates);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig 14(a-b): ring-based AllReduce traffic. (a) within a C-group: the
+// wafer mesh has multiple injection points per chip, so unidirectional /
+// bidirectional rings reach ~2 / ~4 flits/cycle/chip versus the switch's
+// 1.0 cap. (b) within a W-group: inter-C-group links bound both networks
+// at ~1 for unidirectional rings; bidirectional rings + 2B on-wafer
+// bandwidth push the switch-less group to ~2x.
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "topo/cgroup.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+#include "traffic/allreduce.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+using traffic::RingAllReduceTraffic;
+using traffic::RingScope;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchEnv env(cli);
+  banner("Fig 14(a-b): ring AllReduce within C-group and W-group");
+
+  const auto ring = [](RingScope scope, bool bidir) {
+    return [scope, bidir](const sim::Network& n) {
+      return std::make_unique<RingAllReduceTraffic>(n, scope, bidir);
+    };
+  };
+
+  // --- (a) intra-C-group ---
+  {
+    auto csv = env.csv("fig14a.csv");
+    const auto rates = core::linspace_rates(4.2, env.points(7));
+    const auto mesh = [](sim::Network& n) {
+      topo::CGroupShape s;
+      s.chip_gx = s.chip_gy = 2;
+      s.noc_x = s.noc_y = 2;
+      s.ports_per_chiplet = 6;
+      topo::build_mesh_network(n, s, 1, 32);
+    };
+    const auto xbar = [](sim::Network& n) {
+      topo::build_crossbar(n, 4, 1);
+    };
+    std::printf("--- fig14a (intra-C-group AllReduce) ---\n");
+    run_series(env, csv, "SW-based-Uni", xbar,
+               ring(RingScope::CGroup, false), rates);
+    run_series(env, csv, "SW-less-Uni", mesh, ring(RingScope::CGroup, false),
+               rates);
+    run_series(env, csv, "SW-based-Bi", xbar, ring(RingScope::CGroup, true),
+               rates);
+    run_series(env, csv, "SW-less-Bi", mesh, ring(RingScope::CGroup, true),
+               rates);
+  }
+
+  // --- (b) intra-W-group ---
+  {
+    auto csv = env.csv("fig14b.csv");
+    const auto rates = core::linspace_rates(2.2, env.points(7));
+    const auto swless = [](int width) {
+      return [width](sim::Network& n) {
+        auto p = core::radix16_swless();
+        p.g = 1;
+        p.mesh_width = width;
+        topo::build_swless_dragonfly(n, p);
+      };
+    };
+    const auto swbased = [](sim::Network& n) {
+      auto p = core::radix16_swdf();
+      p.groups = 1;
+      topo::build_sw_dragonfly(n, p);
+    };
+    std::printf("--- fig14b (intra-W-group AllReduce) ---\n");
+    run_series(env, csv, "SW-based-Uni", swbased,
+               ring(RingScope::WGroup, false), rates);
+    run_series(env, csv, "SW-less-Uni", swless(1),
+               ring(RingScope::WGroup, false), rates);
+    run_series(env, csv, "SW-based-Bi", swbased,
+               ring(RingScope::WGroup, true), rates);
+    run_series(env, csv, "SW-less-Bi", swless(1),
+               ring(RingScope::WGroup, true), rates);
+    run_series(env, csv, "SW-less-Bi-2B", swless(2),
+               ring(RingScope::WGroup, true), rates);
+  }
+  return 0;
+}

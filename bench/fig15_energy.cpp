@@ -1,0 +1,125 @@
+// Fig 15(a-b): average energy per transmitted bit, split into
+// inter-C-group (long-reach: 20 pJ/bit per hop) and intra-C-group
+// (on-wafer: 1 pJ/bit average) components, for minimal and non-minimal
+// routing at small scale (4x4-router C-groups, radix-16) and large scale
+// (8x4-router C-groups, radix-32). Paper result: eliminating switches
+// reduces total pJ/bit even though the wafer mesh adds short-reach hops;
+// non-minimal routing on large C-groups shows the biggest on-wafer
+// overhead.
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "model/energy.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+using route::RouteMode;
+
+namespace {
+
+struct EnergyRow {
+  std::string net;
+  std::string scale;
+  double inter_pj;
+  double intra_pj;
+  double avg_hops;
+};
+
+EnergyRow measure(const BenchEnv& env, const std::string& label,
+                  const std::string& scale, const core::NetFactory& factory,
+                  double rate) {
+  sim::Network net;
+  factory(net);
+  auto tr = traffic::make_pattern("uniform", net);
+  sim::SimConfig cfg = env.base;
+  cfg.inj_rate_per_chip = rate;
+  const auto res = sim::run_sim(net, cfg, *tr);
+  const auto e = model::price_result(res);
+  return {label, scale, e.inter_cgroup_pj, e.intra_cgroup_pj,
+          res.avg_hops_total};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchEnv env(cli);
+  banner("Fig 15(a-b): average energy per bit (pJ/bit), inter vs intra C-group");
+
+  const int g16 = env.quick ? 7 : 11;
+  const int g32 = env.quick ? 5 : 11;
+  const double rate = cli.get_double("rate", 0.2);
+
+  std::vector<EnergyRow> rows;
+  const auto swless16 = [g16](RouteMode m) {
+    return [g16, m](sim::Network& n) {
+      auto p = core::radix16_swless();
+      p.g = g16;
+      p.mode = m;
+      topo::build_swless_dragonfly(n, p);
+    };
+  };
+  const auto swdf16 = [g16](RouteMode m) {
+    return [g16, m](sim::Network& n) {
+      auto p = core::radix16_swdf();
+      p.groups = g16;
+      p.mode = m;
+      topo::build_sw_dragonfly(n, p);
+    };
+  };
+  const auto swless32 = [g32](RouteMode m) {
+    return [g32, m](sim::Network& n) {
+      auto p = core::radix32_swless();
+      p.g = g32;
+      p.mode = m;
+      topo::build_swless_dragonfly(n, p);
+    };
+  };
+  const auto swdf32 = [g32](RouteMode m) {
+    return [g32, m](sim::Network& n) {
+      auto p = core::radix32_swdf();
+      p.groups = g32;
+      p.mode = m;
+      topo::build_sw_dragonfly(n, p);
+    };
+  };
+
+  // (a) small scale: 4x4-router C-groups (radix-16 equivalents).
+  rows.push_back(measure(env, "SW-based", "small(4x4)",
+                         swdf16(RouteMode::Minimal), rate));
+  rows.push_back(measure(env, "SW-less", "small(4x4)",
+                         swless16(RouteMode::Minimal), rate));
+  rows.push_back(measure(env, "SW-based-Misrouting", "small(4x4)",
+                         swdf16(RouteMode::Valiant), rate));
+  rows.push_back(measure(env, "SW-less-Misrouting", "small(4x4)",
+                         swless16(RouteMode::Valiant), rate));
+  // (b) large scale: 8x4-router C-groups (radix-32 equivalents; the paper
+  // uses 7x7 C-group meshes — same regime: more short-reach hops).
+  rows.push_back(measure(env, "SW-based", "large(8x4)",
+                         swdf32(RouteMode::Minimal), rate));
+  rows.push_back(measure(env, "SW-less", "large(8x4)",
+                         swless32(RouteMode::Minimal), rate));
+  rows.push_back(measure(env, "SW-based-Misrouting", "large(8x4)",
+                         swdf32(RouteMode::Valiant), rate));
+  rows.push_back(measure(env, "SW-less-Misrouting", "large(8x4)",
+                         swless32(RouteMode::Valiant), rate));
+
+  CsvWriter csv(env.out_dir + "/fig15.csv",
+                {"network", "scale", "inter_cgroup_pj", "intra_cgroup_pj",
+                 "total_pj", "avg_hops"});
+  std::printf("%-24s %-12s %10s %10s %10s %9s\n", "network", "scale",
+              "inter(pJ)", "intra(pJ)", "total(pJ)", "hops");
+  for (const auto& r : rows) {
+    std::printf("%-24s %-12s %10.1f %10.1f %10.1f %9.2f\n", r.net.c_str(),
+                r.scale.c_str(), r.inter_pj, r.intra_pj,
+                r.inter_pj + r.intra_pj, r.avg_hops);
+    csv.row(std::vector<std::string>{
+        r.net, r.scale, CsvWriter::format_num(r.inter_pj),
+        CsvWriter::format_num(r.intra_pj),
+        CsvWriter::format_num(r.inter_pj + r.intra_pj),
+        CsvWriter::format_num(r.avg_hops)});
+  }
+  return 0;
+}

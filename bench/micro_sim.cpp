@@ -1,0 +1,99 @@
+// google-benchmark micro-kernels for the simulator substrate: end-to-end
+// cycle throughput, topology construction, routing-table builds, and RNG.
+#include <benchmark/benchmark.h>
+
+#include "core/params.hpp"
+#include "route/mesh_routing.hpp"
+#include "sim/simulator.hpp"
+#include "topo/cgroup.hpp"
+#include "topo/labeling.hpp"
+#include "topo/swless.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngGeometricSkip(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.geometric_skip(0.01));
+}
+BENCHMARK(BM_RngGeometricSkip);
+
+void BM_MonotoneTableBuild(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto labels = topo::make_labels(m, m, topo::Labeling::Snake);
+  for (auto _ : state) {
+    route::MonotoneTables t(m, m, labels);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_MonotoneTableBuild)->Arg(4)->Arg(8);
+
+void BM_BuildRadix16WGroup(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Network net;
+    auto p = core::radix16_swless();
+    p.g = 1;
+    topo::build_swless_dragonfly(net, p);
+    benchmark::DoNotOptimize(net.num_routers());
+  }
+}
+BENCHMARK(BM_BuildRadix16WGroup);
+
+/// Simulated router-cycles per second on a loaded W-group (the simulator's
+/// core metric; the figure benches are bound by this).
+void BM_SimulateWGroupCycles(benchmark::State& state) {
+  sim::Network net;
+  auto p = core::radix16_swless();
+  p.g = 1;
+  topo::build_swless_dragonfly(net, p);
+  auto tr = traffic::make_pattern("uniform", net);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    net.reset_dynamic_state();
+    sim::SimConfig cfg;
+    cfg.inj_rate_per_chip = 1.0;
+    cfg.warmup = 0;
+    cfg.measure = 200;
+    cfg.drain = 0;
+    sim::Simulator sim(net, cfg, *tr);
+    state.ResumeTiming();
+    for (int i = 0; i < 200; ++i) sim.step();
+    cycles += 200;
+  }
+  state.counters["router_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * static_cast<double>(net.num_routers()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateWGroupCycles)->Unit(benchmark::kMillisecond);
+
+void BM_MeshXySweepPoint(benchmark::State& state) {
+  sim::Network net;
+  topo::CGroupShape s;
+  s.chip_gx = s.chip_gy = 2;
+  s.noc_x = s.noc_y = 2;
+  s.ports_per_chiplet = 6;
+  topo::build_mesh_network(net, s, 1, 32);
+  auto tr = traffic::make_pattern("uniform", net);
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.inj_rate_per_chip = 2.0;
+    cfg.warmup = 100;
+    cfg.measure = 400;
+    cfg.drain = 0;
+    benchmark::DoNotOptimize(sim::run_sim(net, cfg, *tr).accepted);
+  }
+}
+BENCHMARK(BM_MeshXySweepPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

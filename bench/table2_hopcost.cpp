@@ -1,0 +1,47 @@
+// Table II: hop cost comparison (latency / energy per physical medium)
+// plus the Fig 9 layout feasibility report (§V-A1) that derives the
+// on-wafer bandwidth the architecture relies on.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "model/equations.hpp"
+#include "model/layout.hpp"
+
+using namespace sldf;
+using namespace sldf::model;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const HopCostTable t;
+  std::printf("Table II: hop cost comparison\n\n");
+  std::printf("%-12s %-16s %12s %14s\n", "hop", "medium", "latency(ns)",
+              "energy(pJ/bit)");
+  std::printf("%-12s %-16s %12.0f %14.1f\n", "Hg", "optical cable",
+              t.global.latency_ns, t.global.energy_pj_per_bit);
+  std::printf("%-12s %-16s %12.0f %14.1f\n", "Hl", "copper cable",
+              t.local.latency_ns, t.local.energy_pj_per_bit);
+  std::printf("%-12s %-16s %12.0f %14.1f\n", "H*l", "terminal link",
+              t.terminal.latency_ns, t.terminal.energy_pj_per_bit);
+  std::printf("%-12s %-16s %12.0f %14.1f\n", "Hsr", "on-wafer RDL",
+              t.short_reach.latency_ns, t.short_reach.energy_pj_per_bit);
+  std::printf("%-12s %-16s %12.0f %14.1f\n", "Hon-chip", "metal layer",
+              t.on_chip.latency_ns, t.on_chip.energy_pj_per_bit);
+  std::printf("(intra-C-group average used by Fig 15: %.1f pJ/bit)\n\n",
+              t.intra_cgroup_avg_pj);
+
+  std::printf("Fig 9 layout feasibility (C-group on InFO-SoW wafer):\n%s\n",
+              format_layout(evaluate_layout()).c_str());
+
+  const std::string out = cli.get("out", "results");
+  std::filesystem::create_directories(out);
+  CsvWriter csv(out + "/table2.csv",
+                {"hop", "latency_ns", "energy_pj_per_bit"});
+  csv.row(std::vector<std::string>{"Hg", "150", "20"});
+  csv.row(std::vector<std::string>{"Hl", "150", "20"});
+  csv.row(std::vector<std::string>{"H*l", "150", "20"});
+  csv.row(std::vector<std::string>{"Hsr", "5", "2"});
+  csv.row(std::vector<std::string>{"Hon-chip", "1", "0.1"});
+  return 0;
+}

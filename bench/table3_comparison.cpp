@@ -1,0 +1,61 @@
+// Table III: comparison of key specifications between the switch-less
+// Dragonfly and other interconnects (analytical model; §III-C). Alongside
+// each computed row the paper's published value is shown where it differs
+// in derivation.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "model/cost.hpp"
+#include "model/equations.hpp"
+
+using namespace sldf;
+using namespace sldf::model;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  std::printf("Table III: key specifications (radix-64 switch building "
+              "blocks, Slingshot scale)\n\n");
+  const auto rows = table3();
+  std::printf("%s\n", format_table3(rows).c_str());
+
+  std::printf("Paper reference points:\n");
+  std::printf("  Dragonfly (Slingshot): 17440 switches, 2180 cabinets, "
+              "279040 chips, 698K cables / 154K*E\n");
+  std::printf("  Switch-less Dragonfly: 0 switches, 545 cabinets, "
+              "279040 chips, 419K cables / 73K*E\n");
+  std::printf("  Diameters: Hg+2Hl+2H*l (switch-based) vs Hg+2Hl+30Hsr "
+              "(switch-less, m=4)\n\n");
+
+  // Eq.(7) latency estimate with Table II costs.
+  const auto sl = SwlessDiameter::of(4);
+  const auto sb = SwlessDiameter::switch_based();
+  std::printf("Eq.(7) worst-case diameter latency estimate (Table II "
+              "costs, no ToF):\n");
+  std::printf("  switch-based: %d long hops             -> %6.0f ns\n",
+              sb.global_hops + sb.local_hops, sb.latency_ns());
+  std::printf("  switch-less:  %d long + %d short hops  -> %6.0f ns\n",
+              sl.global_hops + sl.local_hops, sl.short_reach_hops,
+              sl.latency_ns());
+
+  const std::string out = cli.get("out", "results");
+  std::filesystem::create_directories(out);
+  CsvWriter csv(out + "/table3.csv",
+                {"network", "chip_radix", "sw_radix", "switches", "cabinets",
+                 "processors", "cables", "cable_length_E", "t_local",
+                 "t_global", "diameter"});
+  for (const auto& r : rows) {
+    csv.row(std::vector<std::string>{
+        r.name, CsvWriter::format_num(r.chip_radix),
+        CsvWriter::format_num(r.switch_radix),
+        CsvWriter::format_num(static_cast<double>(r.switches)),
+        CsvWriter::format_num(static_cast<double>(r.cabinets)),
+        CsvWriter::format_num(static_cast<double>(r.processors)),
+        CsvWriter::format_num(static_cast<double>(r.cables)),
+        CsvWriter::format_num(r.cable_length_E),
+        CsvWriter::format_num(r.t_local), CsvWriter::format_num(r.t_global),
+        r.diameter});
+  }
+  return 0;
+}

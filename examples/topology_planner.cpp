@@ -1,0 +1,56 @@
+// Topology planner: explore balanced switch-less Dragonfly configurations
+// (paper Eq. 3: n = 3m, ab = 2m^2) for a target system size, reporting the
+// paper's analytical metrics — scale Eq.(1), throughput Eqs.(2)(4)(5),
+// diameter Eq.(7) — plus the Fig 9 layout feasibility of the C-group.
+//
+//   ./topology_planner [--target-chips 100000]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "model/equations.hpp"
+#include "model/layout.hpp"
+
+using namespace sldf;
+using namespace sldf::model;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const long target = cli.get_int("target-chips", 100000);
+
+  std::printf("Balanced switch-less Dragonfly configurations (Eq. 3)\n");
+  std::printf("target: >= %ld chips\n\n", target);
+  std::printf("%2s %3s %5s %4s %5s %9s %8s %8s %8s %10s\n", "m", "n", "ab",
+              "h", "g", "chips", "Tglobal", "Tlocal", "Tcgroup",
+              "diameter");
+
+  for (int m = 2; m <= 8; ++m) {
+    const auto e = SwlessEquations::balanced(m);
+    const auto d = SwlessDiameter::of(m);
+    std::printf("%2d %3d %5ld %4ld %5ld %9ld %8.3f %8.1f %8.1f %7dHsr%s\n",
+                e.m, e.n, e.ab(), e.h(), e.g(), e.total_chips(),
+                e.t_global(), e.t_local(), e.t_cgroup(),
+                d.short_reach_hops,
+                e.total_chips() >= target ? "  <-- meets target" : "");
+  }
+
+  std::printf("\nSmallest balanced m meeting the target:\n");
+  for (int m = 2; m <= 12; ++m) {
+    const auto e = SwlessEquations::balanced(m);
+    if (e.total_chips() >= target) {
+      std::printf("  m=%d: %ld chips across %ld W-groups "
+                  "(%ld C-groups of %d chips each)\n",
+                  m, e.total_chips(), e.g(), e.g() * e.ab(), m * m);
+      std::printf("  Eq.(7) diameter: %d global + %d local + %d "
+                  "short-reach hops (~%.0f ns, Table II costs)\n",
+                  SwlessDiameter::of(m).global_hops,
+                  SwlessDiameter::of(m).local_hops,
+                  SwlessDiameter::of(m).short_reach_hops,
+                  SwlessDiameter::of(m).latency_ns());
+      break;
+    }
+  }
+
+  std::printf("\nC-group wafer layout feasibility (Fig 9 parameters):\n%s",
+              format_layout(evaluate_layout()).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace sldf {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+long Cli::get_int(const std::string& key, long def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace sldf

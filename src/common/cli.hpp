@@ -1,0 +1,31 @@
+// Tiny command-line flag parser shared by the bench/example binaries.
+// Supports `--flag`, `--key=value`, and `--key value` forms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sldf {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def = "") const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] long get_int(const std::string& key, long def) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sldf

@@ -1,0 +1,50 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sldf {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string r = "\"";
+  for (char c : cell) {
+    if (c == '"') r += '"';
+    r += c;
+  }
+  r += '"';
+  return r;
+}
+
+std::string CsvWriter::format_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (columns_ == 0) columns_ = cells.size();
+  if (cells.size() != columns_)
+    throw std::runtime_error("CsvWriter: ragged row");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(format_num(v));
+  row(s);
+}
+
+}  // namespace sldf

@@ -1,0 +1,30 @@
+// CSV emission for benchmark results (one file per figure/table series).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sldf {
+
+/// Writes RFC-4180-ish CSV; numeric cells are formatted with %.6g.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+  void row(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& cells);
+
+  static std::string escape(const std::string& cell);
+  static std::string format_num(double v);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace sldf

@@ -1,0 +1,66 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/types.hpp"
+
+namespace sldf {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+
+constexpr const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[sldf %-5s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+#define SLDF_LOG_IMPL(fn, lvl)                        \
+  void fn(const char* fmt, ...) {                     \
+    if (log_level() > (lvl)) return;                  \
+    va_list ap;                                       \
+    va_start(ap, fmt);                                \
+    log_message((lvl), vstrf(fmt, ap));               \
+    va_end(ap);                                       \
+  }
+
+SLDF_LOG_IMPL(log_debug, LogLevel::Debug)
+SLDF_LOG_IMPL(log_info, LogLevel::Info)
+SLDF_LOG_IMPL(log_warn, LogLevel::Warn)
+SLDF_LOG_IMPL(log_error, LogLevel::Error)
+#undef SLDF_LOG_IMPL
+
+std::string_view to_string(LinkType t) {
+  switch (t) {
+    case LinkType::OnChip: return "on-chip";
+    case LinkType::ShortReach: return "short-reach";
+    case LinkType::LongReachLocal: return "lr-local";
+    case LinkType::LongReachGlobal: return "lr-global";
+    case LinkType::Terminal: return "terminal";
+    default: return "?";
+  }
+}
+
+std::string_view to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::Core: return "core";
+    case NodeKind::IoConverter: return "io-converter";
+    case NodeKind::Switch: return "switch";
+  }
+  return "?";
+}
+
+}  // namespace sldf

@@ -1,0 +1,21 @@
+// Minimal leveled logging to stderr. Not hot-path; simulation loops never log.
+#pragma once
+
+#include <string_view>
+
+#include "common/strfmt.hpp"
+
+namespace sldf {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, std::string_view msg);
+
+__attribute__((format(printf, 1, 2))) void log_debug(const char* fmt, ...);
+__attribute__((format(printf, 1, 2))) void log_info(const char* fmt, ...);
+__attribute__((format(printf, 1, 2))) void log_warn(const char* fmt, ...);
+__attribute__((format(printf, 1, 2))) void log_error(const char* fmt, ...);
+
+}  // namespace sldf

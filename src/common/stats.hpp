@@ -1,0 +1,64 @@
+// Online statistics accumulators used by the simulator's measurement phase.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sldf {
+
+/// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const OnlineStats& o);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram for latency distributions (percentile estimates).
+class Histogram {
+ public:
+  explicit Histogram(double bucket_width = 1.0, std::size_t max_buckets = 65536)
+      : width_(bucket_width), buckets_(), max_buckets_(max_buckets) {}
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  /// q in [0,1]; returns an upper-edge estimate of the q-quantile.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::size_t max_buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace sldf

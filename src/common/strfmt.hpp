@@ -1,0 +1,29 @@
+// printf-style std::string formatting (libstdc++ 12 has no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace sldf {
+
+inline std::string vstrf(const char* fmt, va_list ap) {
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  std::string s(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(s.data(), s.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return s;
+}
+
+__attribute__((format(printf, 1, 2))) inline std::string strf(const char* fmt,
+                                                              ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::string s = vstrf(fmt, ap);
+  va_end(ap);
+  return s;
+}
+
+}  // namespace sldf

@@ -1,0 +1,50 @@
+// Core identifier and enum types shared across the sldf library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace sldf {
+
+using Cycle = std::uint64_t;
+using NodeId = std::int32_t;   ///< Index of a router node within a Network.
+using ChanId = std::int32_t;   ///< Index of a unidirectional channel.
+using ChipId = std::int32_t;   ///< Index of a chip (chiplet) endpoint.
+using PortIx = std::int16_t;   ///< Port index local to one router.
+using VcIx = std::int16_t;     ///< Virtual-channel index local to one port.
+using PacketId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ChanId kInvalidChan = -1;
+inline constexpr ChipId kInvalidChip = -1;
+inline constexpr PortIx kInvalidPort = -1;
+inline constexpr VcIx kInvalidVc = -1;
+inline constexpr PacketId kInvalidPacket = std::numeric_limits<PacketId>::max();
+
+/// Physical medium class of a channel; drives latency defaults and the
+/// energy model (paper Table II).
+enum class LinkType : std::uint8_t {
+  OnChip,       ///< NoC link inside one chiplet (~1 cycle, ~0.1 pJ/bit)
+  ShortReach,   ///< On-wafer RDL link between chiplets or to an SR-LR
+                ///< converter (~1 cycle, ~2 pJ/bit; paper uses 1 pJ/bit as
+                ///< the intra-C-group average)
+  LongReachLocal,   ///< Intra-W-group cable/optics (H_l: 8 cycles, 20 pJ/bit)
+  LongReachGlobal,  ///< Inter-W-group cable/optics (H_g: 8 cycles, 20 pJ/bit)
+  Terminal,     ///< Processor-to-switch link in switch-based networks (H*_l)
+  kCount
+};
+inline constexpr int kNumLinkTypes = static_cast<int>(LinkType::kCount);
+
+std::string_view to_string(LinkType t);
+
+/// Role of a node in the topology.
+enum class NodeKind : std::uint8_t {
+  Core,         ///< Chiplet NoC router with an attached terminal (endpoint).
+  IoConverter,  ///< SR-LR conversion module: 2-port FIFO forwarder, no terminal.
+  Switch,       ///< High-radix switch (switch-based baselines), no terminal.
+};
+
+std::string_view to_string(NodeKind k);
+
+}  // namespace sldf

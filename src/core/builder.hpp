@@ -1,0 +1,27 @@
+// Convenience constructors and introspection for the evaluated networks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+
+namespace sldf::core {
+
+std::unique_ptr<sim::Network> make_network(const topo::SwlessParams& p);
+std::unique_ptr<sim::Network> make_network(const topo::SwDragonflyParams& p);
+
+struct NetworkCensus {
+  std::size_t cores = 0;
+  std::size_t io_converters = 0;
+  std::size_t switches = 0;
+  std::size_t chips = 0;
+  std::size_t channels_by_type[kNumLinkTypes] = {};
+  std::size_t channels_total = 0;
+};
+
+NetworkCensus census(const sim::Network& net);
+std::string describe(const NetworkCensus& c);
+
+}  // namespace sldf::core

@@ -1,0 +1,106 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+namespace sldf::core {
+
+std::vector<double> linspace_rates(double max, int n) {
+  std::vector<double> r;
+  r.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i)
+    r.push_back(max * static_cast<double>(i) / static_cast<double>(n));
+  return r;
+}
+
+SweepSeries run_sweep(const std::string& label, const NetFactory& make_net,
+                      const TrafficFactory& make_traffic,
+                      const SweepConfig& cfg) {
+  SweepSeries series;
+  series.label = label;
+
+  if (cfg.threads <= 1) {
+    sim::Network net;
+    make_net(net);
+    auto traffic = make_traffic(net);
+    double zero_load = 0.0;
+    for (std::size_t i = 0; i < cfg.rates.size(); ++i) {
+      sim::SimConfig sc = cfg.base;
+      sc.inj_rate_per_chip = cfg.rates[i];
+      sc.seed = cfg.base.seed + i;
+      SweepPoint pt;
+      pt.rate = cfg.rates[i];
+      pt.res = sim::run_sim(net, sc, *traffic);
+      series.points.push_back(pt);
+      if (i == 0) zero_load = pt.res.avg_latency;
+      if (cfg.stop_latency_factor > 0 && zero_load > 0 &&
+          pt.res.avg_latency > zero_load * cfg.stop_latency_factor)
+        break;  // saturated: the paper's curves end here too
+    }
+    return series;
+  }
+
+  // Parallel: every point owns a freshly built network (deterministic).
+  series.points.resize(cfg.rates.size());
+  std::vector<bool> done(cfg.rates.size(), false);
+  std::mutex mu;
+  ThreadPool::parallel_for(cfg.rates.size(), cfg.threads,
+                           [&](std::size_t i) {
+                             sim::Network net;
+                             make_net(net);
+                             auto traffic = make_traffic(net);
+                             sim::SimConfig sc = cfg.base;
+                             sc.inj_rate_per_chip = cfg.rates[i];
+                             sc.seed = cfg.base.seed + i;
+                             SweepPoint pt;
+                             pt.rate = cfg.rates[i];
+                             pt.res = sim::run_sim(net, sc, *traffic);
+                             std::lock_guard lk(mu);
+                             series.points[i] = pt;
+                             done[i] = true;
+                           });
+  // Apply the early-stop rule post hoc for consistent output.
+  if (cfg.stop_latency_factor > 0 && !series.points.empty()) {
+    const double zero_load = series.points.front().res.avg_latency;
+    std::size_t keep = series.points.size();
+    for (std::size_t i = 0; i < series.points.size(); ++i) {
+      if (zero_load > 0 &&
+          series.points[i].res.avg_latency >
+              zero_load * cfg.stop_latency_factor) {
+        keep = i + 1;
+        break;
+      }
+    }
+    series.points.resize(keep);
+  }
+  return series;
+}
+
+void print_series(const SweepSeries& s) {
+  std::printf("# %s\n", s.label.c_str());
+  std::printf("%-10s %-12s %-12s %-10s %-8s\n", "offered", "avg_latency",
+              "accepted", "p99", "drained");
+  for (const auto& pt : s.points) {
+    std::printf("%-10.4f %-12.2f %-12.4f %-10.1f %-8s\n", pt.rate,
+                pt.res.avg_latency, pt.res.accepted, pt.res.p99_latency,
+                pt.res.drained ? "yes" : "no");
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void append_series_csv(CsvWriter& csv, const SweepSeries& s) {
+  for (const auto& pt : s.points) {
+    csv.row(std::vector<std::string>{
+        s.label, CsvWriter::format_num(pt.rate),
+        CsvWriter::format_num(pt.res.avg_latency),
+        CsvWriter::format_num(pt.res.accepted),
+        CsvWriter::format_num(pt.res.p99_latency),
+        CsvWriter::format_num(static_cast<double>(pt.res.delivered_measured)),
+        pt.res.drained ? "1" : "0"});
+  }
+}
+
+}  // namespace sldf::core

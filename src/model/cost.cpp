@@ -1,0 +1,210 @@
+#include "model/cost.hpp"
+
+#include <cmath>
+#include "common/strfmt.hpp"
+
+namespace sldf::model {
+
+double avg_link_length_E(double area_fraction) {
+  // E[|dx|+|dy|] for uniform points in a unit square is 2/3; a cluster
+  // covering a fraction f of the floor has side sqrt(f).
+  return (2.0 / 3.0) * std::sqrt(area_fraction);
+}
+
+CostRow row_dojo_mesh() {
+  // Tesla DOJO (§II-A2, Table III row 1): 2D-mesh of wafers plus one
+  // centralized edge switch. Numbers follow the published system: 25 dies
+  // per wafer, 18 wafers (450 D1 dies in the training tile deployment),
+  // edge links aggregated into a 60-port switch.
+  CostRow r;
+  r.name = "2D-Mesh & Switch (DOJO)";
+  r.chip_radix = 8;     // 4 mesh neighbours x 2 links
+  r.switch_radix = 60;
+  r.switches = 1;
+  r.cabinets = 2;
+  r.processors = 450;
+  r.cables = 0;  // backplane mesh; inter-cabinet cables negligible
+  r.cable_length_E = 0;
+  // Local: mesh bisection 2*sqrt(N)*2 / N for a square mesh of 450 chips.
+  const double side = std::sqrt(450.0);
+  r.t_local = 4.0 * side / 450.0 * 8.0;  // 8 links per edge direction
+  r.t_global = 0.53;  // bounded by the centralized switch (paper value)
+  r.diameter = "2H*l + 18Hsr";
+  return r;
+}
+
+CostRow row_fat_tree(int ports_per_chip, bool tapered_3to1,
+                     const DatacenterAssumptions& dc) {
+  // Three-stage folded Clos with radix-64 switches: k^3/4 endpoints and
+  // 5k^2/4 switches per plane; `ports_per_chip` parallel planes.
+  CostRow r;
+  const int k = 64;
+  const long endpoints = static_cast<long>(k) * k * k / 4;  // 65536
+  const long sw_per_plane = 5L * k * k / 4;                 // 5120
+  const long edge_per_plane = static_cast<long>(k) * k / 2; // 2048 (edge tier)
+  if (!tapered_3to1) {
+    r.name = ports_per_chip == 1 ? "Three-Stage Fat-Tree 1"
+                                 : "Three-Stage Fat-Tree 4";
+    r.processors = endpoints;  // one chip per endpoint port bundle
+    r.switches = sw_per_plane * ports_per_chip;
+    r.cables = 3L * endpoints * ports_per_chip;  // one per tier per endpoint
+    r.t_local = ports_per_chip;
+    r.t_global = ports_per_chip;
+  } else {
+    // 3:1 taper at the edge tier: 48 down / 16 up per edge switch.
+    r.name = "Three-Stage F-T (3:1 Taper)";
+    const long hosts = edge_per_plane * 48;  // 98304 endpoint ports per plane
+    r.processors = hosts;
+    // Upper tiers shrink by the taper: approximately 5k^2/4 * (1+1/3)/2.
+    r.switches = (edge_per_plane +
+                  (sw_per_plane - edge_per_plane) / 3 * 2) *
+                 ports_per_chip;
+    r.cables = (hosts + hosts / 3 * 2) * static_cast<long>(ports_per_chip);
+    r.t_local = ports_per_chip;
+    r.t_global = ports_per_chip / 3.0;
+  }
+  const long chips = r.processors;
+  r.chip_radix = ports_per_chip;
+  r.switch_radix = k;
+  r.cabinets = chips / dc.nodes_per_cabinet +
+               r.switches / dc.core_switches_per_cabinet;
+  r.cable_length_E =
+      static_cast<double>(r.cables) * avg_link_length_E(1.0) * 0.5;
+  r.diameter = "2Hg + 2Hl + 2H*l";
+  return r;
+}
+
+CostRow row_hx4mesh(int planes, const DatacenterAssumptions& dc) {
+  // HammingMesh [8]: 4x4 chip boards (local 2D mesh), global Fat-Tree
+  // backbone; `planes` parallel rails.
+  CostRow r;
+  r.name = planes == 1 ? "1-Plane Hx4Mesh" : "4-Plane Hx4Mesh";
+  const int k = 64;
+  const long boards = 4096;           // 65536 chips / 16 per board
+  const long chips = boards * 16;     // 65536
+  r.processors = chips;
+  r.chip_radix = 4.0 * planes;        // 4 mesh ports per plane
+  r.switch_radix = k;
+  r.switches = 5120L * planes;        // Fat-Tree backbone per plane
+  r.cabinets = chips / (dc.boards_per_cabinet_hx * 16) +
+               r.switches / dc.core_switches_per_cabinet;
+  r.cables = 3L * chips * planes;     // board-edge + backbone tiers
+  r.cable_length_E =
+      static_cast<double>(r.cables) * avg_link_length_E(1.0) * 0.5;
+  r.t_local = 2.0 * planes;           // board-local mesh bandwidth
+  r.t_global = 0.5 * planes;          // tapered backbone (paper: 1/2, 2)
+  r.diameter = "2Hg + 2Hl + 2H*l + 4Hsr";
+  return r;
+}
+
+CostRow row_polarfly(const DatacenterAssumptions& dc) {
+  // Co-packaged PolarFly, q = 63 (router degree 64): q^2+q+1 = 4033
+  // routers, 32 processors per co-package (p = 32).
+  CostRow r;
+  r.name = "Co-Packaged PolarFly (p=32)";
+  const int q = 63;
+  const long routers = static_cast<long>(q) * q + q + 1;  // 4033
+  r.chip_radix = 1;
+  r.switch_radix = 64;
+  r.switches = routers;
+  r.processors = routers * 32;  // 129056
+  r.cables = routers * 64 / 2;  // 129056 inter-router links
+  r.cabinets = routers / dc.packages_per_cabinet_pf;
+  r.cable_length_E =
+      static_cast<double>(r.cables) * avg_link_length_E(1.0);
+  r.t_local = 1;
+  r.t_global = 1;
+  r.diameter = "2Hg + 2Hsr";
+  return r;
+}
+
+CostRow row_slingshot_dragonfly(const DatacenterAssumptions& dc) {
+  // Slingshot Dragonfly (Fig 2): 32 switches/group (16:31:17 split of the
+  // radix-64 switch), g = 32*17 + 1 = 545 groups.
+  CostRow r;
+  r.name = "Dragonfly (Slingshot)";
+  const int S = 32, T = 16, H = 17;
+  const long groups = static_cast<long>(S) * H + 1;      // 545
+  const long switches = groups * S;                      // 17440
+  const long chips = switches * T;                       // 279040
+  const long local_links = groups * (S * (S - 1L) / 2);  // 270320
+  const long global_links = groups * (groups - 1) / 2;   // 148240
+  r.chip_radix = 1;
+  r.switch_radix = 64;
+  r.switches = switches;
+  r.processors = chips;
+  r.cables = chips + local_links + global_links;  // ~698K
+  r.cabinets = chips / dc.nodes_per_cabinet;      // 2180 (8 ToR co-housed)
+  // Locals stay within a ~4-cabinet group cluster; globals span the floor.
+  const double group_frac =
+      static_cast<double>(S) * T / dc.nodes_per_cabinet /
+      static_cast<double>(r.cabinets);
+  r.cable_length_E =
+      static_cast<double>(global_links) * avg_link_length_E(1.0) +
+      static_cast<double>(local_links) * avg_link_length_E(group_frac);
+  r.t_local = 1;
+  r.t_global = 1;
+  r.diameter = "Hg + 2Hl + 2H*l";
+  return r;
+}
+
+CostRow row_swless_dragonfly(const DatacenterAssumptions& dc) {
+  // Switch-less Dragonfly case study (§III-C): n = 12, m = 4, a = 4, b = 8,
+  // h = 17, g = 545, N = 279040 chips; one W-group (8 wafers) per cabinet.
+  CostRow r;
+  r.name = "Switch-less Dragonfly";
+  const int m = 4, n = 12, a = 4, b = 8;
+  const long ab = static_cast<long>(a) * b;          // 32
+  const long k = static_cast<long>(n) * m;           // 48
+  const long h = k - ab + 1;                         // 17
+  const long groups = ab * h + 1;                    // 545
+  const long chips = ab * m * m * groups;            // 279040
+  const long local_links = groups * (ab * (ab - 1) / 2);  // 545*496
+  const long global_links = groups * (groups - 1) / 2;    // 148240
+  r.chip_radix = n;
+  r.switch_radix = 0;  // switch-less
+  r.switches = 0;
+  r.processors = chips;
+  r.cables = local_links + global_links;  // ~419K (terminal cables gone)
+  r.cabinets = groups * b / dc.wafers_per_cabinet;  // 545
+  // Locals are intra-cabinet (zero floor length); the floor itself shrinks
+  // to 545/2180 of the Slingshot area, shortening every global cable.
+  const double floor_frac = static_cast<double>(r.cabinets) / 2180.0;
+  r.cable_length_E =
+      static_cast<double>(global_links) * avg_link_length_E(floor_frac);
+  r.t_local = 2;    // Eq.(4): ab/m^2 = 2 (paper reports 3 intra-C-group)
+  r.t_global = 1;
+  r.diameter = "Hg + 2Hl + 30Hsr";
+  return r;
+}
+
+std::vector<CostRow> table3(const DatacenterAssumptions& dc) {
+  return {
+      row_dojo_mesh(),
+      row_fat_tree(1, false, dc),
+      row_fat_tree(4, false, dc),
+      row_fat_tree(4, true, dc),
+      row_hx4mesh(1, dc),
+      row_hx4mesh(4, dc),
+      row_polarfly(dc),
+      row_slingshot_dragonfly(dc),
+      row_swless_dragonfly(dc),
+  };
+}
+
+std::string format_table3(const std::vector<CostRow>& rows) {
+  std::string out = strf(
+      "%-28s%11s%9s%9s%9s%11s%9s%12s%8s%8s  %s\n", "Network", "chip-radix",
+      "sw-radix", "#switch", "#cabinet", "#proc", "cables", "cable-len",
+      "Tlocal", "Tglobal", "diameter");
+  for (const auto& r : rows) {
+    out += strf("%-28s%11.0f%9d%9ld%9ld%11ld%8ldK%10.0fKE%8.2f%8.2f  %s\n",
+                r.name.c_str(), r.chip_radix, r.switch_radix, r.switches,
+                r.cabinets, r.processors, r.cables / 1000,
+                r.cable_length_E / 1000.0, r.t_local, r.t_global,
+                r.diameter.c_str());
+  }
+  return out;
+}
+
+}  // namespace sldf::model

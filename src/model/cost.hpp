@@ -1,0 +1,56 @@
+// Cost / specification comparison model (paper Table III, §III-C): switch
+// counts, cabinet counts, cable counts and lengths, and throughput bounds
+// for the compared interconnects, under the paper's datacenter assumptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sldf::model {
+
+/// Datacenter packaging assumptions (§III-C3).
+struct DatacenterAssumptions {
+  int nodes_per_cabinet = 128;     ///< 64 blades x 2 nodes (Frontier [56]).
+  int tor_per_cabinet = 8;         ///< ToR switches co-housed with nodes.
+  int core_switches_per_cabinet = 32;
+  int boards_per_cabinet_hx = 16;  ///< Hx4Mesh boards per cabinet.
+  int packages_per_cabinet_pf = 8; ///< PolarFly co-packages per cabinet.
+  int wafers_per_cabinet = 8;      ///< Wafer-scale density (>= 4x denser).
+};
+
+struct CostRow {
+  std::string name;
+  double chip_radix = 0;     ///< Interconnect ports per processor chip.
+  int switch_radix = 0;      ///< 0 = switch-less.
+  long switches = 0;
+  long cabinets = 0;
+  long processors = 0;
+  long cables = 0;           ///< Inter-node/inter-switch cable count.
+  double cable_length_E = 0; ///< Total length in units of the baseline
+                             ///< datacenter side E (0 = not modeled).
+  double t_local = 0;        ///< Saturation throughput within a subset.
+  double t_global = 0;       ///< Global saturation throughput.
+  std::string diameter;      ///< Hop-type formula string.
+};
+
+/// Average Manhattan distance between two uniform points in a unit square
+/// is 2/3; links within a cluster occupying `area_fraction` of the floor
+/// scale by sqrt(area_fraction).
+double avg_link_length_E(double area_fraction);
+
+// --- one row per compared network (radix-64 switches throughout) ---
+CostRow row_dojo_mesh();
+CostRow row_fat_tree(int ports_per_chip, bool tapered_3to1,
+                     const DatacenterAssumptions& dc = {});
+CostRow row_hx4mesh(int planes, const DatacenterAssumptions& dc = {});
+CostRow row_polarfly(const DatacenterAssumptions& dc = {});
+CostRow row_slingshot_dragonfly(const DatacenterAssumptions& dc = {});
+CostRow row_swless_dragonfly(const DatacenterAssumptions& dc = {});
+
+/// The full Table III.
+std::vector<CostRow> table3(const DatacenterAssumptions& dc = {});
+
+/// Formats the table as aligned text.
+std::string format_table3(const std::vector<CostRow>& rows);
+
+}  // namespace sldf::model

@@ -1,0 +1,31 @@
+#include "model/energy.hpp"
+
+namespace sldf::model {
+
+EnergyBreakdown price_hops(const double hops[kNumLinkTypes],
+                           const HopCostTable& costs, bool use_intra_avg) {
+  EnergyBreakdown e;
+  e.inter_cgroup_pj =
+      hops[static_cast<int>(LinkType::LongReachGlobal)] *
+          costs.global.energy_pj_per_bit +
+      hops[static_cast<int>(LinkType::LongReachLocal)] *
+          costs.local.energy_pj_per_bit +
+      hops[static_cast<int>(LinkType::Terminal)] *
+          costs.terminal.energy_pj_per_bit;
+  const double sr = hops[static_cast<int>(LinkType::ShortReach)];
+  const double oc = hops[static_cast<int>(LinkType::OnChip)];
+  if (use_intra_avg) {
+    e.intra_cgroup_pj = (sr + oc) * costs.intra_cgroup_avg_pj;
+  } else {
+    e.intra_cgroup_pj = sr * costs.short_reach.energy_pj_per_bit +
+                        oc * costs.on_chip.energy_pj_per_bit;
+  }
+  return e;
+}
+
+EnergyBreakdown price_result(const sim::SimResult& res,
+                             const HopCostTable& costs, bool use_intra_avg) {
+  return price_hops(res.avg_hops, costs, use_intra_avg);
+}
+
+}  // namespace sldf::model

@@ -1,0 +1,33 @@
+// Energy accounting (paper §V-C, Fig 15): average pJ/bit per delivered
+// packet from per-hop-type counts collected by the simulator, priced with
+// the Table II hop costs.
+#pragma once
+
+#include "common/types.hpp"
+#include "model/equations.hpp"
+#include "sim/simulator.hpp"
+
+namespace sldf::model {
+
+struct EnergyBreakdown {
+  double inter_cgroup_pj = 0.0;  ///< Global + local + terminal hops.
+  double intra_cgroup_pj = 0.0;  ///< Short-reach + on-chip hops.
+  [[nodiscard]] double total_pj() const {
+    return inter_cgroup_pj + intra_cgroup_pj;
+  }
+};
+
+/// Prices one packet's (or an average packet's) hop counts.
+/// `hops` is indexed by LinkType. When `use_intra_avg` is set, short-reach
+/// and on-chip hops are both charged the paper's 1 pJ/bit intra-C-group
+/// average; otherwise Table II per-type values apply.
+EnergyBreakdown price_hops(const double hops[kNumLinkTypes],
+                           const HopCostTable& costs = {},
+                           bool use_intra_avg = true);
+
+/// Convenience: price the average hop counts of a simulation result.
+EnergyBreakdown price_result(const sim::SimResult& res,
+                             const HopCostTable& costs = {},
+                             bool use_intra_avg = true);
+
+}  // namespace sldf::model

@@ -1,0 +1,29 @@
+#include "model/equations.hpp"
+
+#include <stdexcept>
+
+namespace sldf::model {
+
+SwlessEquations SwlessEquations::balanced(int m_, int wafers_b) {
+  if (m_ < 1) throw std::invalid_argument("balanced: m must be >= 1");
+  SwlessEquations e;
+  e.m = m_;
+  e.n = 3 * m_;            // Eq.(3)
+  const int ab = 2 * m_ * m_;  // Eq.(3)
+  if (wafers_b > 0) {
+    if (ab % wafers_b != 0)
+      throw std::invalid_argument("balanced: b must divide 2*m^2");
+    e.b = wafers_b;
+    e.a = ab / wafers_b;
+  } else {
+    // Split ab into the most square (a, b) factorization.
+    int best_a = 1;
+    for (int a = 1; a * a <= ab; ++a)
+      if (ab % a == 0) best_a = a;
+    e.a = best_a;
+    e.b = ab / best_a;
+  }
+  return e;
+}
+
+}  // namespace sldf::model

@@ -1,0 +1,83 @@
+#include "model/layout.hpp"
+
+#include <cmath>
+#include "common/strfmt.hpp"
+
+namespace sldf::model {
+
+LayoutReport evaluate_layout(const LayoutParams& p) {
+  LayoutReport r;
+  r.onwafer_channel_gbps =
+      p.ucie_lanes_per_channel * p.ucie_lane_gbps;  // 128 * 32 = 4096
+  r.offwafer_port_gbps =
+      p.serdes_lanes_per_port * p.serdes_lane_gbps;  // 8 * 112 = 896
+
+  // Bisection: a vertical cut crosses chiplets_y chiplet edges, each with
+  // channels_per_chiplet_edge physical channels (half per direction); the
+  // full-duplex bisection counts every physical channel crossing the cut.
+  const double cut_channels =
+      static_cast<double>(p.chiplets_y) * p.channels_per_chiplet_edge;
+  r.bisection_TBps = cut_channels * r.onwafer_channel_gbps / 8.0 / 1000.0;
+
+  // Aggregate (per direction): perimeter chiplet edges times duplex pairs,
+  // derated by encoding overhead.
+  const double rim_edges = 2.0 * (p.chiplets_x + p.chiplets_y);
+  r.aggregate_TBps = rim_edges * (p.channels_per_chiplet_edge / 2.0) *
+                     r.onwafer_channel_gbps * p.encoding_efficiency / 8.0 /
+                     1000.0;
+
+  // Off-wafer IO: each port has serdes_lanes in each direction, one
+  // differential pair per lane; P/G adds roughly 80%.
+  r.differential_pairs = p.external_ports * p.serdes_lanes_per_port * 2 * 2;
+  r.total_io_pads = static_cast<int>(r.differential_pairs * 2 * 1.8);
+
+  // Silicon area.
+  const int chiplets = p.chiplets_x * p.chiplets_y;
+  const double phys_per_chiplet = 4.0 * p.channels_per_chiplet_edge * 2.0;
+  r.phy_area_mm2 =
+      chiplets * phys_per_chiplet * p.ucie_phy_w_mm * p.ucie_phy_h_mm;
+  r.conv_area_mm2 =
+      p.external_ports * p.conv_module_w_mm * p.conv_module_h_mm;
+  r.cgroup_area_mm2 = p.cgroup_edge_mm * p.cgroup_edge_mm;
+
+  // Does a C-group fit in the wafer's inscribed square region (several
+  // C-groups per wafer fit a 300 mm circle when edge <= ~100 mm)?
+  const double usable = p.wafer_diameter_mm / std::sqrt(2.0);
+  r.fits_wafer = p.cgroup_edge_mm <= usable;
+
+  // Escape: all boundary wires of one chiplet edge (UCIe is single-ended)
+  // routed at a 2x line-space pitch must fit along that edge.
+  const double wires_per_edge =
+      static_cast<double>(p.channels_per_chiplet_edge) *
+      p.ucie_lanes_per_channel;
+  r.perimeter_escape_mm =
+      wires_per_edge * 2.0 * p.line_space_um / 1000.0;
+  r.perimeter_available_mm = p.chiplet_mm;
+  r.escape_feasible = r.perimeter_escape_mm <= r.perimeter_available_mm;
+
+  // Off-wafer connector pads are area-distributed on the support plate
+  // (Fig 5): the pad field must fit under the C-group footprint.
+  const double pad_area =
+      static_cast<double>(r.total_io_pads) * p.io_pad_pitch_mm *
+      p.io_pad_pitch_mm;
+  r.io_pads_feasible = pad_area <= r.cgroup_area_mm2 * 0.5;
+  return r;
+}
+
+std::string format_layout(const LayoutReport& r) {
+  return strf(
+      "on-wafer channel: %.0f Gb/s; off-wafer port: %.0f Gb/s\n"
+      "C-group bisection: %.1f TB/s; aggregate: %.1f TB/s\n"
+      "off-wafer: %d differential pairs, ~%d IOs incl. power/ground\n"
+      "PHY area: %.0f mm^2; SR-LR converters: %.0f mm^2; C-group: "
+      "%.0f mm^2\n"
+      "fits wafer: %s; edge escape: %.1f/%.1f mm (%s); IO pads: %s\n",
+      r.onwafer_channel_gbps, r.offwafer_port_gbps, r.bisection_TBps,
+      r.aggregate_TBps, r.differential_pairs, r.total_io_pads, r.phy_area_mm2,
+      r.conv_area_mm2, r.cgroup_area_mm2, r.fits_wafer ? "yes" : "NO",
+      r.perimeter_escape_mm, r.perimeter_available_mm,
+      r.escape_feasible ? "ok" : "OVERFLOW",
+      r.io_pads_feasible ? "ok" : "OVERFLOW");
+}
+
+}  // namespace sldf::model

@@ -1,0 +1,55 @@
+// Physical layout feasibility model of a C-group on the wafer
+// (paper §V-A1, Fig 9): PHY placement, perimeter escape, off-wafer IO
+// count, and the derived bisection / aggregate bandwidth figures.
+#pragma once
+
+#include <string>
+
+namespace sldf::model {
+
+struct LayoutParams {
+  // Wafer / process (InFO-SoW [16,17]).
+  double bump_pitch_um = 55.0;
+  double line_space_um = 5.0;
+  double wafer_diameter_mm = 300.0;
+
+  // C-group floorplan (Fig 9).
+  int chiplets_x = 4, chiplets_y = 4;
+  double chiplet_mm = 12.0;          ///< Chiplet edge length.
+  double conv_module_w_mm = 2.0;     ///< SR-LR conversion module width.
+  double conv_module_h_mm = 3.0;
+  double cgroup_edge_mm = 60.0;      ///< Placed C-group edge (~60 mm).
+
+  // Interfaces.
+  int channels_per_chiplet_edge = 6;
+  int ucie_lanes_per_channel = 128;  ///< Two 64-lane UCIe PHYs.
+  double ucie_lane_gbps = 32.0;      ///< 4096 Gb/s per on-wafer channel.
+  double ucie_phy_w_mm = 0.8, ucie_phy_h_mm = 0.8;
+  int serdes_lanes_per_port = 8;     ///< Long-reach 112G SerDes lanes.
+  double serdes_lane_gbps = 112.0;   ///< 896 Gb/s per off-C-group port.
+  int external_ports = 48;           ///< k.
+  double io_pad_pitch_mm = 0.3;      ///< Off-wafer connector pitch.
+  double encoding_efficiency = 0.85; ///< 64b/66b + FEC overhead.
+};
+
+struct LayoutReport {
+  double onwafer_channel_gbps = 0;    ///< Per intra-C-group channel.
+  double offwafer_port_gbps = 0;      ///< Per external port.
+  double bisection_TBps = 0;          ///< Full-duplex on-wafer bisection.
+  double aggregate_TBps = 0;          ///< Sum over perimeter channels.
+  int differential_pairs = 0;         ///< Off-wafer signal pairs.
+  int total_io_pads = 0;              ///< Including power/ground estimate.
+  double phy_area_mm2 = 0;            ///< Total UCIe PHY silicon.
+  double conv_area_mm2 = 0;           ///< Total SR-LR converter silicon.
+  double cgroup_area_mm2 = 0;
+  double perimeter_escape_mm = 0;     ///< Wiring width needed at the rim.
+  double perimeter_available_mm = 0;
+  bool fits_wafer = false;
+  bool escape_feasible = false;
+  bool io_pads_feasible = false;
+};
+
+LayoutReport evaluate_layout(const LayoutParams& p = {});
+std::string format_layout(const LayoutReport& r);
+
+}  // namespace sldf::model

@@ -1,0 +1,193 @@
+#include "route/cdg.hpp"
+
+#include "common/strfmt.hpp"
+#include <unordered_map>
+#include <unordered_set>
+
+#include "route/dragonfly_routing.hpp"
+#include "route/swless_routing.hpp"
+#include "topo/hier.hpp"
+
+namespace sldf::route {
+
+namespace {
+
+struct Walker {
+  const sim::Network& net;
+  const CdgOptions& opt;
+  std::unordered_map<std::uint64_t, std::int32_t> res_id;
+  std::vector<std::pair<ChanId, VcIx>> res_info;
+  std::unordered_set<std::uint64_t> edge_keys;
+  std::vector<std::vector<std::int32_t>> adj;
+  std::size_t paths = 0;
+  std::size_t max_hops_seen = 0;
+  bool failed = false;
+
+  std::int32_t resource(ChanId c, VcIx v) {
+    const auto key = static_cast<std::uint64_t>(c) *
+                         static_cast<std::uint64_t>(net.num_vcs()) +
+                     static_cast<std::uint64_t>(v);
+    const auto [it, fresh] =
+        res_id.emplace(key, static_cast<std::int32_t>(res_info.size()));
+    if (fresh) {
+      res_info.emplace_back(c, v);
+      adj.emplace_back();
+    }
+    return it->second;
+  }
+
+  void edge(std::int32_t a, std::int32_t b) {
+    const auto key = (static_cast<std::uint64_t>(a) << 32) |
+                     static_cast<std::uint32_t>(b);
+    if (edge_keys.insert(key).second) adj[static_cast<std::size_t>(a)].push_back(b);
+  }
+
+  /// Walks one packet; returns false on a routing failure (non-delivery).
+  bool walk(NodeId src, NodeId dst, std::int32_t mid_override, Rng& rng) {
+    sim::Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.src_chip = net.chip_of(src);
+    pkt.dst_chip = net.chip_of(dst);
+    pkt.len = 1;
+    net.routing()->init_packet(net, pkt, rng);
+    if (mid_override >= -1) pkt.mid_wgroup = mid_override;
+
+    NodeId cur = src;
+    PortIx in_port = net.router(src).inj_port;
+    std::int32_t prev = -1;
+    std::size_t hops = 0;
+    for (;;) {
+      const auto& r = net.router(cur);
+      const auto d = net.routing()->route(net, cur, in_port, pkt);
+      if (d.out_port < 0 ||
+          d.out_port >= static_cast<PortIx>(r.out.size()))
+        return false;
+      const ChanId c = r.out[static_cast<std::size_t>(d.out_port)].out_chan;
+      if (c == kInvalidChan) {
+        // Ejection: must be the destination.
+        max_hops_seen = std::max(max_hops_seen, hops);
+        return cur == dst;
+      }
+      const auto id = resource(c, d.out_vc);
+      if (prev >= 0) edge(prev, id);
+      prev = id;
+      const auto& ch = net.chan(c);
+      cur = ch.dst;
+      in_port = ch.dst_port;
+      if (++hops > opt.max_hops) return false;
+    }
+  }
+};
+
+/// Iterative DFS cycle finder; fills `cycle` with a witness if one exists.
+bool find_cycle(const std::vector<std::vector<std::int32_t>>& adj,
+                std::vector<std::int32_t>& cycle) {
+  const auto n = adj.size();
+  std::vector<std::int8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::int32_t> stack;
+  std::vector<std::size_t> iter;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (color[s] != 0) continue;
+    stack.push_back(static_cast<std::int32_t>(s));
+    iter.push_back(0);
+    color[s] = 1;
+    while (!stack.empty()) {
+      const auto u = static_cast<std::size_t>(stack.back());
+      if (iter.back() < adj[u].size()) {
+        const auto v = static_cast<std::size_t>(adj[u][iter.back()++]);
+        if (color[v] == 0) {
+          color[v] = 1;
+          stack.push_back(static_cast<std::int32_t>(v));
+          iter.push_back(0);
+        } else if (color[v] == 1) {
+          // Found a back edge: extract the cycle from the stack.
+          auto it = stack.begin();
+          while (static_cast<std::size_t>(*it) != v) ++it;
+          cycle.assign(it, stack.end());
+          return true;
+        }
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+        iter.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CdgReport audit_cdg(const sim::Network& net, const CdgOptions& opt) {
+  CdgReport rep;
+  Walker w{net, opt, {}, {}, {}, {}, 0, 0, false};
+  Rng rng(42);
+
+  // Determine whether routing is non-minimal and which groups exist.
+  std::int32_t num_groups = 1;
+  bool valiant = false;
+  const auto* hier = dynamic_cast<const topo::HierTopo*>(net.topo_info());
+  if (hier) num_groups = hier->num_wgroups;
+  if (const auto* sw =
+          dynamic_cast<const SwlessRouting*>(net.routing()))
+    valiant = sw->mode() != RouteMode::Minimal;
+  if (const auto* df =
+          dynamic_cast<const DragonflyRouting*>(net.routing()))
+    valiant = df->mode() != RouteMode::Minimal;
+
+  const auto group_of = [&](NodeId n) -> std::int32_t {
+    if (!hier) return 0;
+    return hier->chip_wgroup[static_cast<std::size_t>(net.chip_of(n))];
+  };
+
+  bool all_ok = true;
+  for (NodeId src : net.terminals()) {
+    for (NodeId dst : net.terminals()) {
+      if (src == dst) continue;
+      const auto gs = group_of(src);
+      const auto gd = group_of(dst);
+      if (valiant && opt.enumerate_intermediates && gs != gd &&
+          num_groups > 2) {
+        for (std::int32_t mid = 0; mid < num_groups; ++mid) {
+          if (mid == gs || mid == gd) continue;
+          all_ok &= w.walk(src, dst, mid, rng);
+          ++w.paths;
+        }
+      } else {
+        all_ok &= w.walk(src, dst, -1, rng);
+        ++w.paths;
+      }
+    }
+  }
+
+  rep.paths_walked = w.paths;
+  rep.resources = w.res_info.size();
+  rep.max_path_hops = w.max_hops_seen;
+  rep.edges = w.edge_keys.size();
+  std::vector<std::int32_t> cyc;
+  const bool has_cycle = find_cycle(w.adj, cyc);
+  rep.acyclic = all_ok && !has_cycle;
+  for (auto id : cyc)
+    rep.cycle.push_back(w.res_info[static_cast<std::size_t>(id)]);
+  return rep;
+}
+
+std::string CdgReport::to_string(const sim::Network& net) const {
+  std::string s =
+      strf("CDG audit: %s | paths=%zu resources=%zu edges=%zu max-hops=%zu",
+           acyclic ? "ACYCLIC (deadlock-free)" : "CYCLE FOUND", paths_walked,
+           resources, edges, max_path_hops);
+  if (!cycle.empty()) {
+    s += "\n  witness cycle:";
+    for (const auto& [c, v] : cycle) {
+      const auto& ch = net.chan(c);
+      const auto tn = sldf::to_string(ch.type);
+      s += strf(" [%d->%d vc%d %.*s]", ch.src, ch.dst, static_cast<int>(v),
+                static_cast<int>(tn.size()), tn.data());
+    }
+  }
+  return s;
+}
+
+}  // namespace sldf::route

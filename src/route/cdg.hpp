@@ -1,0 +1,41 @@
+// Channel-dependency-graph (CDG) deadlock auditor. Walks the routing
+// function over every source/destination pair (and, for non-minimal
+// routing, every possible intermediate group), records the sequence of
+// (channel, VC) resources each packet would hold, adds dependency edges
+// between consecutive resources, and checks the resulting graph for cycles
+// (Dally & Towles: acyclic CDG => deadlock-free routing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sldf::route {
+
+struct CdgReport {
+  bool acyclic = false;
+  std::size_t resources = 0;  ///< Distinct (channel, VC) pairs used.
+  std::size_t edges = 0;      ///< Distinct dependency edges.
+  std::size_t paths_walked = 0;
+  std::size_t max_path_hops = 0;
+  /// One witness cycle as (channel, vc) pairs, empty when acyclic.
+  std::vector<std::pair<ChanId, VcIx>> cycle;
+  std::string to_string(const sim::Network& net) const;
+};
+
+struct CdgOptions {
+  /// Enumerate all intermediate groups for non-minimal routing instead of
+  /// sampling the RNG choice (exhaustive audit).
+  bool enumerate_intermediates = true;
+  /// Safety cap on per-path hops (a livelocked walk fails the audit).
+  std::size_t max_hops = 4096;
+};
+
+/// Audits the network's installed routing algorithm. The network must be
+/// finalized; dynamic state is not touched.
+CdgReport audit_cdg(const sim::Network& net, const CdgOptions& opt = {});
+
+}  // namespace sldf::route

@@ -1,0 +1,116 @@
+#include "route/dragonfly_routing.hpp"
+
+#include <cassert>
+
+#include "topo/dragonfly.hpp"
+
+namespace sldf::route {
+
+using topo::SwDfTopo;
+
+namespace {
+
+/// Buffered-flit occupancy of the global channel leaving `group` toward
+/// `peer` (UGAL-L congestion signal, read from upstream credits).
+int gateway_occupancy(const sim::Network& net, const SwDfTopo& T,
+                      std::int32_t group, std::int32_t peer) {
+  const int H = T.p.globals_per_switch;
+  const int link = SwDfTopo::global_link(group, peer);
+  const ChanId c = T.global_chan[static_cast<std::size_t>(
+      (group * T.p.switches_per_group + link / H) * H + link % H)];
+  if (c == kInvalidChan) return 0;
+  const auto& ch = net.chan(c);
+  const auto& op = net.router(ch.src).out[static_cast<std::size_t>(
+      ch.src_port)];
+  int used = 0;
+  for (const auto& vc : op.vcs) used += net.vc_buf() - vc.credits;
+  return used;
+}
+
+}  // namespace
+
+void DragonflyRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
+                                   Rng& rng) {
+  pkt.vc_class = 0;
+  pkt.mid_wgroup = -1;
+  const auto& T = net.topo<SwDfTopo>();
+  const auto& sloc = T.loc[static_cast<std::size_t>(pkt.src)];
+  const auto& dloc = T.loc[static_cast<std::size_t>(pkt.dst)];
+  const int G = T.p.effective_groups();
+  if (mode_ == RouteMode::Minimal || sloc.group == dloc.group || G <= 2)
+    return;
+  // Random intermediate group distinct from source and destination.
+  std::int32_t mid;
+  do {
+    mid = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(G)));
+  } while (mid == sloc.group || mid == dloc.group);
+  if (mode_ == RouteMode::Valiant) {
+    pkt.mid_wgroup = mid;
+    return;
+  }
+  // Adaptive (UGAL-L): minimal unless its gateway global channel is at
+  // least twice as congested as the candidate's.
+  const int q_min = gateway_occupancy(net, T, sloc.group, dloc.group);
+  const int q_val = gateway_occupancy(net, T, sloc.group, mid);
+  constexpr int kThreshold = 4;
+  if (q_min > 2 * q_val + kThreshold) pkt.mid_wgroup = mid;
+}
+
+sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
+                                           NodeId router, PortIx /*in_port*/,
+                                           sim::Packet& pkt) {
+  const auto& T = net.topo<SwDfTopo>();
+  const auto& r = net.router(router);
+  // VC = class * vcs_per_class + destination hash: spreads head-of-line
+  // queues per destination (ideal-switch approximation).
+  const auto vcix = [&] {
+    return static_cast<VcIx>(pkt.vc_class * vcs_per_class_ +
+                             static_cast<int>(pkt.dst) % vcs_per_class_);
+  };
+
+  if (r.kind == NodeKind::Core) {
+    // Terminal node: either the destination or the source injecting upward.
+    if (router == pkt.dst) return {r.eject_port, vcix()};
+    const ChanId up = T.up_chan[static_cast<std::size_t>(
+        net.chip_of(router))];  // chip id == terminal index by construction
+    return {net.chan(up).src_port, vcix()};
+  }
+
+  // At a switch.
+  const auto& loc = T.loc[static_cast<std::size_t>(router)];
+  const auto& dloc = T.loc[static_cast<std::size_t>(pkt.dst)];
+  const int S = T.p.switches_per_group;
+  const int H = T.p.globals_per_switch;
+
+  if (pkt.mid_wgroup == loc.group) pkt.mid_wgroup = -1;  // bounce reached
+
+  if (loc.group == dloc.group && pkt.mid_wgroup < 0) {
+    if (loc.sw == dloc.sw) {
+      const ChanId down = T.down_chan[static_cast<std::size_t>(
+          (loc.group * S + loc.sw) * T.p.terminals_per_switch + dloc.term)];
+      return {net.chan(down).src_port, vcix()};
+    }
+    const ChanId l = T.local_chan[static_cast<std::size_t>(
+        (loc.group * S + loc.sw) * (S - 1) +
+        SwDfTopo::local_index(loc.sw, dloc.sw))];
+    return {net.chan(l).src_port, vcix()};
+  }
+
+  // Heading to another group (the Valiant bounce group first, if any).
+  const int gt = pkt.mid_wgroup >= 0 ? pkt.mid_wgroup : dloc.group;
+  const int link = SwDfTopo::global_link(loc.group, gt);
+  const int owner = link / H;
+  if (owner == loc.sw) {
+    const ChanId gchan = T.global_chan[static_cast<std::size_t>(
+        (loc.group * S + loc.sw) * H + link % H)];
+    assert(gchan != kInvalidChan);
+    ++pkt.vc_class;  // new group => next VC class
+    return {net.chan(gchan).src_port, vcix()};
+  }
+  const ChanId l = T.local_chan[static_cast<std::size_t>(
+      (loc.group * S + loc.sw) * (S - 1) +
+      SwDfTopo::local_index(loc.sw, owner))];
+  return {net.chan(l).src_port, vcix()};
+}
+
+}  // namespace sldf::route

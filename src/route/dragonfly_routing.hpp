@@ -1,0 +1,36 @@
+// Minimal and Valiant (non-minimal) routing for the switch-based Dragonfly
+// baseline, with the classic VC assignment: the VC index increments on every
+// global hop (2 VCs minimal, 3 VCs Valiant — Kim et al. [3]).
+#pragma once
+
+#include "route/routing_modes.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+
+namespace sldf::route {
+
+class DragonflyRouting final : public sim::RoutingAlgorithm {
+ public:
+  explicit DragonflyRouting(RouteMode mode, int vcs_per_class = 1)
+      : mode_(mode), vcs_per_class_(vcs_per_class) {}
+
+  void init_packet(const sim::Network& net, sim::Packet& pkt,
+                   Rng& rng) override;
+  sim::RouteDecision route(const sim::Network& net, NodeId router,
+                           PortIx in_port, sim::Packet& pkt) override;
+  [[nodiscard]] const char* name() const override {
+    switch (mode_) {
+      case RouteMode::Minimal: return "swdf-minimal";
+      case RouteMode::Valiant: return "swdf-valiant";
+      case RouteMode::Adaptive: return "swdf-adaptive";
+    }
+    return "swdf";
+  }
+  [[nodiscard]] RouteMode mode() const { return mode_; }
+
+ private:
+  RouteMode mode_;
+  int vcs_per_class_;
+};
+
+}  // namespace sldf::route

@@ -1,0 +1,109 @@
+#include "route/mesh_routing.hpp"
+
+#include <cassert>
+#include <queue>
+
+namespace sldf::route {
+
+using topo::Dir;
+using topo::kEast;
+using topo::kNorth;
+using topo::kNumDirs;
+using topo::kSouth;
+using topo::kWest;
+
+int xy_dir(int mx, int cur, int dst) {
+  const int cx = cur % mx;
+  const int cy = cur / mx;
+  const int dx = dst % mx;
+  const int dy = dst / mx;
+  if (dx > cx) return kEast;
+  if (dx < cx) return kWest;
+  if (dy > cy) return kSouth;
+  if (dy < cy) return kNorth;
+  return -1;
+}
+
+namespace {
+
+/// Neighbor position in direction d, or -1 if off the mesh.
+int neighbor(int mx, int my, int pos, int d) {
+  const int x = pos % mx;
+  const int y = pos / mx;
+  switch (d) {
+    case kEast: return x + 1 < mx ? pos + 1 : -1;
+    case kWest: return x > 0 ? pos - 1 : -1;
+    case kSouth: return y + 1 < my ? pos + mx : -1;
+    case kNorth: return y > 0 ? pos - mx : -1;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+MonotoneTables::MonotoneTables(int mx, int my,
+                               const std::vector<std::int32_t>& labels)
+    : n_(mx * my), labels_(labels) {
+  const auto N = static_cast<std::size_t>(n_);
+  up_.assign(N * N, -1);
+  dn_.assign(N * N, -1);
+  std::vector<int> dist(N);
+  std::queue<int> q;
+
+  // For each destination, backward BFS over the label DAG: a hop u->v is
+  // valid when label strictly increases (up) / decreases (down); dir(u) is
+  // the first hop of a shortest monotone path u -> dst.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto& tab = pass == 0 ? up_ : dn_;
+    const bool increasing = pass == 0;
+    for (int dst = 0; dst < n_; ++dst) {
+      std::fill(dist.begin(), dist.end(), -1);
+      dist[static_cast<std::size_t>(dst)] = 0;
+      q.push(dst);
+      while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (int d = 0; d < kNumDirs; ++d) {
+          const int u = neighbor(mx, my, v, d);
+          if (u < 0 || dist[static_cast<std::size_t>(u)] >= 0) continue;
+          const bool edge_ok =
+              increasing
+                  ? labels_[static_cast<std::size_t>(u)] <
+                        labels_[static_cast<std::size_t>(v)]
+                  : labels_[static_cast<std::size_t>(u)] >
+                        labels_[static_cast<std::size_t>(v)];
+          if (!edge_ok) continue;
+          dist[static_cast<std::size_t>(u)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          // Direction from u toward v is the opposite of d (d goes v->u).
+          static constexpr std::int8_t kOpp[kNumDirs] = {kWest, kEast, kNorth,
+                                                         kSouth};
+          tab[index(dst, u)] = kOpp[d];
+          q.push(u);
+        }
+      }
+    }
+  }
+}
+
+void XyMeshRouting::init_packet(const sim::Network&, sim::Packet& pkt, Rng&) {
+  pkt.vc_class = 0;
+}
+
+sim::RouteDecision XyMeshRouting::route(const sim::Network& net, NodeId router,
+                                        PortIx /*in_port*/, sim::Packet& pkt) {
+  const auto& info = net.topo<topo::MeshTopo>();
+  const auto& r = net.router(router);
+  if (router == pkt.dst)
+    return {r.eject_port, static_cast<VcIx>(pkt.vc_class)};
+  const int cur = info.node_pos[static_cast<std::size_t>(router)];
+  const int dst = info.node_pos[static_cast<std::size_t>(pkt.dst)];
+  const int d = xy_dir(info.shape.mx(), cur, dst);
+  assert(d >= 0);
+  const ChanId c = info.cg.mesh_out[static_cast<std::size_t>(cur)]
+                                   [static_cast<std::size_t>(d)];
+  assert(c != kInvalidChan);
+  return {net.chan(c).src_port, static_cast<VcIx>(pkt.vc_class)};
+}
+
+}  // namespace sldf::route

@@ -1,0 +1,65 @@
+// Intra-C-group mesh routing: dimension-order (XY) plus label-monotone
+// next-hop tables (up-only / down-only shortest paths over the label DAG)
+// used by the reduced-VC schemes (paper §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+#include "topo/cgroup.hpp"
+
+namespace sldf::route {
+
+/// XY direction from `cur` toward `dst` (positions y*mx+x); -1 if cur==dst.
+int xy_dir(int mx, int cur, int dst);
+
+/// Per-shape monotone next-hop tables. `up_dir(dst, src)` gives the first
+/// direction of a shortest strictly-label-increasing path src -> dst, or -1
+/// if none exists (label[src] >= label[dst]). With snake labeling an up path
+/// exists for every label[src] < label[dst].
+class MonotoneTables {
+ public:
+  MonotoneTables() = default;
+  MonotoneTables(int mx, int my, const std::vector<std::int32_t>& labels);
+
+  [[nodiscard]] int up_dir(int dst_pos, int src_pos) const {
+    return up_[index(dst_pos, src_pos)];
+  }
+  [[nodiscard]] int down_dir(int dst_pos, int src_pos) const {
+    return dn_[index(dst_pos, src_pos)];
+  }
+  /// Monotone direction src -> dst following label order (up when the
+  /// destination label is higher, down otherwise); -1 if unreachable.
+  [[nodiscard]] int dir(int dst_pos, int src_pos) const {
+    if (labels_[static_cast<std::size_t>(src_pos)] <
+        labels_[static_cast<std::size_t>(dst_pos)])
+      return up_dir(dst_pos, src_pos);
+    return down_dir(dst_pos, src_pos);
+  }
+  [[nodiscard]] bool empty() const { return up_.empty(); }
+
+ private:
+  [[nodiscard]] std::size_t index(int dst, int src) const {
+    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(src);
+  }
+  int n_ = 0;
+  std::vector<std::int8_t> up_;
+  std::vector<std::int8_t> dn_;
+  std::vector<std::int32_t> labels_;
+};
+
+/// Dimension-order routing for a standalone single-C-group mesh network
+/// (topology info: topo::MeshTopo). Deadlock-free on one VC.
+class XyMeshRouting final : public sim::RoutingAlgorithm {
+ public:
+  void init_packet(const sim::Network& net, sim::Packet& pkt,
+                   Rng& rng) override;
+  sim::RouteDecision route(const sim::Network& net, NodeId router,
+                           PortIx in_port, sim::Packet& pkt) override;
+  [[nodiscard]] const char* name() const override { return "mesh-xy"; }
+};
+
+}  // namespace sldf::route

@@ -1,0 +1,59 @@
+// Routing mode and virtual-channel scheme selectors (paper §IV).
+#pragma once
+
+namespace sldf::route {
+
+enum class RouteMode {
+  Minimal,   ///< Algorithm 1: up to 3 inter-C-group + 4 intra-C-group steps.
+  Valiant,   ///< Non-minimal: bounce through a random intermediate W-group.
+  Adaptive,  ///< UGAL-L style: per packet, take the Valiant path only when
+             ///< the minimal path's gateway global channel looks congested
+             ///< (credit occupancy), weighted by the 1-vs-2 global hop cost.
+};
+
+/// Virtual-channel numbering schemes for the switch-less Dragonfly.
+enum class VcScheme {
+  Baseline,     ///< One VC per C-group traversed: 4 (min) / 6 (non-min).
+  Reduced,      ///< Paper §IV-B claim: 3 (min) / 4 (non-min). Destination
+                ///< W-group merged via label-monotone up*/down* discipline;
+                ///< see DESIGN.md §5 for the residual-cycle caveat.
+  ReducedSafe,  ///< Provably acyclic variant: destination W-group split into
+                ///< transit/final classes: 4 (min) / 5 (non-min).
+};
+
+constexpr const char* to_string(RouteMode m) {
+  switch (m) {
+    case RouteMode::Minimal: return "minimal";
+    case RouteMode::Valiant: return "valiant";
+    case RouteMode::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+constexpr const char* to_string(VcScheme s) {
+  switch (s) {
+    case VcScheme::Baseline: return "baseline";
+    case VcScheme::Reduced: return "reduced";
+    case VcScheme::ReducedSafe: return "reduced-safe";
+  }
+  return "?";
+}
+
+/// VCs required on every channel of a switch-less Dragonfly network.
+/// Adaptive routing can take the Valiant path, so it needs the same VC
+/// budget as Valiant.
+constexpr int swless_num_vcs(VcScheme s, RouteMode m) {
+  const bool min_only = m == RouteMode::Minimal;
+  switch (s) {
+    case VcScheme::Baseline: return min_only ? 4 : 6;
+    case VcScheme::Reduced: return min_only ? 3 : 4;
+    case VcScheme::ReducedSafe: return min_only ? 4 : 5;
+  }
+  return 4;
+}
+
+/// VCs for the switch-based Dragonfly baseline (Kim et al.).
+constexpr int swdf_num_vcs(RouteMode m) {
+  return m == RouteMode::Minimal ? 2 : 3;
+}
+
+}  // namespace sldf::route

@@ -1,0 +1,213 @@
+#include "route/swless_routing.hpp"
+
+#include <cassert>
+
+namespace sldf::route {
+
+using sim::RoutePhase;
+using topo::SwlessTopo;
+
+namespace {
+
+/// Buffered-flit occupancy of a channel, read from the upstream output
+/// port's credit counters (UGAL-L congestion signal).
+int channel_occupancy(const sim::Network& net, ChanId c) {
+  if (c == kInvalidChan) return 0;
+  const auto& ch = net.chan(c);
+  const auto& op = net.router(ch.src).out[static_cast<std::size_t>(
+      ch.src_port)];
+  int used = 0;
+  for (const auto& vc : op.vcs) used += net.vc_buf() - vc.credits;
+  return used;
+}
+
+/// The line channel of the global link leaving W-group `wg` toward `peer`.
+ChanId gateway_line(const SwlessTopo& T, std::int32_t wg, std::int32_t peer) {
+  const int link = SwlessTopo::global_link(wg, peer);
+  const auto& gate = T.cgroup(wg, link / T.p.global_ports)
+                         .globals[static_cast<std::size_t>(
+                             link % T.p.global_ports)];
+  return gate.line_out;
+}
+
+}  // namespace
+
+void SwlessRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
+                                Rng& rng) {
+  pkt.vc_class = 0;
+  pkt.phase = RoutePhase::SrcCGroup;
+  pkt.target = kInvalidNode;
+  pkt.exit_chan = kInvalidChan;
+  pkt.mid_wgroup = -1;
+  const auto& T = net.topo<SwlessTopo>();
+  const auto& sloc = T.loc[static_cast<std::size_t>(pkt.src)];
+  const auto& dloc = T.loc[static_cast<std::size_t>(pkt.dst)];
+  const int G = T.p.effective_wgroups();
+  if (mode_ == RouteMode::Minimal || sloc.wg == dloc.wg || G <= 2) return;
+
+  std::int32_t mid;
+  do {
+    mid = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(G)));
+  } while (mid == sloc.wg || mid == dloc.wg);
+
+  if (mode_ == RouteMode::Valiant) {
+    pkt.mid_wgroup = mid;
+    return;
+  }
+  // Adaptive (UGAL-L): misroute via `mid` only when the minimal gateway is
+  // at least twice as congested as the candidate's (the non-minimal path
+  // pays two global hops), with a small threshold to prefer minimal.
+  const int q_min = channel_occupancy(net, gateway_line(T, sloc.wg, dloc.wg));
+  const int q_val = channel_occupancy(net, gateway_line(T, sloc.wg, mid));
+  constexpr int kThreshold = 4;  // flits of slack granted to minimal
+  if (q_min > 2 * q_val + kThreshold) pkt.mid_wgroup = mid;
+}
+
+std::uint8_t SwlessRouting::class_for(RoutePhase np, std::uint8_t cur) const {
+  switch (scheme_) {
+    case VcScheme::Baseline:
+      return static_cast<std::uint8_t>(cur + 1);
+    case VcScheme::Reduced:
+      switch (np) {
+        case RoutePhase::SrcWGroup: return 1;
+        case RoutePhase::MidWEntry:
+        case RoutePhase::MidWExit: return 3;
+        case RoutePhase::DstWEntry:
+        case RoutePhase::DstCGroup: return 2;
+        default: return cur;
+      }
+    case VcScheme::ReducedSafe:
+      if (mode_ == RouteMode::Minimal) {
+        switch (np) {
+          case RoutePhase::SrcWGroup: return 1;
+          case RoutePhase::DstWEntry: return 2;
+          case RoutePhase::DstCGroup: return 3;
+          default: return cur;
+        }
+      }
+      switch (np) {
+        case RoutePhase::SrcWGroup: return 1;
+        case RoutePhase::MidWEntry:
+        case RoutePhase::MidWExit: return 2;
+        case RoutePhase::DstWEntry: return 3;
+        case RoutePhase::DstCGroup: return 4;
+        default: return cur;
+      }
+  }
+  return cur;
+}
+
+void SwlessRouting::plan_leg(const SwlessTopo& T, NodeId router,
+                             sim::Packet& pkt) const {
+  const auto& loc = T.loc[static_cast<std::size_t>(router)];
+  const auto& dloc = T.loc[static_cast<std::size_t>(pkt.dst)];
+  if (pkt.mid_wgroup == loc.wg) pkt.mid_wgroup = -1;  // bounce reached
+
+  if (loc.wg == dloc.wg && loc.cg == dloc.cg) {
+    // Final leg: route within this C-group to the destination core.
+    pkt.target = pkt.dst;
+    pkt.exit_chan = kInvalidChan;
+    pkt.phase = RoutePhase::DstCGroup;
+    return;
+  }
+
+  const auto& inst = T.cgroup(loc.wg, loc.cg);
+  const topo::ExtPort* exit = nullptr;
+  RoutePhase np;
+  if (loc.wg == dloc.wg) {
+    // One local hop to the destination C-group (Algorithm 1 steps 5-6,
+    // or steps 1-2 for intra-W-group traffic).
+    exit = &inst.locals[static_cast<std::size_t>(
+        SwlessTopo::local_index(loc.cg, dloc.cg))];
+    np = RoutePhase::DstCGroup;
+  } else {
+    const int H = T.p.global_ports;
+    const std::int32_t wnext =
+        pkt.mid_wgroup >= 0 ? pkt.mid_wgroup : dloc.wg;
+    const int link = SwlessTopo::global_link(loc.wg, wnext);
+    const int owner = link / H;
+    if (owner == loc.cg) {
+      exit = &inst.globals[static_cast<std::size_t>(link % H)];
+      np = (wnext == dloc.wg) ? RoutePhase::DstWEntry
+                              : RoutePhase::MidWEntry;
+    } else {
+      exit = &inst.locals[static_cast<std::size_t>(
+          SwlessTopo::local_index(loc.cg, owner))];
+      np = (pkt.phase == RoutePhase::MidWEntry) ? RoutePhase::MidWExit
+                                                : RoutePhase::SrcWGroup;
+    }
+  }
+  assert(exit->exit_chan != kInvalidChan && "unwired external port");
+  pkt.target = exit->host;
+  pkt.exit_chan = exit->exit_chan;
+  pkt.next_phase = np;
+  pkt.next_class = class_for(np, pkt.vc_class);
+}
+
+int SwlessRouting::mesh_dir(const SwlessTopo& T, const sim::Packet& pkt,
+                            int cur_pos, int tgt_pos) const {
+  bool mono = false;
+  if (scheme_ == VcScheme::Reduced) {
+    mono = pkt.phase == RoutePhase::MidWEntry ||
+           pkt.phase == RoutePhase::MidWExit ||
+           pkt.phase == RoutePhase::DstWEntry;
+  } else if (scheme_ == VcScheme::ReducedSafe) {
+    mono = pkt.phase == RoutePhase::MidWEntry ||
+           pkt.phase == RoutePhase::MidWExit;
+  }
+  if (mono && !T.monotone.empty()) {
+    const int d = T.monotone.dir(tgt_pos, cur_pos);
+    if (d >= 0) return d;
+    // Discipline hole (see DESIGN.md §5): fall back to dimension order.
+  }
+  return xy_dir(T.shape.mx(), cur_pos, tgt_pos);
+}
+
+sim::RouteDecision SwlessRouting::route(const sim::Network& net, NodeId router,
+                                        PortIx in_port, sim::Packet& pkt) {
+  const auto& T = net.topo<SwlessTopo>();
+  const auto& r = net.router(router);
+  const auto vcix = [&] { return static_cast<VcIx>(pkt.vc_class); };
+
+  if (r.kind == NodeKind::IoConverter) {
+    // Port layout: in/out 0 = attach (host side), in/out 1 = line.
+    if (in_port == 0) {
+      // Leaving the C-group: the crossing applies phase and VC class.
+      pkt.phase = pkt.next_phase;
+      pkt.vc_class = pkt.next_class;
+      pkt.target = kInvalidNode;
+      pkt.exit_chan = kInvalidChan;
+      return {static_cast<PortIx>(1), vcix()};
+    }
+    return {static_cast<PortIx>(0), vcix()};
+  }
+
+  if (router == pkt.dst) return {r.eject_port, vcix()};
+  if (pkt.target == kInvalidNode) plan_leg(T, router, pkt);
+
+  if (router == pkt.target) {
+    const PortIx out = net.chan(pkt.exit_chan).src_port;
+    if (!T.p.io_converters) {
+      // No conversion modules (small-scale variant): the crossing happens
+      // here and the line channel carries the next class.
+      pkt.phase = pkt.next_phase;
+      pkt.vc_class = pkt.next_class;
+      pkt.target = kInvalidNode;
+      pkt.exit_chan = kInvalidChan;
+    }
+    return {out, vcix()};
+  }
+
+  const auto& loc = T.loc[static_cast<std::size_t>(router)];
+  const auto& tloc = T.loc[static_cast<std::size_t>(pkt.target)];
+  assert(tloc.wg == loc.wg && tloc.cg == loc.cg && tloc.pos >= 0);
+  const int d = mesh_dir(T, pkt, loc.pos, tloc.pos);
+  assert(d >= 0);
+  const auto& inst = T.cgroup(loc.wg, loc.cg);
+  const ChanId c = inst.mesh_out[static_cast<std::size_t>(loc.pos)]
+                                [static_cast<std::size_t>(d)];
+  assert(c != kInvalidChan);
+  return {net.chan(c).src_port, vcix()};
+}
+
+}  // namespace sldf::route

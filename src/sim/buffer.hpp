@@ -1,0 +1,56 @@
+// Fixed-capacity ring buffer for one virtual channel's input FIFO.
+// Storage is allocated lazily on first push so that huge idle networks stay
+// memory-cheap.
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "sim/flit.hpp"
+
+namespace sldf::sim {
+
+class VcFifo {
+ public:
+  VcFifo() = default;
+  explicit VcFifo(std::uint32_t capacity) : cap_(capacity) {}
+
+  void set_capacity(std::uint32_t capacity) {
+    assert(size_ == 0);
+    cap_ = capacity;
+    buf_.reset();
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const { return cap_; }
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == cap_; }
+
+  void push(Flit f) {
+    assert(size_ < cap_);
+    if (!buf_) buf_ = std::make_unique<Flit[]>(cap_);
+    buf_[(head_ + size_) % cap_] = f;
+    ++size_;
+  }
+
+  [[nodiscard]] const Flit& front() const {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  Flit pop() {
+    assert(size_ > 0);
+    const Flit f = buf_[head_];
+    head_ = (head_ + 1) % cap_;
+    --size_;
+    return f;
+  }
+
+ private:
+  std::unique_ptr<Flit[]> buf_;
+  std::uint32_t cap_ = 0;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace sldf::sim

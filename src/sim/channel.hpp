@@ -1,0 +1,56 @@
+// Unidirectional channel: static wiring plus a token bucket modeling the
+// (possibly fractional) bandwidth. In-flight flits and credits live in the
+// Simulator's timing wheel, which preserves per-channel FIFO order because
+// latency is constant per channel.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/flit.hpp"
+
+namespace sldf::sim {
+
+struct Channel {
+  // --- static wiring (set by the topology builder) ---
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PortIx src_port = kInvalidPort;  ///< Output-port index at src.
+  PortIx dst_port = kInvalidPort;  ///< Input-port index at dst.
+  std::uint8_t latency = 1;        ///< Pipeline depth in cycles (>= 1).
+  /// Bandwidth is width_num/width_den flits per cycle. Fractional widths
+  /// model chiplet-boundary edges carrying n/4 links spread over the
+  /// boundary routers (e.g. 3/4 flit/cycle per router pair for n=6).
+  std::uint16_t width_num = 1;
+  std::uint16_t width_den = 1;
+  LinkType type = LinkType::OnChip;
+
+  // Token bucket (micro-tokens scaled by width_den): each cycle adds
+  // width_num tokens, capped at width_num + width_den so idle periods do
+  // not accumulate unbounded burst; sending one flit costs width_den.
+  // The bucket starts full.
+  std::uint32_t tokens = 0;
+  Cycle token_cycle = 0;
+
+  [[nodiscard]] std::uint32_t token_cap() const {
+    return static_cast<std::uint32_t>(width_num) +
+           static_cast<std::uint32_t>(width_den);
+  }
+  void reset_tokens() {
+    tokens = token_cap();
+    token_cycle = 0;
+  }
+  void refresh_tokens(Cycle now) {
+    if (now > token_cycle) {
+      const std::uint64_t add =
+          static_cast<std::uint64_t>(now - token_cycle) * width_num + tokens;
+      const std::uint32_t cap = token_cap();
+      tokens = static_cast<std::uint32_t>(add > cap ? cap : add);
+      token_cycle = now;
+    }
+  }
+  [[nodiscard]] int flit_allowance() const { return tokens / width_den; }
+  void consume_token() { tokens -= width_den; }
+};
+
+}  // namespace sldf::sim

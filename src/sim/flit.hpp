@@ -1,0 +1,88 @@
+// Flits and packets. Flits are 8-byte handles into a central packet pool so
+// that VC buffers and channel pipelines stay compact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sldf::sim {
+
+struct Flit {
+  PacketId pkt = kInvalidPacket;
+  std::uint16_t idx = 0;  ///< Position within the packet (0 == head).
+  std::uint8_t head = 0;
+  std::uint8_t tail = 0;
+};
+static_assert(sizeof(Flit) == 8);
+
+/// Routing FSM phase for hierarchical (switch-less Dragonfly) routing.
+/// Stored per packet; interpreted by the active RoutingAlgorithm.
+enum class RoutePhase : std::uint8_t {
+  SrcCGroup = 0,    ///< In the source C-group (Cs).
+  SrcWGroup = 1,    ///< In the source W-group's gateway C-group (Cb).
+  MidWEntry = 2,    ///< Non-minimal: entry C-group of the intermediate W (Ce).
+  MidWExit = 3,     ///< Non-minimal: exit C-group of the intermediate W (Cf).
+  DstWEntry = 4,    ///< In the destination W-group's entry C-group (Cc).
+  DstCGroup = 5,    ///< In the destination C-group (Cd).
+};
+
+struct Packet {
+  NodeId src = kInvalidNode;      ///< Source router (terminal host).
+  NodeId dst = kInvalidNode;      ///< Destination router (terminal host).
+  ChipId src_chip = kInvalidChip;
+  ChipId dst_chip = kInvalidChip;
+  std::uint16_t len = 0;          ///< Total flits.
+  std::uint16_t flits_ejected = 0;
+
+  // --- routing state (owned by the routing algorithm) ---
+  RoutePhase phase = RoutePhase::SrcCGroup;
+  RoutePhase next_phase = RoutePhase::SrcCGroup;  ///< Applied on the next
+                                                  ///< inter-C-group crossing.
+  std::uint8_t vc_class = 0;      ///< Current VC class (maps to a VC index).
+  std::uint8_t next_class = 0;    ///< VC class after the crossing.
+  std::int32_t mid_wgroup = -1;   ///< Valiant intermediate W/group (-1: minimal).
+  NodeId target = kInvalidNode;   ///< Intra-C-group target router.
+  std::int32_t exit_chan = kInvalidChan;  ///< Channel to take when at target.
+  std::int32_t entry_node = kInvalidNode; ///< Router where this C-group was
+                                          ///< entered (monotone-path schemes).
+
+  // --- measurement ---
+  Cycle t_gen = 0;     ///< Cycle the packet was created (enters source queue).
+  Cycle t_eject = 0;   ///< Cycle the tail flit was consumed at the destination.
+  std::uint16_t hops[kNumLinkTypes] = {};  ///< Head-flit hops per link type.
+  std::uint8_t measured = 0;  ///< 1 if generated inside the measurement window.
+
+  [[nodiscard]] Cycle latency() const { return t_eject - t_gen; }
+};
+
+/// Free-list pool of packets. PacketIds are stable until release().
+class PacketPool {
+ public:
+  PacketId acquire() {
+    if (!free_.empty()) {
+      const PacketId id = free_.back();
+      free_.pop_back();
+      slots_[id] = Packet{};
+      return id;
+    }
+    slots_.emplace_back();
+    return static_cast<PacketId>(slots_.size() - 1);
+  }
+
+  void release(PacketId id) { free_.push_back(id); }
+
+  Packet& operator[](PacketId id) { return slots_[id]; }
+  const Packet& operator[](PacketId id) const { return slots_[id]; }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t live() const { return slots_.size() - free_.size(); }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketId> free_;
+};
+
+}  // namespace sldf::sim

@@ -1,0 +1,122 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace sldf::sim {
+
+NodeId Network::add_router(NodeKind kind) {
+  Router r;
+  r.kind = kind;
+  routers_.push_back(std::move(r));
+  node_chip_.push_back(kInvalidChip);
+  return static_cast<NodeId>(routers_.size() - 1);
+}
+
+ChanId Network::add_channel(NodeId src, NodeId dst, LinkType type, int latency,
+                            int width_num, int width_den) {
+  if (latency < 1) throw std::invalid_argument("channel latency must be >= 1");
+  if (width_num < 1 || width_den < 1)
+    throw std::invalid_argument("channel width must be positive");
+  Channel c;
+  c.src = src;
+  c.dst = dst;
+  c.type = type;
+  c.latency = static_cast<std::uint8_t>(latency);
+  c.width_num = static_cast<std::uint16_t>(width_num);
+  c.width_den = static_cast<std::uint16_t>(width_den);
+  c.reset_tokens();
+
+  Router& rs = router(src);
+  Router& rd = router(dst);
+  c.src_port = static_cast<PortIx>(rs.out.size());
+  c.dst_port = static_cast<PortIx>(rd.in.size());
+
+  const ChanId id = static_cast<ChanId>(channels_.size());
+  OutputPort op;
+  op.out_chan = id;
+  rs.out.push_back(std::move(op));
+  InputPort ip;
+  ip.in_chan = id;
+  rd.in.push_back(std::move(ip));
+
+  channels_.push_back(std::move(c));
+  return id;
+}
+
+ChanId Network::add_duplex(NodeId a, NodeId b, LinkType type, int latency,
+                           int width_num, int width_den) {
+  const ChanId fwd = add_channel(a, b, type, latency, width_num, width_den);
+  add_channel(b, a, type, latency, width_num, width_den);
+  return fwd;
+}
+
+void Network::make_terminal(NodeId core, ChipId chip) {
+  Router& r = router(core);
+  if (r.has_terminal()) throw std::logic_error("terminal already attached");
+  // Injection input port.
+  InputPort ip;
+  ip.in_chan = kInvalidChan;
+  r.inj_port = static_cast<PortIx>(r.in.size());
+  r.in.push_back(std::move(ip));
+  // Ejection output port.
+  OutputPort op;
+  op.out_chan = kInvalidChan;
+  r.eject_port = static_cast<PortIx>(r.out.size());
+  r.out.push_back(std::move(op));
+
+  if (chip >= static_cast<ChipId>(chip_nodes_.size()))
+    chip_nodes_.resize(static_cast<std::size_t>(chip) + 1);
+  chip_nodes_[static_cast<std::size_t>(chip)].push_back(core);
+  node_chip_[static_cast<std::size_t>(core)] = chip;
+  terminal_nodes_.push_back(core);
+}
+
+void Network::finalize(int num_vcs, int vc_buf_flits) {
+  if (num_vcs < 1 || vc_buf_flits < 1)
+    throw std::invalid_argument("finalize: bad vc configuration");
+  num_vcs_ = num_vcs;
+  vc_buf_ = vc_buf_flits;
+  for (auto& r : routers_) {
+    for (auto& ip : r.in) {
+      ip.vcs.clear();
+      ip.vcs.resize(static_cast<std::size_t>(num_vcs));
+      for (auto& vc : ip.vcs)
+        vc.fifo.set_capacity(static_cast<std::uint32_t>(vc_buf_flits));
+    }
+    for (auto& op : r.out) {
+      op.vcs.assign(static_cast<std::size_t>(num_vcs), OutputVc{});
+      for (auto& vc : op.vcs) vc.credits = vc_buf_flits;
+      op.requesters.clear();
+      op.rr = 0;
+    }
+  }
+}
+
+void Network::reset_dynamic_state() {
+  for (auto& r : routers_) {
+    r.in_active_list = false;
+    r.buffered = 0;
+    for (auto& ip : r.in) {
+      ip.buffered = 0;
+      for (auto& vc : ip.vcs) {
+        vc.state = IvcState::Idle;
+        vc.out_port = kInvalidPort;
+        vc.out_vc = kInvalidVc;
+        while (!vc.fifo.empty()) vc.fifo.pop();
+      }
+    }
+    for (auto& op : r.out) {
+      for (auto& vc : op.vcs) {
+        vc.busy = false;
+        vc.owner_port = kInvalidPort;
+        vc.owner_vc = kInvalidVc;
+        vc.credits = vc_buf_;
+      }
+      op.requesters.clear();
+      op.rr = 0;
+    }
+  }
+  for (auto& c : channels_) c.reset_tokens();
+}
+
+}  // namespace sldf::sim

@@ -1,0 +1,111 @@
+// The Network: routers + channels + chip/terminal registry + routing.
+// Builders in src/topo construct it; the Simulator animates it.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/channel.hpp"
+#include "sim/router.hpp"
+#include "sim/routing.hpp"
+
+namespace sldf::sim {
+
+/// Base class for topology-specific metadata attached to a Network.
+/// Concrete builders derive from this; routing algorithms downcast.
+struct TopoInfo {
+  virtual ~TopoInfo() = default;
+};
+
+class Network {
+ public:
+  // ---- construction (topology builders) ----
+  NodeId add_router(NodeKind kind);
+
+  /// Adds a unidirectional channel and the corresponding output/input ports.
+  /// Bandwidth is width_num/width_den flits per cycle.
+  ChanId add_channel(NodeId src, NodeId dst, LinkType type, int latency,
+                     int width_num = 1, int width_den = 1);
+
+  /// Adds a channel pair (src->dst and dst->src) with identical parameters.
+  /// Returns the id of the src->dst channel (the reverse is id+1).
+  ChanId add_duplex(NodeId a, NodeId b, LinkType type, int latency,
+                    int width_num = 1, int width_den = 1);
+
+  /// Registers `core` as a terminal belonging to `chip` (creates the
+  /// injection input port and ejection output port).
+  void make_terminal(NodeId core, ChipId chip);
+
+  /// Sizes all VC arrays and initializes credits. Call once after wiring.
+  void finalize(int num_vcs, int vc_buf_flits);
+
+  void set_routing(std::unique_ptr<RoutingAlgorithm> routing) {
+    routing_ = std::move(routing);
+  }
+  void set_topo_info(std::unique_ptr<TopoInfo> info) {
+    topo_ = std::move(info);
+  }
+
+  /// Clears all dynamic state (buffers, pipelines, allocations) so a network
+  /// can be re-simulated without rebuilding the topology.
+  void reset_dynamic_state();
+
+  // ---- accessors ----
+  [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+  [[nodiscard]] std::size_t num_chips() const { return chip_nodes_.size(); }
+  [[nodiscard]] int num_vcs() const { return num_vcs_; }
+  [[nodiscard]] int vc_buf() const { return vc_buf_; }
+  [[nodiscard]] bool finalized() const { return num_vcs_ > 0; }
+
+  Router& router(NodeId id) { return routers_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Router& router(NodeId id) const {
+    return routers_[static_cast<std::size_t>(id)];
+  }
+  Channel& chan(ChanId id) { return channels_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Channel& chan(ChanId id) const {
+    return channels_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& chip_nodes(ChipId chip) const {
+    return chip_nodes_[static_cast<std::size_t>(chip)];
+  }
+  [[nodiscard]] ChipId chip_of(NodeId node) const {
+    return node_chip_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] const std::vector<NodeId>& terminals() const {
+    return terminal_nodes_;
+  }
+
+  [[nodiscard]] RoutingAlgorithm* routing() const { return routing_.get(); }
+  [[nodiscard]] const TopoInfo* topo_info() const { return topo_.get(); }
+  template <typename T>
+  [[nodiscard]] const T& topo() const {
+    const auto* t = dynamic_cast<const T*>(topo_.get());
+    assert(t && "topology info type mismatch");
+    return *t;
+  }
+
+  /// Convenience: output-port index at chan's source router.
+  [[nodiscard]] PortIx out_port_of(ChanId c) const {
+    return chan(c).src_port;
+  }
+
+  std::vector<Router>& routers() { return routers_; }
+  std::vector<Channel>& channels() { return channels_; }
+
+ private:
+  std::vector<Router> routers_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<NodeId>> chip_nodes_;
+  std::vector<ChipId> node_chip_;
+  std::vector<NodeId> terminal_nodes_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::unique_ptr<TopoInfo> topo_;
+  int num_vcs_ = 0;
+  int vc_buf_ = 0;
+};
+
+}  // namespace sldf::sim

@@ -1,0 +1,37 @@
+// Routing algorithm interface. Route computation runs once per packet per
+// router (when the head flit reaches the front of an Idle input VC).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/flit.hpp"
+
+namespace sldf::sim {
+
+class Network;
+
+struct RouteDecision {
+  PortIx out_port = kInvalidPort;
+  VcIx out_vc = kInvalidVc;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  /// Called at packet creation so the algorithm can seed per-packet routing
+  /// state (initial VC class, Valiant intermediate group, ...).
+  virtual void init_packet(const Network& net, Packet& pkt, Rng& rng) = 0;
+
+  /// Computes the next hop for `pkt` whose head flit sits at `router`,
+  /// having arrived through input port `in_port` (the injection port for
+  /// freshly injected packets). May mutate the packet's routing state
+  /// (phase, target, vc_class). Returning the router's eject port delivers
+  /// the packet.
+  virtual RouteDecision route(const Network& net, NodeId router,
+                              PortIx in_port, Packet& pkt) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace sldf::sim

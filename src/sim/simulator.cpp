@@ -1,0 +1,317 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sldf::sim {
+
+Simulator::Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic)
+    : net_(net), cfg_(cfg), traffic_(traffic), rng_(cfg.seed) {
+  if (!net_.finalized())
+    throw std::logic_error("Simulator: network not finalized");
+  if (!net_.routing())
+    throw std::logic_error("Simulator: network has no routing algorithm");
+  if (net_.num_chips() == 0)
+    throw std::logic_error("Simulator: network has no chips");
+
+  const double nodes_per_chip =
+      static_cast<double>(net_.terminals().size()) /
+      static_cast<double>(net_.num_chips());
+  per_node_pkt_rate_ = cfg_.inj_rate_per_chip / nodes_per_chip /
+                       static_cast<double>(cfg_.pkt_len);
+
+  // Wheel size: next power of two above the maximum channel latency.
+  std::size_t max_lat = 1;
+  for (std::size_t i = 0; i < net_.num_channels(); ++i)
+    max_lat = std::max<std::size_t>(
+        max_lat, net_.chan(static_cast<ChanId>(i)).latency);
+  std::size_t w = 1;
+  while (w <= max_lat) w <<= 1;
+  wheel_mask_ = w - 1;
+  wheel_flits_.resize(w);
+  wheel_credits_.resize(w);
+
+  terms_.reserve(net_.terminals().size());
+  for (NodeId n : net_.terminals()) {
+    TerminalState t;
+    t.node = n;
+    t.next_gen = per_node_pkt_rate_ > 0.0
+                     ? rng_.geometric_skip(per_node_pkt_rate_)
+                     : ~0ULL;
+    terms_.push_back(std::move(t));
+  }
+}
+
+void Simulator::generate_and_inject() {
+  const Cycle gen_end = cfg_.warmup + cfg_.measure;
+  for (auto& t : terms_) {
+    // --- generation (geometric-skip Bernoulli source) ---
+    while (t.next_gen <= now_) {
+      const Cycle when = t.next_gen;
+      const auto skip = rng_.geometric_skip(per_node_pkt_rate_);
+      t.next_gen = (skip >= ~0ULL - when - 1) ? ~0ULL : when + 1 + skip;
+      if (when >= gen_end + cfg_.drain) break;  // past simulation horizon
+      if (static_cast<int>(t.queue.size()) >= cfg_.max_src_queue) {
+        ++suppressed_;
+        continue;
+      }
+      const NodeId dst = traffic_.dest(net_, t.node, rng_);
+      if (dst == kInvalidNode) continue;
+      const PacketId pid = pool_.acquire();
+      Packet& p = pool_[pid];
+      p.src = t.node;
+      p.dst = dst;
+      p.src_chip = net_.chip_of(t.node);
+      p.dst_chip = net_.chip_of(dst);
+      p.len = static_cast<std::uint16_t>(cfg_.pkt_len);
+      p.t_gen = when;
+      p.measured = (when >= cfg_.warmup && when < gen_end) ? 1 : 0;
+      if (p.measured) ++generated_measured_;
+      net_.routing()->init_packet(net_, p, rng_);
+      t.queue.push_back(pid);
+    }
+    // --- injection: one flit per cycle into the injection port ---
+    if (t.queue.empty()) continue;
+    Router& r = net_.router(t.node);
+    InputPort& ip = r.in[static_cast<std::size_t>(r.inj_port)];
+    const PacketId pid = t.queue.front();
+    Packet& p = pool_[pid];
+    if (t.pushed == 0) t.inj_vc = static_cast<VcIx>(p.vc_class);
+    InputVc& ivc = ip.vcs[static_cast<std::size_t>(t.inj_vc)];
+    if (!ivc.fifo.full()) {
+      Flit f;
+      f.pkt = pid;
+      f.idx = t.pushed;
+      f.head = (t.pushed == 0);
+      f.tail = (t.pushed + 1 == p.len);
+      ivc.fifo.push(f);
+      ++ip.buffered;
+      ++r.buffered;
+      activate_router(t.node);
+      if (++t.pushed == p.len) {
+        t.queue.pop_front();
+        t.pushed = 0;
+      }
+    }
+  }
+}
+
+void Simulator::deliver_channels() {
+  auto& flits = wheel_flits_[now_ & wheel_mask_];
+  for (const auto& ev : flits) {
+    Router& rd = net_.router(ev.dst);
+    InputPort& dip = rd.in[static_cast<std::size_t>(ev.dst_port)];
+    InputVc& ivc = dip.vcs[static_cast<std::size_t>(ev.vc)];
+    assert(!ivc.fifo.full() && "credit protocol violated");
+    ivc.fifo.push(ev.flit);
+    ++dip.buffered;
+    ++rd.buffered;
+    activate_router(ev.dst);
+  }
+  flits.clear();
+  auto& credits = wheel_credits_[now_ & wheel_mask_];
+  for (const auto& ev : credits) {
+    Router& rs = net_.router(ev.src);
+    OutputVc& ov = rs.out[static_cast<std::size_t>(ev.src_port)]
+                       .vcs[static_cast<std::size_t>(ev.vc)];
+    ++ov.credits;
+    activate_router(ev.src);
+  }
+  credits.clear();
+}
+
+void Simulator::handle_eject(const Flit& f) {
+  Packet& p = pool_[f.pkt];
+  ++p.flits_ejected;
+  const bool in_window =
+      now_ >= cfg_.warmup && now_ < cfg_.warmup + cfg_.measure;
+  if (in_window) ++accepted_flits_;
+  if (f.tail) {
+    p.t_eject = now_;
+    ++delivered_total_;
+    if (p.measured) {
+      ++delivered_measured_;
+      const auto lat = static_cast<double>(p.latency());
+      lat_.add(lat);
+      lat_hist_.add(lat);
+      for (int h = 0; h < kNumLinkTypes; ++h)
+        hop_sum_[h] += static_cast<double>(p.hops[h]);
+    }
+    pool_.release(f.pkt);
+  }
+}
+
+void Simulator::process_router(NodeId rid) {
+  Router& r = net_.router(rid);
+  const auto nvc = static_cast<std::size_t>(net_.num_vcs());
+
+  // --- RC + VA over input VCs ---
+  for (std::size_t pi = 0; pi < r.in.size(); ++pi) {
+    InputPort& ip = r.in[pi];
+    if (ip.buffered == 0) continue;
+    for (std::size_t vi = 0; vi < nvc; ++vi) {
+      InputVc& ivc = ip.vcs[vi];
+      if (ivc.fifo.empty()) continue;
+      if (ivc.state == IvcState::Idle) {
+        const Flit& f = ivc.fifo.front();
+        assert(f.head && "non-head flit at idle VC");
+        Packet& pkt = pool_[f.pkt];
+        const RouteDecision d = net_.routing()->route(
+            net_, rid, static_cast<PortIx>(pi), pkt);
+        assert(d.out_port >= 0 &&
+               d.out_port < static_cast<PortIx>(r.out.size()));
+        assert(d.out_vc >= 0 && d.out_vc < static_cast<VcIx>(nvc));
+        ivc.out_port = d.out_port;
+        ivc.out_vc = d.out_vc;
+        ivc.state = IvcState::Routed;
+      }
+      if (ivc.state == IvcState::Routed) {
+        OutputPort& op = r.out[static_cast<std::size_t>(ivc.out_port)];
+        OutputVc& ov = op.vcs[static_cast<std::size_t>(ivc.out_vc)];
+        if (!ov.busy) {
+          ov.busy = true;
+          ov.owner_port = static_cast<PortIx>(pi);
+          ov.owner_vc = static_cast<VcIx>(vi);
+          op.requesters.push_back(
+              static_cast<std::uint16_t>((pi << 8) | vi));
+          ivc.state = IvcState::Active;
+        }
+      }
+    }
+  }
+
+  // --- SA + ST per output port ---
+  for (auto& op : r.out) {
+    if (op.requesters.empty()) continue;
+    const bool is_eject = (op.out_chan == kInvalidChan);
+    int budget = 1;  // ejection: one flit per cycle per node
+    if (!is_eject) {
+      Channel& oc = net_.chan(op.out_chan);
+      oc.refresh_tokens(now_);
+      budget = oc.flit_allowance();
+    }
+    for (int grant = 0; grant < budget; ++grant) {
+      const auto nreq = op.requesters.size();
+      std::size_t chosen = nreq;
+      for (std::size_t k = 0; k < nreq; ++k) {
+        const std::size_t idx = (op.rr + k) % nreq;
+        const std::uint16_t enc = op.requesters[idx];
+        InputVc& ivc = r.in[enc >> 8].vcs[enc & 0xff];
+        if (ivc.fifo.empty()) continue;
+        if (!is_eject &&
+            op.vcs[static_cast<std::size_t>(ivc.out_vc)].credits <= 0)
+          continue;
+        chosen = idx;
+        break;
+      }
+      if (chosen == nreq) break;
+      const std::uint16_t enc = op.requesters[chosen];
+      const std::size_t pi = enc >> 8;
+      const std::size_t vi = enc & 0xff;
+      InputPort& ip = r.in[pi];
+      InputVc& ivc = ip.vcs[vi];
+      OutputVc& ov = op.vcs[static_cast<std::size_t>(ivc.out_vc)];
+
+      const Flit f = ivc.fifo.pop();
+      --ip.buffered;
+      --r.buffered;
+      if (ip.in_chan != kInvalidChan) {
+        const Channel& icv = net_.chan(ip.in_chan);
+        wheel_credits_[(now_ + icv.latency) & wheel_mask_].push_back(
+            CreditDelivery{icv.src, icv.src_port, static_cast<VcIx>(vi)});
+      }
+      if (is_eject) {
+        handle_eject(f);
+      } else {
+        Channel& oc = net_.chan(op.out_chan);
+        --ov.credits;
+        oc.consume_token();
+        if (f.head) {
+          Packet& pkt = pool_[f.pkt];
+          ++pkt.hops[static_cast<int>(oc.type)];
+        }
+        wheel_flits_[(now_ + oc.latency) & wheel_mask_].push_back(
+            FlitDelivery{oc.dst, oc.dst_port, ivc.out_vc, f});
+      }
+      if (f.tail) {
+        ov.busy = false;
+        ov.owner_port = kInvalidPort;
+        ov.owner_vc = kInvalidVc;
+        ivc.state = IvcState::Idle;
+        ivc.out_port = kInvalidPort;
+        ivc.out_vc = kInvalidVc;
+        op.requesters.erase(op.requesters.begin() +
+                            static_cast<std::ptrdiff_t>(chosen));
+        if (!op.requesters.empty())
+          op.rr = static_cast<std::uint16_t>(chosen % op.requesters.size());
+        else
+          op.rr = 0;
+      } else {
+        op.rr = static_cast<std::uint16_t>((chosen + 1) % nreq);
+      }
+    }
+  }
+}
+
+void Simulator::step() {
+  deliver_channels();
+  generate_and_inject();
+
+  // Snapshot: routers activated during this pass run next cycle.
+  std::vector<NodeId> snapshot;
+  snapshot.swap(active_routers_);
+  for (NodeId rid : snapshot) net_.router(rid).in_active_list = false;
+  for (NodeId rid : snapshot) {
+    process_router(rid);
+    // Keep the router live while any input VC holds flits.
+    if (net_.router(rid).buffered > 0) activate_router(rid);
+  }
+  ++now_;
+}
+
+SimResult Simulator::run() {
+  const Cycle horizon = cfg_.warmup + cfg_.measure;
+  while (now_ < horizon) step();
+  // Drain: let measured packets land (background traffic keeps flowing).
+  Cycle drained_cycles = 0;
+  while (drained_cycles < cfg_.drain &&
+         delivered_measured_ < generated_measured_) {
+    step();
+    ++drained_cycles;
+  }
+
+  SimResult res;
+  res.offered = cfg_.inj_rate_per_chip;
+  res.accepted = static_cast<double>(accepted_flits_) /
+                 static_cast<double>(cfg_.measure) /
+                 static_cast<double>(net_.num_chips());
+  res.avg_latency = lat_.mean();
+  res.p50_latency = lat_hist_.quantile(0.5);
+  res.p99_latency = lat_hist_.quantile(0.99);
+  res.min_latency = lat_.count() ? lat_.min() : 0.0;
+  res.max_latency = lat_.count() ? lat_.max() : 0.0;
+  res.generated_measured = generated_measured_;
+  res.delivered_measured = delivered_measured_;
+  res.delivered_total = delivered_total_;
+  res.suppressed = suppressed_;
+  res.drained = delivered_measured_ == generated_measured_;
+  res.cycles_run = now_;
+  double total = 0.0;
+  if (delivered_measured_ > 0) {
+    for (int h = 0; h < kNumLinkTypes; ++h) {
+      res.avg_hops[h] =
+          hop_sum_[h] / static_cast<double>(delivered_measured_);
+      total += res.avg_hops[h];
+    }
+  }
+  res.avg_hops_total = total;
+  return res;
+}
+
+SimResult run_sim(Network& net, const SimConfig& cfg, TrafficSource& traffic) {
+  net.reset_dynamic_state();
+  Simulator sim(net, cfg, traffic);
+  return sim.run();
+}
+
+}  // namespace sldf::sim

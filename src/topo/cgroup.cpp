@@ -1,0 +1,169 @@
+#include "topo/cgroup.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "route/mesh_routing.hpp"
+
+namespace sldf::topo {
+
+int CGroupShape::edge_links() const { return ports_per_chiplet; }
+
+void CGroupShape::validate() const {
+  if (chip_gx < 1 || chip_gy < 1 || noc_x < 1 || noc_y < 1)
+    throw std::invalid_argument("CGroupShape: grid dims must be >= 1");
+  if (ports_per_chiplet < 0 || local_ports < 0 || global_ports < 0)
+    throw std::invalid_argument("CGroupShape: negative port counts");
+  if (mesh_width < 1)
+    throw std::invalid_argument("CGroupShape: mesh_width must be >= 1");
+  if (ext_ports() > 0) {
+    const auto rim = perimeter_positions(mx(), my());
+    if (static_cast<std::size_t>(ext_ports()) > 2 * rim.size())
+      throw std::invalid_argument(
+          "CGroupShape: more external ports than 2x perimeter routers");
+  }
+}
+
+namespace {
+
+/// Reduced fraction num/den for the bandwidth of one boundary router pair:
+/// (n/4 links per chiplet edge) / (routers along that edge) * mesh_width.
+std::pair<int, int> boundary_width(int n_ports, int routers_on_edge,
+                                   int mesh_width) {
+  int num = n_ports * mesh_width;
+  int den = 4 * routers_on_edge;
+  const int g = std::gcd(num, den);
+  num /= g;
+  den /= g;
+  if (num < 1) num = den;  // never fall below 1 flit/cycle aggregate... keep >=
+  return {num, den};
+}
+
+}  // namespace
+
+CGroupInstance build_cgroup(sim::Network& net, const CGroupShape& shape,
+                            ChipId first_chip) {
+  shape.validate();
+  CGroupInstance cg;
+  const int MX = shape.mx();
+  const int MY = shape.my();
+  const auto P = static_cast<std::size_t>(MX * MY);
+
+  cg.labels = make_labels(MX, MY, shape.labeling);
+  cg.cores.resize(P, kInvalidNode);
+  cg.mesh_out.assign(P, {kInvalidChan, kInvalidChan, kInvalidChan,
+                         kInvalidChan});
+
+  // Chips (chiplets) in row-major chiplet-grid order.
+  for (int cy = 0; cy < shape.chip_gy; ++cy)
+    for (int cx = 0; cx < shape.chip_gx; ++cx)
+      cg.chips.push_back(first_chip + cy * shape.chip_gx + cx);
+
+  // Core routers with terminals.
+  for (int y = 0; y < MY; ++y) {
+    for (int x = 0; x < MX; ++x) {
+      const auto pos = static_cast<std::size_t>(y * MX + x);
+      const NodeId id = net.add_router(NodeKind::Core);
+      net.router(id).label = cg.labels[pos];
+      const int chip_ix = (y / shape.noc_y) * shape.chip_gx + (x / shape.noc_x);
+      net.make_terminal(id, cg.chips[static_cast<std::size_t>(chip_ix)]);
+      cg.cores[pos] = id;
+    }
+  }
+
+  // Mesh channels. Same-chiplet links are OnChip at full width; chiplet
+  // boundary links get the fractional n/4-derived width (paper Eq. 6).
+  const auto [bw_num_x, bw_den_x] =
+      boundary_width(shape.ports_per_chiplet, shape.noc_y, shape.mesh_width);
+  const auto [bw_num_y, bw_den_y] =
+      boundary_width(shape.ports_per_chiplet, shape.noc_x, shape.mesh_width);
+  for (int y = 0; y < MY; ++y) {
+    for (int x = 0; x < MX; ++x) {
+      const auto pos = static_cast<std::size_t>(y * MX + x);
+      if (x + 1 < MX) {
+        const auto east = pos + 1;
+        const bool same_chip = (x / shape.noc_x) == ((x + 1) / shape.noc_x);
+        const ChanId fwd =
+            same_chip
+                ? net.add_duplex(cg.cores[pos], cg.cores[east],
+                                 LinkType::OnChip, shape.onchip_latency,
+                                 shape.mesh_width)
+                : net.add_duplex(cg.cores[pos], cg.cores[east],
+                                 LinkType::ShortReach, shape.sr_latency,
+                                 bw_num_x, bw_den_x);
+        cg.mesh_out[pos][kEast] = fwd;
+        cg.mesh_out[east][kWest] = fwd + 1;
+      }
+      if (y + 1 < MY) {
+        const auto south = pos + static_cast<std::size_t>(MX);
+        const bool same_chip = (y / shape.noc_y) == ((y + 1) / shape.noc_y);
+        const ChanId fwd =
+            same_chip
+                ? net.add_duplex(cg.cores[pos], cg.cores[south],
+                                 LinkType::OnChip, shape.onchip_latency,
+                                 shape.mesh_width)
+                : net.add_duplex(cg.cores[pos], cg.cores[south],
+                                 LinkType::ShortReach, shape.sr_latency,
+                                 bw_num_y, bw_den_y);
+        cg.mesh_out[pos][kSouth] = fwd;
+        cg.mesh_out[south][kNorth] = fwd + 1;
+      }
+    }
+  }
+
+  // External ports: perimeter hosts by label band — globals on the lowest
+  // labels, locals on the highest (Property 2 analogue). When ports exceed
+  // perimeter routers, each band wraps within itself.
+  if (shape.ext_ports() > 0) {
+    const auto rim = perimeter_by_label(MX, MY, cg.labels);
+    const int R = static_cast<int>(rim.size());
+    const int L = shape.local_ports;
+    const int G = shape.global_ports;
+    int gband = (L > 0) ? std::max(1, R - L) : std::min(G, R);
+    gband = std::min(gband, std::max(G, 1));
+    const int lband = std::max(1, R - gband);
+
+    auto attach = [&](int rim_rank) {
+      ExtPort p;
+      p.host = cg.cores[static_cast<std::size_t>(rim[static_cast<std::size_t>(
+          rim_rank)])];
+      if (shape.io_converters) {
+        p.io = net.add_router(NodeKind::IoConverter);
+        p.exit_chan = net.add_duplex(p.host, p.io, LinkType::ShortReach,
+                                     shape.sr_latency, 1);
+      }
+      return p;
+    };
+    for (int i = 0; i < G; ++i) cg.globals.push_back(attach(i % gband));
+    for (int j = 0; j < L; ++j)
+      cg.locals.push_back(attach(R - 1 - (j % lband)));
+  }
+
+  return cg;
+}
+
+void build_mesh_network(sim::Network& net, const CGroupShape& shape,
+                        int num_vcs, int vc_buf) {
+  auto info = std::make_unique<MeshTopo>();
+  info->shape = shape;
+  info->cg = build_cgroup(net, shape, 0);
+  info->node_pos.assign(net.num_routers(), -1);
+  for (std::size_t p = 0; p < info->cg.cores.size(); ++p)
+    info->node_pos[static_cast<std::size_t>(info->cg.cores[p])] =
+        static_cast<std::int32_t>(p);
+  info->num_cgroups = 1;
+  info->num_wgroups = 1;
+  info->nodes_per_chip = shape.noc_x * shape.noc_y;
+  info->chip_cgroup.assign(net.num_chips(), 0);
+  info->chip_wgroup.assign(net.num_chips(), 0);
+  info->chip_ring_rank.resize(net.num_chips());
+  const auto ring = ring_order(shape.chip_gx, shape.chip_gy);
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    info->chip_ring_rank[static_cast<std::size_t>(ring[i])] =
+        static_cast<std::int32_t>(i);
+  net.set_topo_info(std::move(info));
+  net.set_routing(std::make_unique<route::XyMeshRouting>());
+  net.finalize(num_vcs, vc_buf);
+}
+
+}  // namespace sldf::topo

@@ -1,0 +1,89 @@
+// C-group construction (paper §III-A2, Fig 3b, Fig 9): an m×m grid of
+// chiplets, each chiplet an internal NoC mesh, seamlessly meshed across
+// chiplet boundaries by on-wafer short-reach links whose multiplicity is
+// derived from the chiplet's n/4 edge ports. External (local/global) ports
+// are realized by SR-LR converter nodes attached to perimeter routers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "topo/hier.hpp"
+#include "topo/labeling.hpp"
+
+namespace sldf::topo {
+
+/// Mesh direction encoding used by routing tables.
+enum Dir : int { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3, kNumDirs = 4 };
+
+struct CGroupShape {
+  int chip_gx = 2;  ///< Chiplet columns (paper's m, x-axis).
+  int chip_gy = 2;  ///< Chiplet rows (paper's m, y-axis).
+  int noc_x = 2;    ///< Routers per chiplet, x.
+  int noc_y = 2;    ///< Routers per chiplet, y.
+  int ports_per_chiplet = 6;  ///< Paper's n; n/4 links per chiplet edge.
+  int local_ports = 0;   ///< External ports toward sibling C-groups.
+  int global_ports = 0;  ///< External ports toward other W-groups.
+  Labeling labeling = Labeling::Snake;
+  int onchip_latency = 1;
+  int sr_latency = 1;     ///< On-wafer short-reach latency (Table IV: 1).
+  int mesh_width = 1;     ///< Intra-C-group bandwidth multiplier (2B/4B).
+  bool io_converters = true;  ///< Model SR-LR conversion hops as nodes.
+
+  [[nodiscard]] int mx() const { return chip_gx * noc_x; }
+  [[nodiscard]] int my() const { return chip_gy * noc_y; }
+  [[nodiscard]] int routers() const { return mx() * my(); }
+  [[nodiscard]] int chips() const { return chip_gx * chip_gy; }
+  [[nodiscard]] int ext_ports() const { return local_ports + global_ports; }
+  /// Full-duplex links crossing one chiplet-to-chiplet boundary edge.
+  [[nodiscard]] int edge_links() const;
+  void validate() const;
+};
+
+/// One external port of a C-group.
+struct ExtPort {
+  NodeId io = kInvalidNode;    ///< SR-LR converter node (kInvalidNode if
+                               ///< io_converters is off).
+  NodeId host = kInvalidNode;  ///< Perimeter core hosting the port.
+  ChanId exit_chan = kInvalidChan;   ///< host->io (or the line itself when
+                                     ///< converters are off; set by parent).
+  ChanId line_out = kInvalidChan;    ///< io->peer line channel (parent fills).
+  ChanId line_in = kInvalidChan;     ///< peer->io line channel (parent fills).
+};
+
+/// A built C-group inside some Network.
+struct CGroupInstance {
+  std::vector<NodeId> cores;   ///< Router ids, index = y*mx + x.
+  std::vector<ChipId> chips;   ///< Chip ids, chiplet-grid row-major.
+  std::vector<std::array<ChanId, kNumDirs>> mesh_out;  ///< Per position.
+  std::vector<std::int32_t> labels;  ///< Per position (shape labeling).
+  std::vector<ExtPort> locals;
+  std::vector<ExtPort> globals;
+
+  [[nodiscard]] NodeId core_at(int mx, int x, int y) const {
+    return cores[static_cast<std::size_t>(y * mx + x)];
+  }
+};
+
+/// Builds the routers/channels of one C-group into `net`, creating chips
+/// starting at `first_chip`. If `shape.io_converters`, each external port
+/// gets an IoConverter node with an SR attach duplex; line channels are the
+/// caller's responsibility (ExtPort::line_*).
+CGroupInstance build_cgroup(sim::Network& net, const CGroupShape& shape,
+                            ChipId first_chip);
+
+/// Standalone C-group network (Fig 10a's "2D-Mesh"): topology info.
+struct MeshTopo : HierTopo {
+  CGroupShape shape;
+  CGroupInstance cg;
+  std::vector<std::int32_t> node_pos;  ///< Position (y*mx+x) per router id.
+};
+
+/// Builds a standalone single-C-group mesh network with XY routing and
+/// `num_vcs` VCs (1 is sufficient for deadlock freedom with XY).
+void build_mesh_network(sim::Network& net, const CGroupShape& shape,
+                        int num_vcs, int vc_buf);
+
+}  // namespace sldf::topo

@@ -1,0 +1,139 @@
+#include "topo/dragonfly.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "route/dragonfly_routing.hpp"
+
+namespace sldf::topo {
+
+void SwDragonflyParams::validate() const {
+  if (switches_per_group < 1 || terminals_per_switch < 1 ||
+      globals_per_switch < 0)
+    throw std::invalid_argument("SwDragonflyParams: bad counts");
+  if (effective_groups() > max_groups())
+    throw std::invalid_argument("SwDragonflyParams: groups exceed S*h+1");
+  if (effective_groups() > 1 && globals_per_switch < 1)
+    throw std::invalid_argument(
+        "SwDragonflyParams: multi-group network needs global ports");
+}
+
+void build_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p) {
+  p.validate();
+  auto info = std::make_unique<SwDfTopo>();
+  info->p = p;
+  const int G = p.effective_groups();
+  const int S = p.switches_per_group;
+  const int T = p.terminals_per_switch;
+  const int H = p.globals_per_switch;
+
+  // Switches then terminals.
+  for (int g = 0; g < G; ++g) {
+    for (int s = 0; s < S; ++s) {
+      const NodeId sw = net.add_router(NodeKind::Switch);
+      info->switches.push_back(sw);
+      for (int t = 0; t < T; ++t) {
+        const NodeId term = net.add_router(NodeKind::Core);
+        const ChipId chip = static_cast<ChipId>(((g * S) + s) * T + t);
+        net.make_terminal(term, chip);
+        info->terminals.push_back(term);
+        const ChanId up = net.add_channel(term, sw, LinkType::Terminal,
+                                          p.term_latency);
+        const ChanId down = net.add_channel(sw, term, LinkType::Terminal,
+                                            p.term_latency);
+        info->up_chan.push_back(up);
+        info->down_chan.push_back(down);
+      }
+    }
+  }
+
+  // Locals: full mesh within each group.
+  info->local_chan.assign(
+      static_cast<std::size_t>(G) * static_cast<std::size_t>(S) *
+          static_cast<std::size_t>(std::max(S - 1, 0)),
+      kInvalidChan);
+  for (int g = 0; g < G; ++g) {
+    for (int a = 0; a < S; ++a) {
+      for (int b = a + 1; b < S; ++b) {
+        const ChanId fwd =
+            net.add_duplex(info->switch_at(g, a), info->switch_at(g, b),
+                           LinkType::LongReachLocal, p.local_latency);
+        const auto base_a = static_cast<std::size_t>((g * S + a) * (S - 1));
+        const auto base_b = static_cast<std::size_t>((g * S + b) * (S - 1));
+        info->local_chan[base_a +
+                         static_cast<std::size_t>(SwDfTopo::local_index(a, b))] =
+            fwd;
+        info->local_chan[base_b +
+                         static_cast<std::size_t>(SwDfTopo::local_index(b, a))] =
+            fwd + 1;
+      }
+    }
+  }
+
+  // Globals: one link per group pair; link l within a group is owned by
+  // switch l / H, port l % H (consecutive assignment).
+  info->global_chan.assign(static_cast<std::size_t>(G) *
+                               static_cast<std::size_t>(S) *
+                               static_cast<std::size_t>(std::max(H, 1)),
+                           kInvalidChan);
+  for (int ga = 0; ga < G; ++ga) {
+    for (int gb = ga + 1; gb < G; ++gb) {
+      const int la = SwDfTopo::global_link(ga, gb);
+      const int lb = SwDfTopo::global_link(gb, ga);
+      const NodeId sa = info->switch_at(ga, la / H);
+      const NodeId sb = info->switch_at(gb, lb / H);
+      const ChanId fwd =
+          net.add_duplex(sa, sb, LinkType::LongReachGlobal, p.global_latency);
+      info->global_chan[static_cast<std::size_t>(
+          (ga * S + la / H) * H + la % H)] = fwd;
+      info->global_chan[static_cast<std::size_t>(
+          (gb * S + lb / H) * H + lb % H)] = fwd + 1;
+    }
+  }
+
+  // Locations + hierarchy tables.
+  info->loc.assign(net.num_routers(), {});
+  for (int g = 0; g < G; ++g) {
+    for (int s = 0; s < S; ++s) {
+      const NodeId sw = info->switch_at(g, s);
+      info->loc[static_cast<std::size_t>(sw)] = {g, s, -1};
+      for (int t = 0; t < T; ++t) {
+        const NodeId term = info->terminals[static_cast<std::size_t>(
+            (g * S + s) * T + t)];
+        info->loc[static_cast<std::size_t>(term)] = {g, s, t};
+      }
+    }
+  }
+  info->num_cgroups = G * S;  // a "C-group" is a switch in this baseline
+  info->num_wgroups = G;
+  info->nodes_per_chip = 1;
+  info->chip_cgroup.resize(net.num_chips());
+  info->chip_wgroup.resize(net.num_chips());
+  info->chip_ring_rank.resize(net.num_chips());
+  for (ChipId c = 0; c < static_cast<ChipId>(net.num_chips()); ++c) {
+    info->chip_cgroup[static_cast<std::size_t>(c)] = c / T;
+    info->chip_wgroup[static_cast<std::size_t>(c)] = c / (S * T);
+    info->chip_ring_rank[static_cast<std::size_t>(c)] = c % T;
+  }
+
+  const auto mode = p.mode;
+  const int vpc = std::max(1, p.vcs_per_class);
+  net.set_topo_info(std::move(info));
+  net.set_routing(std::make_unique<route::DragonflyRouting>(mode, vpc));
+  net.finalize(route::swdf_num_vcs(mode) * vpc, p.vc_buf);
+}
+
+void build_crossbar(sim::Network& net, int terminals, int term_latency) {
+  SwDragonflyParams p;
+  p.switches_per_group = 1;
+  p.terminals_per_switch = terminals;
+  p.globals_per_switch = 0;
+  p.groups = 1;
+  p.term_latency = term_latency;
+  p.local_latency = term_latency;
+  p.global_latency = term_latency;
+  p.mode = route::RouteMode::Minimal;
+  build_sw_dragonfly(net, p);
+}
+
+}  // namespace sldf::topo

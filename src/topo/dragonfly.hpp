@@ -1,0 +1,81 @@
+// Switch-based Dragonfly baseline (Kim et al. [3], Slingshot-style):
+// groups of fully-connected switches, groups all-to-all connected via
+// per-switch global ports; terminals hang off switches. Switches are
+// modeled as single ideal routers, as in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/routing_modes.hpp"
+#include "sim/network.hpp"
+#include "topo/hier.hpp"
+
+namespace sldf::topo {
+
+struct SwDragonflyParams {
+  int switches_per_group = 8;     ///< S (paper a): radix-16 config uses 8.
+  int terminals_per_switch = 4;   ///< T (paper t): 4 for radix-16.
+  int globals_per_switch = 5;     ///< h: 5 for radix-16.
+  int groups = 0;                 ///< g; 0 selects the maximum S*h + 1.
+  int term_latency = 8;           ///< Terminal link delay (H*_l).
+  int local_latency = 8;          ///< Intra-group link delay (H_l).
+  int global_latency = 8;         ///< Inter-group link delay (H_g).
+  route::RouteMode mode = route::RouteMode::Minimal;
+  int vc_buf = 32;
+  /// VCs per class, destination-hashed (VOQ-style) to approximate the
+  /// paper's ideal non-blocking switches (input-queued switches with one
+  /// VC per class cap near ~72% uniform throughput from HOL blocking).
+  int vcs_per_class = 4;
+
+  [[nodiscard]] int max_groups() const {
+    return switches_per_group * globals_per_switch + 1;
+  }
+  [[nodiscard]] int effective_groups() const {
+    return groups > 0 ? groups : max_groups();
+  }
+  [[nodiscard]] int num_chips() const {
+    return effective_groups() * switches_per_group * terminals_per_switch;
+  }
+  void validate() const;
+};
+
+struct SwDfTopo : HierTopo {
+  SwDragonflyParams p;
+  /// Per-node location: switches have term < 0.
+  struct Loc {
+    std::int32_t group = -1;
+    std::int32_t sw = -1;     ///< Switch index within the group.
+    std::int32_t term = -1;   ///< Terminal index within the switch, or -1.
+  };
+  std::vector<Loc> loc;                 ///< Indexed by NodeId.
+  std::vector<NodeId> switches;         ///< [group * S + sw].
+  std::vector<NodeId> terminals;        ///< [(group*S + sw) * T + t].
+  std::vector<ChanId> down_chan;        ///< switch->terminal, same indexing.
+  std::vector<ChanId> up_chan;          ///< terminal->switch, same indexing.
+  std::vector<ChanId> local_chan;       ///< [(group*S+sw)*(S-1) + i].
+  std::vector<ChanId> global_chan;      ///< [(group*S+sw)*h + q].
+
+  [[nodiscard]] NodeId switch_at(int group, int sw) const {
+    return switches[static_cast<std::size_t>(group * p.switches_per_group +
+                                             sw)];
+  }
+  /// Local port index at switch `from` toward switch `to` (consecutive,
+  /// skipping self).
+  [[nodiscard]] static int local_index(int from, int to) {
+    return to < from ? to : to - 1;
+  }
+  /// Global link index (within a group) leading to `peer` group.
+  [[nodiscard]] static int global_link(int group, int peer) {
+    return peer < group ? peer : peer - 1;
+  }
+};
+
+/// Builds the network (topology info + routing + finalize).
+void build_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p);
+
+/// Single ideal crossbar switch with `terminals` endpoints (Fig 10a
+/// baseline): a Dragonfly degenerate case with one group and one switch.
+void build_crossbar(sim::Network& net, int terminals, int term_latency);
+
+}  // namespace sldf::topo

@@ -1,0 +1,24 @@
+// Shared hierarchy metadata so traffic generators can address C-groups and
+// W-groups uniformly across switch-less and switch-based topologies
+// (for switch-based Dragonfly: C-group == switch, W-group == switch group).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sldf::topo {
+
+struct HierTopo : sim::TopoInfo {
+  std::vector<std::int32_t> chip_cgroup;  ///< Global C-group index per chip.
+  std::vector<std::int32_t> chip_wgroup;  ///< W-group index per chip.
+  /// Ring position of a chip within its C-group (Hamiltonian over the
+  /// chiplet grid); ring-AllReduce orders chips by (cgroup, ring_rank).
+  std::vector<std::int32_t> chip_ring_rank;
+  std::int32_t num_cgroups = 1;
+  std::int32_t num_wgroups = 1;
+  std::int32_t nodes_per_chip = 1;
+};
+
+}  // namespace sldf::topo

@@ -1,0 +1,156 @@
+#include "topo/swless.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "route/swless_routing.hpp"
+
+namespace sldf::topo {
+
+CGroupShape SwlessParams::cgroup_shape() const {
+  CGroupShape s;
+  s.chip_gx = chip_gx;
+  s.chip_gy = chip_gy;
+  s.noc_x = noc_x;
+  s.noc_y = noc_y;
+  s.ports_per_chiplet = ports_per_chiplet;
+  s.local_ports = local_ports;
+  s.global_ports = global_ports;
+  s.labeling = labeling;
+  s.onchip_latency = onchip_latency;
+  s.sr_latency = sr_latency;
+  s.mesh_width = mesh_width;
+  s.io_converters = io_converters;
+  return s;
+}
+
+void SwlessParams::validate() const {
+  cgroup_shape().validate();
+  if (a < 1 || b < 1) throw std::invalid_argument("SwlessParams: a,b >= 1");
+  if (ab() > 1 && local_ports != ab() - 1)
+    throw std::invalid_argument(
+        "SwlessParams: local_ports must be a*b-1 (full local connectivity)");
+  if (ab() == 1 && local_ports != 0)
+    throw std::invalid_argument(
+        "SwlessParams: single C-group W-group needs local_ports == 0");
+  if (effective_wgroups() > max_wgroups())
+    throw std::invalid_argument("SwlessParams: g exceeds a*b*h + 1");
+  if (effective_wgroups() > 1 && global_ports < 1)
+    throw std::invalid_argument(
+        "SwlessParams: multi-W-group network needs global ports");
+}
+
+void build_swless_dragonfly(sim::Network& net, const SwlessParams& p) {
+  p.validate();
+  auto info = std::make_unique<SwlessTopo>();
+  info->p = p;
+  info->shape = p.cgroup_shape();
+  const int G = p.effective_wgroups();
+  const int AB = p.ab();
+  const int H = p.global_ports;
+  const int cpc = p.chips_per_cgroup();
+
+  // Build all C-groups.
+  info->cgroups.reserve(static_cast<std::size_t>(G * AB));
+  for (int wg = 0; wg < G; ++wg)
+    for (int cg = 0; cg < AB; ++cg)
+      info->cgroups.push_back(
+          build_cgroup(net, info->shape, (wg * AB + cg) * cpc));
+
+  const auto connect = [&](ExtPort& ea, ExtPort& eb, LinkType type) {
+    if (p.io_converters) {
+      const ChanId fwd = net.add_duplex(ea.io, eb.io, type, p.lr_latency);
+      ea.line_out = fwd;
+      ea.line_in = fwd + 1;
+      eb.line_out = fwd + 1;
+      eb.line_in = fwd;
+    } else {
+      // Small-scale variant: hosts wired directly (no conversion modules).
+      const ChanId fwd = net.add_duplex(ea.host, eb.host, type, p.lr_latency);
+      ea.line_out = ea.exit_chan = fwd;
+      ea.line_in = fwd + 1;
+      eb.line_out = eb.exit_chan = fwd + 1;
+      eb.line_in = fwd;
+    }
+  };
+
+  // Local links: all-to-all among the AB C-groups of each W-group.
+  for (int wg = 0; wg < G; ++wg) {
+    for (int ca = 0; ca < AB; ++ca) {
+      for (int cb = ca + 1; cb < AB; ++cb) {
+        auto& ea = info->cgroups[static_cast<std::size_t>(wg * AB + ca)]
+                       .locals[static_cast<std::size_t>(
+                           SwlessTopo::local_index(ca, cb))];
+        auto& eb = info->cgroups[static_cast<std::size_t>(wg * AB + cb)]
+                       .locals[static_cast<std::size_t>(
+                           SwlessTopo::local_index(cb, ca))];
+        connect(ea, eb, LinkType::LongReachLocal);
+      }
+    }
+  }
+
+  // Global links: one per W-group pair; link l within a W-group is owned by
+  // C-group l / H, global port l % H (consecutive assignment, Fig 6b).
+  for (int wa = 0; wa < G; ++wa) {
+    for (int wb = wa + 1; wb < G; ++wb) {
+      const int la = SwlessTopo::global_link(wa, wb);
+      const int lb = SwlessTopo::global_link(wb, wa);
+      auto& ea = info->cgroups[static_cast<std::size_t>(wa * AB + la / H)]
+                     .globals[static_cast<std::size_t>(la % H)];
+      auto& eb = info->cgroups[static_cast<std::size_t>(wb * AB + lb / H)]
+                     .globals[static_cast<std::size_t>(lb % H)];
+      connect(ea, eb, LinkType::LongReachGlobal);
+    }
+  }
+
+  // Location table.
+  info->loc.assign(net.num_routers(), {});
+  for (int wg = 0; wg < G; ++wg) {
+    for (int cg = 0; cg < AB; ++cg) {
+      const auto& inst = info->cgroups[static_cast<std::size_t>(wg * AB + cg)];
+      for (std::size_t pos = 0; pos < inst.cores.size(); ++pos)
+        info->loc[static_cast<std::size_t>(inst.cores[pos])] = {
+            wg, cg, static_cast<std::int32_t>(pos)};
+      for (const auto& ep : inst.locals)
+        if (ep.io != kInvalidNode)
+          info->loc[static_cast<std::size_t>(ep.io)] = {wg, cg, -1};
+      for (const auto& ep : inst.globals)
+        if (ep.io != kInvalidNode)
+          info->loc[static_cast<std::size_t>(ep.io)] = {wg, cg, -1};
+    }
+  }
+
+  // Hierarchy tables for traffic generators.
+  info->num_cgroups = G * AB;
+  info->num_wgroups = G;
+  info->nodes_per_chip = p.nodes_per_chip();
+  info->chip_cgroup.resize(net.num_chips());
+  info->chip_wgroup.resize(net.num_chips());
+  info->chip_ring_rank.resize(net.num_chips());
+  const auto ring = ring_order(p.chip_gx, p.chip_gy);
+  std::vector<std::int32_t> rank_of(ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    rank_of[static_cast<std::size_t>(ring[i])] = static_cast<std::int32_t>(i);
+  for (ChipId c = 0; c < static_cast<ChipId>(net.num_chips()); ++c) {
+    info->chip_cgroup[static_cast<std::size_t>(c)] = c / cpc;
+    info->chip_wgroup[static_cast<std::size_t>(c)] = c / (AB * cpc);
+    info->chip_ring_rank[static_cast<std::size_t>(c)] =
+        rank_of[static_cast<std::size_t>(c % cpc)];
+  }
+
+  // Monotone tables for the reduced-VC schemes (shared shape).
+  if (p.scheme != route::VcScheme::Baseline) {
+    const auto labels = make_labels(info->shape.mx(), info->shape.my(),
+                                    p.labeling);
+    info->monotone =
+        route::MonotoneTables(info->shape.mx(), info->shape.my(), labels);
+  }
+
+  const auto scheme = p.scheme;
+  const auto mode = p.mode;
+  net.set_topo_info(std::move(info));
+  net.set_routing(std::make_unique<route::SwlessRouting>(scheme, mode));
+  net.finalize(route::swless_num_vcs(scheme, mode), p.vc_buf);
+}
+
+}  // namespace sldf::topo

@@ -1,0 +1,89 @@
+// Switch-less Dragonfly on wafers (paper §III): C-groups of chiplets meshed
+// on-wafer replace Dragonfly switches; all C-groups in a W-group are fully
+// connected by long-reach local links, and W-groups are all-to-all connected
+// by long-reach global links owned by C-groups (consecutive assignment,
+// Fig 6). External ports go through SR-LR converter nodes (Fig 5/9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/mesh_routing.hpp"
+#include "route/routing_modes.hpp"
+#include "sim/network.hpp"
+#include "topo/cgroup.hpp"
+#include "topo/hier.hpp"
+
+namespace sldf::topo {
+
+struct SwlessParams {
+  // --- topology scale (paper symbols in comments) ---
+  int a = 2;  ///< C-groups per wafer.
+  int b = 4;  ///< Wafers per W-group (ab C-groups fully connected).
+  int chip_gx = 2, chip_gy = 2;  ///< Chiplet grid per C-group (m x m).
+  int noc_x = 2, noc_y = 2;      ///< Routers per chiplet.
+  int ports_per_chiplet = 6;     ///< n (drives intra-C-group link widths).
+  int local_ports = 7;           ///< Must equal a*b - 1 for full local mesh.
+  int global_ports = 5;          ///< h.
+  int g = 0;                     ///< W-groups; 0 selects max = a*b*h + 1.
+
+  // --- physical parameters (Table IV defaults) ---
+  int onchip_latency = 1;
+  int sr_latency = 1;
+  int lr_latency = 8;
+  int mesh_width = 1;          ///< Intra-C-group bandwidth multiplier (2B/4B).
+  bool io_converters = true;   ///< Small-scale variant (§III-D1) omits them.
+  Labeling labeling = Labeling::Snake;
+
+  // --- routing ---
+  route::VcScheme scheme = route::VcScheme::Baseline;
+  route::RouteMode mode = route::RouteMode::Minimal;
+  int vc_buf = 32;
+
+  [[nodiscard]] int ab() const { return a * b; }
+  [[nodiscard]] int max_wgroups() const { return ab() * global_ports + 1; }
+  [[nodiscard]] int effective_wgroups() const {
+    return g > 0 ? g : max_wgroups();
+  }
+  [[nodiscard]] int chips_per_cgroup() const { return chip_gx * chip_gy; }
+  [[nodiscard]] int nodes_per_chip() const { return noc_x * noc_y; }
+  [[nodiscard]] int num_chips() const {
+    return effective_wgroups() * ab() * chips_per_cgroup();
+  }
+  [[nodiscard]] int k() const { return local_ports + global_ports; }
+  [[nodiscard]] CGroupShape cgroup_shape() const;
+  void validate() const;
+};
+
+struct SwlessTopo : HierTopo {
+  SwlessParams p;
+  CGroupShape shape;
+  std::vector<CGroupInstance> cgroups;  ///< [wg * ab + cg].
+
+  struct Loc {
+    std::int32_t wg = -1;
+    std::int32_t cg = -1;   ///< C-group index within the W-group.
+    std::int32_t pos = -1;  ///< Mesh position (cores) or -1 (IO nodes).
+  };
+  std::vector<Loc> loc;  ///< Indexed by NodeId.
+
+  route::MonotoneTables monotone;  ///< Shared by all C-groups (same shape).
+
+  [[nodiscard]] const CGroupInstance& cgroup(int wg, int cg) const {
+    return cgroups[static_cast<std::size_t>(wg * p.ab() + cg)];
+  }
+  /// Local port index at C-group `from` toward sibling `to`.
+  [[nodiscard]] static int local_index(int from, int to) {
+    return to < from ? to : to - 1;
+  }
+  /// Global link index (within a W-group) leading to W-group `peer`.
+  [[nodiscard]] static int global_link(int wg, int peer) {
+    return peer < wg ? peer : peer - 1;
+  }
+};
+
+/// Builds the full network: C-groups, local/global wiring, topology info,
+/// routing algorithm (per params.scheme/mode), finalize.
+void build_swless_dragonfly(sim::Network& net, const SwlessParams& p);
+
+}  // namespace sldf::topo

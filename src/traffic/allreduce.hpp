@@ -1,0 +1,34 @@
+// Ring-based AllReduce steady-state traffic (paper §V-A3(c), Fig 14):
+// each chip streams segments to its ring successor (unidirectional) or to
+// both neighbours (bidirectional). Rings are formed per scope: within each
+// C-group, within each W-group, or over the whole system. Node j of a chip
+// pairs with node j of the neighbouring chip, exercising the parallel
+// chip-boundary links of the wafer mesh.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sldf::traffic {
+
+enum class RingScope : std::uint8_t { CGroup, WGroup, System };
+
+class RingAllReduceTraffic final : public sim::TrafficSource {
+ public:
+  RingAllReduceTraffic(const sim::Network& net, RingScope scope,
+                       bool bidirectional);
+  NodeId dest(const sim::Network& net, NodeId src, Rng& rng) override;
+  [[nodiscard]] const char* name() const override {
+    return bidirectional_ ? "allreduce-bi" : "allreduce-uni";
+  }
+
+ private:
+  bool bidirectional_;
+  std::vector<ChipId> succ_;               ///< Ring successor per chip.
+  std::vector<ChipId> pred_;               ///< Ring predecessor per chip.
+  std::vector<std::int32_t> node_slot_;    ///< Index of a node in its chip.
+};
+
+}  // namespace sldf::traffic

@@ -1,0 +1,133 @@
+#include "traffic/pattern.hpp"
+
+#include <stdexcept>
+
+#include "topo/hier.hpp"
+
+namespace sldf::traffic {
+
+UniformTraffic::UniformTraffic(const sim::Network& net)
+    : terms_(net.terminals()) {}
+
+NodeId UniformTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
+  if (terms_.size() < 2) return kInvalidNode;
+  for (;;) {
+    const NodeId d = terms_[rng.below(terms_.size())];
+    if (d != src) return d;
+  }
+}
+
+PermutationTraffic::PermutationTraffic(const sim::Network& net,
+                                       Permutation kind)
+    : kind_(kind), terms_(net.terminals()) {
+  while ((std::size_t{1} << (bits_ + 1)) <= terms_.size()) ++bits_;
+  term_index_.assign(net.num_routers(), -1);
+  for (std::size_t i = 0; i < terms_.size(); ++i)
+    term_index_[static_cast<std::size_t>(terms_[i])] =
+        static_cast<std::int32_t>(i);
+}
+
+const char* PermutationTraffic::name() const {
+  switch (kind_) {
+    case Permutation::BitReverse: return "bit-reverse";
+    case Permutation::BitShuffle: return "bit-shuffle";
+    case Permutation::BitTranspose: return "bit-transpose";
+  }
+  return "?";
+}
+
+NodeId PermutationTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
+  const auto i = static_cast<std::uint32_t>(
+      term_index_[static_cast<std::size_t>(src)]);
+  const std::uint32_t n_perm = 1u << bits_;
+  if (i >= n_perm) {  // outside the permuted sub-cube: uniform fallback
+    for (;;) {
+      const NodeId d = terms_[rng.below(terms_.size())];
+      if (d != src) return d;
+    }
+  }
+  std::uint32_t j = 0;
+  switch (kind_) {
+    case Permutation::BitReverse:
+      for (int b = 0; b < bits_; ++b)
+        if (i & (1u << b)) j |= 1u << (bits_ - 1 - b);
+      break;
+    case Permutation::BitShuffle:
+      j = ((i << 1) | (i >> (bits_ - 1))) & (n_perm - 1);
+      break;
+    case Permutation::BitTranspose: {
+      const int half = bits_ / 2;
+      const int rest = bits_ - half;
+      j = (i >> half) | ((i & ((1u << half) - 1)) << rest);
+      break;
+    }
+  }
+  return terms_[j];
+}
+
+HotspotTraffic::HotspotTraffic(const sim::Network& net, int hot_groups) {
+  const auto& hier = net.topo<topo::HierTopo>();
+  const int limit = std::min<std::int32_t>(hot_groups, hier.num_wgroups);
+  is_hot_.assign(net.num_routers(), false);
+  std::vector<bool> chip_hot(net.num_chips(), false);
+  for (ChipId c = 0; c < static_cast<ChipId>(net.num_chips()); ++c) {
+    if (hier.chip_wgroup[static_cast<std::size_t>(c)] < limit) {
+      chip_hot[static_cast<std::size_t>(c)] = true;
+      ++active_chips_;
+    }
+  }
+  for (NodeId n : net.terminals()) {
+    if (chip_hot[static_cast<std::size_t>(net.chip_of(n))]) {
+      is_hot_[static_cast<std::size_t>(n)] = true;
+      hot_terms_.push_back(n);
+    }
+  }
+  if (hot_terms_.size() < 2)
+    throw std::invalid_argument("HotspotTraffic: fewer than 2 hot terminals");
+}
+
+NodeId HotspotTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
+  if (!is_hot_[static_cast<std::size_t>(src)]) return kInvalidNode;
+  for (;;) {
+    const NodeId d = hot_terms_[rng.below(hot_terms_.size())];
+    if (d != src) return d;
+  }
+}
+
+WorstCaseTraffic::WorstCaseTraffic(const sim::Network& net) {
+  const auto& hier = net.topo<topo::HierTopo>();
+  group_terms_.resize(static_cast<std::size_t>(hier.num_wgroups));
+  node_group_.assign(net.num_routers(), -1);
+  for (NodeId n : net.terminals()) {
+    const auto wg = hier.chip_wgroup[static_cast<std::size_t>(net.chip_of(n))];
+    group_terms_[static_cast<std::size_t>(wg)].push_back(n);
+    node_group_[static_cast<std::size_t>(n)] = wg;
+  }
+  if (group_terms_.size() < 2)
+    throw std::invalid_argument("WorstCaseTraffic: needs >= 2 W-groups");
+}
+
+NodeId WorstCaseTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
+  const auto wg = static_cast<std::size_t>(
+      node_group_[static_cast<std::size_t>(src)]);
+  const auto& peers = group_terms_[(wg + 1) % group_terms_.size()];
+  if (peers.empty()) return kInvalidNode;
+  return peers[rng.below(peers.size())];
+}
+
+std::unique_ptr<sim::TrafficSource> make_pattern(const std::string& kind,
+                                                 const sim::Network& net) {
+  if (kind == "uniform") return std::make_unique<UniformTraffic>(net);
+  if (kind == "bit-reverse")
+    return std::make_unique<PermutationTraffic>(net, Permutation::BitReverse);
+  if (kind == "bit-shuffle")
+    return std::make_unique<PermutationTraffic>(net, Permutation::BitShuffle);
+  if (kind == "bit-transpose")
+    return std::make_unique<PermutationTraffic>(net,
+                                                Permutation::BitTranspose);
+  if (kind == "hotspot") return std::make_unique<HotspotTraffic>(net);
+  if (kind == "worst-case") return std::make_unique<WorstCaseTraffic>(net);
+  throw std::invalid_argument("unknown traffic pattern: " + kind);
+}
+
+}  // namespace sldf::traffic

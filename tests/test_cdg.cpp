@@ -1,0 +1,162 @@
+// Channel-dependency-graph audits (paper §IV deadlock-freedom claims).
+// The Baseline scheme and ReducedSafe scheme must be acyclic; the paper's
+// Reduced scheme is audited and its residual-cycle status is asserted to
+// match the analysis documented in DESIGN.md §5.
+#include <gtest/gtest.h>
+
+#include "route/cdg.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+
+using namespace sldf;
+using namespace sldf::topo;
+using route::RouteMode;
+using route::VcScheme;
+
+namespace {
+SwlessParams audit_params(VcScheme scheme, RouteMode mode) {
+  SwlessParams p;
+  p.a = 1;
+  p.b = 3;
+  p.chip_gx = 2;
+  p.chip_gy = 2;
+  p.noc_x = 1;
+  p.noc_y = 1;
+  p.ports_per_chiplet = 4;
+  p.local_ports = 2;
+  p.global_ports = 2;
+  p.g = 5;  // keep the audit quick but multi-W-group
+  p.scheme = scheme;
+  p.mode = mode;
+  return p;
+}
+}  // namespace
+
+TEST(Cdg, BaselineMinimalAcyclic) {
+  sim::Network net;
+  build_swless_dragonfly(net,
+                         audit_params(VcScheme::Baseline, RouteMode::Minimal));
+  const auto rep = route::audit_cdg(net);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+  EXPECT_GT(rep.paths_walked, 1000u);
+}
+
+TEST(Cdg, BaselineValiantAcyclic) {
+  sim::Network net;
+  build_swless_dragonfly(net,
+                         audit_params(VcScheme::Baseline, RouteMode::Valiant));
+  const auto rep = route::audit_cdg(net);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+}
+
+TEST(Cdg, ReducedSafeMinimalAcyclic) {
+  sim::Network net;
+  build_swless_dragonfly(
+      net, audit_params(VcScheme::ReducedSafe, RouteMode::Minimal));
+  const auto rep = route::audit_cdg(net);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+}
+
+TEST(Cdg, ReducedSafeValiantAcyclic) {
+  sim::Network net;
+  build_swless_dragonfly(
+      net, audit_params(VcScheme::ReducedSafe, RouteMode::Valiant));
+  const auto rep = route::audit_cdg(net);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+}
+
+TEST(Cdg, ReducedSchemeReportsDocumentedStatus) {
+  // DESIGN.md §5: the literal 3-VC merge of the destination W-group admits
+  // dependency cycles through shared mesh channels when every mesh node is
+  // an endpoint. The audit documents the status; we assert it completes
+  // and print the verdict (either outcome is recorded in EXPERIMENTS.md).
+  sim::Network net;
+  build_swless_dragonfly(net,
+                         audit_params(VcScheme::Reduced, RouteMode::Minimal));
+  const auto rep = route::audit_cdg(net);
+  EXPECT_GT(rep.paths_walked, 1000u);
+  std::printf("[ INFO     ] Reduced minimal: %s\n",
+              rep.to_string(net).c_str());
+  if (!rep.acyclic) {
+    EXPECT_FALSE(rep.cycle.empty());
+  }
+}
+
+TEST(Cdg, AdaptiveModesAcyclic) {
+  // Adaptive paths are a subset of minimal + Valiant paths; the audit
+  // enumerates every intermediate group, so this certifies the whole
+  // reachable path set.
+  for (auto scheme : {VcScheme::Baseline, VcScheme::ReducedSafe}) {
+    sim::Network net;
+    build_swless_dragonfly(net, audit_params(scheme, RouteMode::Adaptive));
+    const auto rep = route::audit_cdg(net);
+    EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+  }
+}
+
+TEST(Cdg, SwitchBasedDragonflyMinimalAcyclic) {
+  SwDragonflyParams p;
+  p.switches_per_group = 3;
+  p.terminals_per_switch = 2;
+  p.globals_per_switch = 2;
+  p.mode = RouteMode::Minimal;
+  sim::Network net;
+  build_sw_dragonfly(net, p);
+  const auto rep = route::audit_cdg(net);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+}
+
+TEST(Cdg, SwitchBasedDragonflyValiantAcyclic) {
+  SwDragonflyParams p;
+  p.switches_per_group = 3;
+  p.terminals_per_switch = 2;
+  p.globals_per_switch = 2;
+  p.mode = RouteMode::Valiant;
+  sim::Network net;
+  build_sw_dragonfly(net, p);
+  const auto rep = route::audit_cdg(net);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+}
+
+TEST(Cdg, NoConverterSmallScaleAcyclic) {
+  auto p = audit_params(VcScheme::Baseline, RouteMode::Minimal);
+  p.io_converters = false;
+  sim::Network net;
+  build_swless_dragonfly(net, p);
+  const auto rep = route::audit_cdg(net);
+  EXPECT_TRUE(rep.acyclic) << rep.to_string(net);
+}
+
+TEST(Cdg, SingleVcMeshWouldCycleOnRingDependencies) {
+  // Sanity check that the auditor can actually find cycles: a 3-node ring
+  // with one VC and "always forward" routing is the textbook deadlock.
+  sim::Network net;
+  const NodeId a = net.add_router(NodeKind::Core);
+  const NodeId b = net.add_router(NodeKind::Core);
+  const NodeId c = net.add_router(NodeKind::Core);
+  net.add_channel(a, b, LinkType::OnChip, 1);
+  net.add_channel(b, c, LinkType::OnChip, 1);
+  net.add_channel(c, a, LinkType::OnChip, 1);
+  net.make_terminal(a, 0);
+  net.make_terminal(b, 1);
+  net.make_terminal(c, 2);
+
+  class RingFwd final : public sim::RoutingAlgorithm {
+   public:
+    void init_packet(const sim::Network&, sim::Packet& pkt, Rng&) override {
+      pkt.vc_class = 0;
+    }
+    sim::RouteDecision route(const sim::Network& net2, NodeId router, PortIx,
+                             sim::Packet& pkt) override {
+      const auto& r = net2.router(router);
+      if (router == pkt.dst) return {r.eject_port, 0};
+      return {0, 0};  // the single forward channel
+    }
+    const char* name() const override { return "ring"; }
+  };
+  net.set_routing(std::make_unique<RingFwd>());
+  net.finalize(1, 8);
+  const auto rep = route::audit_cdg(net);
+  EXPECT_FALSE(rep.acyclic);
+  EXPECT_FALSE(rep.cycle.empty());
+}

@@ -1,0 +1,171 @@
+// Analytical-model tests: the paper's own numbers are the oracle.
+// Eq.(1)-(7) §III-B, Table II/III, and the Fig 9 layout quantities.
+#include <gtest/gtest.h>
+
+#include "model/cost.hpp"
+#include "model/energy.hpp"
+#include "model/equations.hpp"
+#include "model/layout.hpp"
+
+using namespace sldf;
+using namespace sldf::model;
+
+TEST(Equations, TinyConfigFromPaper) {
+  // §III-B1: (a,b,m,n) = (2,4,2,6) -> "the total chiplet number can reach
+  // 1K" (exactly 1312).
+  SwlessEquations e;
+  e.a = 2;
+  e.b = 4;
+  e.m = 2;
+  e.n = 6;
+  EXPECT_EQ(e.k(), 12);
+  EXPECT_EQ(e.h(), 5);
+  EXPECT_EQ(e.g(), 41);
+  EXPECT_EQ(e.total_chips(), 1312);
+}
+
+TEST(Equations, CaseStudyFromSectionIIIC) {
+  // n=12, m=4, a=4, b=8: h=17, g=545, N=279040.
+  SwlessEquations e;
+  e.a = 4;
+  e.b = 8;
+  e.m = 4;
+  e.n = 12;
+  EXPECT_EQ(e.k(), 48);
+  EXPECT_EQ(e.h(), 17);
+  EXPECT_EQ(e.g(), 545);
+  EXPECT_EQ(e.total_chips(), 279040);
+}
+
+TEST(Equations, BalancedConfigReachesUnitGlobalThroughput) {
+  // Eq.(3): n = 3m, ab = 2m^2 gives t_global = 1 and t_local = 2.
+  for (int m : {2, 3, 4, 6}) {
+    const auto e = SwlessEquations::balanced(m);
+    EXPECT_EQ(e.n, 3 * m);
+    EXPECT_EQ(e.ab(), 2L * m * m);
+    // Eq.(2) evaluates to 1 + 1/m^2 -> approaches 1 flit/cycle/chip.
+    EXPECT_GE(e.t_global(), 1.0);
+    EXPECT_LE(e.t_global(), 1.0 + 1.0 / (m * m) + 1e-9);
+    EXPECT_DOUBLE_EQ(e.t_local(), 2.0);
+    EXPECT_DOUBLE_EQ(e.t_cgroup(), 3.0);
+  }
+}
+
+TEST(Equations, ThroughputBoundsOfCaseStudy) {
+  SwlessEquations e;
+  e.a = 4;
+  e.b = 8;
+  e.m = 4;
+  e.n = 12;
+  EXPECT_DOUBLE_EQ(e.t_global(), 17.0 / 16.0);  // ~1 flit/cycle/chip
+  EXPECT_DOUBLE_EQ(e.t_local(), 2.0);
+  EXPECT_DOUBLE_EQ(e.t_cgroup(), 3.0);
+  EXPECT_DOUBLE_EQ(e.bisection_cgroup(), 24.0);  // k/2
+}
+
+TEST(Equations, DiameterEq7) {
+  const auto d = SwlessDiameter::of(4);
+  EXPECT_EQ(d.global_hops, 1);
+  EXPECT_EQ(d.local_hops, 2);
+  EXPECT_EQ(d.short_reach_hops, 30);  // 8m - 2 = 30 (Table III)
+  const auto sb = SwlessDiameter::switch_based();
+  EXPECT_EQ(sb.short_reach_hops, 0);
+  // Latency estimate: long hops dominate in both, but the switch-based
+  // variant pays two extra long hops.
+  EXPECT_LT(d.latency_ns(), sb.latency_ns() + d.short_reach_hops * 5.0);
+}
+
+TEST(Energy, PriceHopsSplitsInterIntra) {
+  double hops[kNumLinkTypes] = {};
+  hops[static_cast<int>(LinkType::LongReachGlobal)] = 1;
+  hops[static_cast<int>(LinkType::LongReachLocal)] = 2;
+  hops[static_cast<int>(LinkType::ShortReach)] = 10;
+  hops[static_cast<int>(LinkType::OnChip)] = 5;
+  const auto e = price_hops(hops);
+  EXPECT_DOUBLE_EQ(e.inter_cgroup_pj, 60.0);  // 3 x 20
+  EXPECT_DOUBLE_EQ(e.intra_cgroup_pj, 15.0);  // 15 x 1 (paper average)
+  const auto e2 = price_hops(hops, {}, /*use_intra_avg=*/false);
+  EXPECT_DOUBLE_EQ(e2.intra_cgroup_pj, 10 * 2.0 + 5 * 0.1);
+}
+
+TEST(Energy, TerminalHopsPricedLikeLocal) {
+  double hops[kNumLinkTypes] = {};
+  hops[static_cast<int>(LinkType::Terminal)] = 2;
+  EXPECT_DOUBLE_EQ(price_hops(hops).inter_cgroup_pj, 40.0);
+}
+
+TEST(CostTable, SlingshotRowMatchesPaper) {
+  const auto r = row_slingshot_dragonfly();
+  EXPECT_EQ(r.switches, 17440);
+  EXPECT_EQ(r.processors, 279040);
+  EXPECT_EQ(r.cabinets, 2180);
+  EXPECT_NEAR(static_cast<double>(r.cables), 698000, 2000);  // N=698K
+  EXPECT_EQ(r.switch_radix, 64);
+}
+
+TEST(CostTable, SwlessRowMatchesPaper) {
+  const auto r = row_swless_dragonfly();
+  EXPECT_EQ(r.switches, 0);
+  EXPECT_EQ(r.processors, 279040);
+  EXPECT_EQ(r.cabinets, 545);
+  EXPECT_NEAR(static_cast<double>(r.cables), 419000, 2000);  // N=419K
+}
+
+TEST(CostTable, SwlessCableLengthLessThanHalfOfSlingshot) {
+  // §III-C3: "the total cable length is only 73K*E, less than half of the
+  // switch-based Dragonfly [154K*E]". Our transparent placement model must
+  // preserve the factor-2 relationship.
+  const auto sl = row_slingshot_dragonfly();
+  const auto sw = row_swless_dragonfly();
+  EXPECT_LT(sw.cable_length_E, 0.55 * sl.cable_length_E);
+}
+
+TEST(CostTable, PolarFlyRow) {
+  const auto r = row_polarfly();
+  EXPECT_EQ(r.switches, 4033);
+  EXPECT_EQ(r.processors, 129056);
+  EXPECT_NEAR(static_cast<double>(r.cables), 129056, 10);
+}
+
+TEST(CostTable, FatTreeRows) {
+  const auto r1 = row_fat_tree(1, false);
+  EXPECT_EQ(r1.switches, 5120);
+  EXPECT_EQ(r1.processors, 65536);
+  EXPECT_NEAR(static_cast<double>(r1.cables), 197000, 1000);
+  const auto r4 = row_fat_tree(4, false);
+  EXPECT_EQ(r4.switches, 20480);
+  EXPECT_NEAR(static_cast<double>(r4.cables), 786000, 1000);
+  EXPECT_DOUBLE_EQ(r4.t_local, 4.0);
+  const auto rt = row_fat_tree(4, true);
+  EXPECT_NEAR(rt.t_global, 4.0 / 3.0, 1e-9);
+}
+
+TEST(CostTable, FullTableHasNineRows) {
+  const auto rows = table3();
+  EXPECT_EQ(rows.size(), 9u);
+  EXPECT_FALSE(format_table3(rows).empty());
+  // Only the switch-less row has zero switches.
+  int swless = 0;
+  for (const auto& r : rows) swless += (r.switches == 0);
+  EXPECT_EQ(swless, 1);
+}
+
+TEST(Layout, Fig9DerivedQuantities) {
+  const auto r = evaluate_layout();
+  EXPECT_DOUBLE_EQ(r.onwafer_channel_gbps, 4096);  // 128 x 32G (paper)
+  EXPECT_DOUBLE_EQ(r.offwafer_port_gbps, 896);     // 8 x 112G (paper)
+  // Paper: ~12 TB/s bisection, ~20.9 TB/s aggregate, ~1536 diff pairs,
+  // ~5500 IOs.
+  EXPECT_NEAR(r.bisection_TBps, 12.3, 0.5);
+  EXPECT_NEAR(r.aggregate_TBps, 20.9, 1.0);
+  EXPECT_EQ(r.differential_pairs, 1536);
+  EXPECT_NEAR(r.total_io_pads, 5500, 600);
+  EXPECT_TRUE(r.fits_wafer);
+  EXPECT_TRUE(r.escape_feasible);
+  EXPECT_TRUE(r.io_pads_feasible);
+}
+
+TEST(Layout, FormatProducesReport) {
+  EXPECT_NE(format_layout(evaluate_layout()).find("bisection"),
+            std::string::npos);
+}

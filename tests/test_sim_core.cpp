@@ -1,0 +1,258 @@
+// White-box tests of the simulation engine: hand-built micro-networks
+// exercising credit flow control, wormhole ordering, bandwidth tokens,
+// latency accounting, and backpressure.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+using namespace sldf;
+using namespace sldf::sim;
+
+namespace {
+
+/// Two terminals joined by a duplex channel; trivial routing.
+class PairRouting final : public RoutingAlgorithm {
+ public:
+  void init_packet(const Network&, Packet& pkt, Rng&) override {
+    pkt.vc_class = 0;
+  }
+  RouteDecision route(const Network& net, NodeId router, PortIx,
+                      Packet& pkt) override {
+    const auto& r = net.router(router);
+    if (router == pkt.dst) return {r.eject_port, 0};
+    // The only non-eject output port is port 0 (the channel).
+    return {0, 0};
+  }
+  const char* name() const override { return "pair"; }
+};
+
+/// Everyone at node 0 sends to node 1.
+class FixedTraffic final : public TrafficSource {
+ public:
+  explicit FixedTraffic(NodeId dst) : dst_(dst) {}
+  NodeId dest(const Network&, NodeId src, Rng&) override {
+    return src == dst_ ? kInvalidNode : dst_;
+  }
+  const char* name() const override { return "fixed"; }
+
+ private:
+  NodeId dst_;
+};
+
+/// Builds the 2-node pair network with the given channel parameters.
+void build_pair(Network& net, int latency, int wnum, int wden, int nvcs = 1,
+                int buf = 32) {
+  const NodeId a = net.add_router(NodeKind::Core);
+  const NodeId b = net.add_router(NodeKind::Core);
+  net.add_duplex(a, b, LinkType::OnChip, latency, wnum, wden);
+  net.make_terminal(a, 0);
+  net.make_terminal(b, 1);
+  net.set_routing(std::make_unique<PairRouting>());
+  net.finalize(nvcs, buf);
+}
+
+}  // namespace
+
+TEST(SimCore, ZeroLoadLatencyIsDeterministic) {
+  Network net;
+  build_pair(net, /*latency=*/1, 1, 1);
+  SimConfig cfg;
+  cfg.inj_rate_per_chip = 0.01;
+  cfg.pkt_len = 4;
+  cfg.warmup = 200;
+  cfg.measure = 2000;
+  cfg.drain = 200;
+  FixedTraffic tr(1);
+  const auto r1 = run_sim(net, cfg, tr);
+  const auto r2 = run_sim(net, cfg, tr);
+  EXPECT_EQ(r1.avg_latency, r2.avg_latency);
+  EXPECT_EQ(r1.delivered_measured, r2.delivered_measured);
+  // Zero-load: inject 4 flits (4 cycles), 1 link cycle, 1 router cycle,
+  // eject tail. Latency must be small and constant.
+  EXPECT_GE(r1.avg_latency, 4.0);
+  EXPECT_LT(r1.avg_latency, 12.0);
+  EXPECT_TRUE(r1.drained);
+}
+
+TEST(SimCore, LatencyGrowsWithChannelLatency) {
+  double lat[2];
+  for (int i = 0; i < 2; ++i) {
+    Network net;
+    build_pair(net, i == 0 ? 1 : 8, 1, 1);
+    SimConfig cfg;
+    cfg.inj_rate_per_chip = 0.01;
+    cfg.warmup = 100;
+    cfg.measure = 1000;
+    FixedTraffic tr(1);
+    lat[i] = run_sim(net, cfg, tr).avg_latency;
+  }
+  EXPECT_NEAR(lat[1] - lat[0], 7.0, 0.5);  // +7 cycles of pipeline
+}
+
+TEST(SimCore, ThroughputCapsAtChannelWidth) {
+  // Offered 1.0 flit/cycle/chip into a full-width channel: all accepted.
+  // With a 1/2-width channel, accepted saturates near 0.5.
+  for (const auto& [wnum, wden, expect] :
+       {std::tuple{1, 1, 1.0}, std::tuple{1, 2, 0.5}, std::tuple{3, 4, 0.75}}) {
+    Network net;
+    build_pair(net, 1, wnum, wden);
+    SimConfig cfg;
+    cfg.inj_rate_per_chip = 1.0;
+    cfg.warmup = 500;
+    cfg.measure = 4000;
+    cfg.drain = 0;
+    FixedTraffic tr(1);
+    const auto r = run_sim(net, cfg, tr);
+    // Only chip 0 sends; accepted is normalized over 2 chips.
+    EXPECT_NEAR(r.accepted * 2.0, expect, 0.05)
+        << "width " << wnum << "/" << wden;
+  }
+}
+
+TEST(SimCore, FractionalWidthAveragesExactly) {
+  Network net;
+  build_pair(net, 1, 2, 3);
+  SimConfig cfg;
+  cfg.inj_rate_per_chip = 1.0;
+  cfg.warmup = 600;
+  cfg.measure = 6000;
+  cfg.drain = 0;
+  FixedTraffic tr(1);
+  const auto r = run_sim(net, cfg, tr);
+  EXPECT_NEAR(r.accepted * 2.0, 2.0 / 3.0, 0.02);
+}
+
+TEST(SimCore, BackpressureNeverOverflowsBuffers) {
+  // Tiny buffers + saturating load: the credit protocol must hold (the
+  // delivery assert fires in debug builds when it does not) and all
+  // measured packets eventually drain.
+  Network net;
+  build_pair(net, 4, 1, 1, /*nvcs=*/2, /*buf=*/6);
+  SimConfig cfg;
+  cfg.inj_rate_per_chip = 1.0;
+  cfg.warmup = 200;
+  cfg.measure = 1000;
+  cfg.drain = 5000;
+  FixedTraffic tr(1);
+  const auto r = run_sim(net, cfg, tr);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.delivered_measured, r.generated_measured);
+}
+
+TEST(SimCore, HopCountsRecordLinkType) {
+  Network net;
+  const NodeId a = net.add_router(NodeKind::Core);
+  const NodeId m = net.add_router(NodeKind::Switch);
+  const NodeId b = net.add_router(NodeKind::Core);
+  net.add_duplex(a, m, LinkType::ShortReach, 1);
+  net.add_duplex(m, b, LinkType::LongReachGlobal, 8);
+  net.make_terminal(a, 0);
+  net.make_terminal(b, 1);
+
+  // Simple forwarding: switch forwards toward b, terminals eject/send.
+  class Fwd final : public RoutingAlgorithm {
+   public:
+    void init_packet(const Network&, Packet& pkt, Rng&) override {
+      pkt.vc_class = 0;
+    }
+    RouteDecision route(const Network& net, NodeId router, PortIx in_port,
+                        Packet& pkt) override {
+      const auto& r = net.router(router);
+      if (router == pkt.dst) return {r.eject_port, 0};
+      if (r.kind == NodeKind::Switch)
+        return {in_port == 0 ? static_cast<PortIx>(1) : static_cast<PortIx>(0),
+                0};
+      return {0, 0};
+    }
+    const char* name() const override { return "fwd"; }
+  };
+  net.set_routing(std::make_unique<Fwd>());
+  net.finalize(1, 32);
+
+  SimConfig cfg;
+  cfg.inj_rate_per_chip = 0.05;
+  cfg.warmup = 100;
+  cfg.measure = 1000;
+  FixedTraffic tr(b);
+  const auto r = run_sim(net, cfg, tr);
+  ASSERT_GT(r.delivered_measured, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_hops[static_cast<int>(LinkType::ShortReach)], 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_hops[static_cast<int>(LinkType::LongReachGlobal)],
+                   1.0);
+  EXPECT_DOUBLE_EQ(r.avg_hops_total, 2.0);
+}
+
+TEST(SimCore, SourceQueueCapSuppresses) {
+  Network net;
+  build_pair(net, 1, 1, 4);  // narrow link, heavy offered load
+  SimConfig cfg;
+  cfg.inj_rate_per_chip = 2.0;
+  cfg.warmup = 100;
+  cfg.measure = 2000;
+  cfg.drain = 0;
+  cfg.max_src_queue = 8;
+  FixedTraffic tr(1);
+  const auto r = run_sim(net, cfg, tr);
+  EXPECT_GT(r.suppressed, 0u);
+}
+
+TEST(SimCore, MeasurementWindowOnlyCountsMeasuredPackets) {
+  Network net;
+  build_pair(net, 1, 1, 1);
+  SimConfig cfg;
+  cfg.inj_rate_per_chip = 0.2;
+  cfg.warmup = 500;
+  cfg.measure = 1000;
+  cfg.drain = 500;
+  FixedTraffic tr(1);
+  const auto r = run_sim(net, cfg, tr);
+  // Measured generation: rate 0.2 flits/cycle/chip = 0.05 pkt/cycle from
+  // the single sender over 1000 cycles => ~50 packets.
+  EXPECT_NEAR(static_cast<double>(r.generated_measured), 50.0, 20.0);
+  EXPECT_EQ(r.delivered_measured, r.generated_measured);
+}
+
+TEST(SimCore, NetworkValidationThrows) {
+  Network net;
+  build_pair(net, 1, 1, 1);
+  SimConfig cfg;
+  FixedTraffic tr(1);
+  Network empty;
+  EXPECT_THROW(Simulator(empty, cfg, tr), std::logic_error);
+}
+
+TEST(SimCore, ChannelTokenBucket) {
+  Channel c;
+  c.width_num = 3;
+  c.width_den = 4;
+  c.reset_tokens();
+  int sent = 0;
+  for (Cycle t = 0; t < 400; ++t) {
+    c.refresh_tokens(t);
+    while (c.flit_allowance() > 0) {
+      c.consume_token();
+      ++sent;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(sent) / 400.0, 0.75, 0.02);
+}
+
+TEST(SimCore, VcFifoRing) {
+  VcFifo f(4);
+  EXPECT_TRUE(f.empty());
+  for (std::uint16_t i = 0; i < 4; ++i)
+    f.push(Flit{0, i, i == 0, i == 3});
+  EXPECT_TRUE(f.full());
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f.front().idx, i);
+    f.pop();
+  }
+  EXPECT_TRUE(f.empty());
+  // Wrap-around.
+  for (std::uint16_t i = 0; i < 3; ++i) f.push(Flit{1, i, 0, 0});
+  f.pop();
+  f.push(Flit{1, 3, 0, 0});
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.pop().idx, 1);
+}

@@ -1,0 +1,155 @@
+// Switch-based Dragonfly topology and routing tests: structure counts,
+// consecutive global-link assignment, minimal/Valiant path walking, and
+// VC-class discipline (Kim et al.: 2 VCs minimal, 3 Valiant).
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/params.hpp"
+#include "route/dragonfly_routing.hpp"
+#include "topo/dragonfly.hpp"
+
+using namespace sldf;
+using namespace sldf::topo;
+
+namespace {
+SwDragonflyParams small_df(int groups = 0, route::RouteMode mode =
+                                               route::RouteMode::Minimal) {
+  SwDragonflyParams p;
+  p.switches_per_group = 3;
+  p.terminals_per_switch = 2;
+  p.globals_per_switch = 2;  // max groups = 7
+  p.groups = groups;
+  p.mode = mode;
+  return p;
+}
+
+/// Walks a packet through the routing function; returns hop count and
+/// verifies VC classes never decrease.
+int walk(const sim::Network& net, NodeId s, NodeId d, std::int32_t mid) {
+  sim::Packet pkt;
+  pkt.src = s;
+  pkt.dst = d;
+  pkt.src_chip = net.chip_of(s);
+  pkt.dst_chip = net.chip_of(d);
+  Rng rng(5);
+  net.routing()->init_packet(net, pkt, rng);
+  if (mid >= 0) pkt.mid_wgroup = mid;
+  NodeId cur = s;
+  PortIx in_port = net.router(s).inj_port;
+  int hops = 0;
+  int last_vc = -1;
+  for (;;) {
+    const auto dec = net.routing()->route(net, cur, in_port, pkt);
+    EXPECT_GE(dec.out_vc, last_vc) << "VC class went backwards";
+    last_vc = dec.out_vc;
+    const auto& r = net.router(cur);
+    const ChanId c = r.out[static_cast<std::size_t>(dec.out_port)].out_chan;
+    if (c == kInvalidChan) {
+      EXPECT_EQ(cur, d) << "ejected at wrong node";
+      return hops;
+    }
+    cur = net.chan(c).dst;
+    in_port = net.chan(c).dst_port;
+    if (++hops > 64) {
+      ADD_FAILURE() << "routing loop";
+      return hops;
+    }
+  }
+}
+}  // namespace
+
+TEST(SwDragonfly, MaxScaleCounts) {
+  const auto p = small_df();
+  EXPECT_EQ(p.max_groups(), 7);
+  EXPECT_EQ(p.num_chips(), 7 * 3 * 2);
+  sim::Network net;
+  build_sw_dragonfly(net, p);
+  const auto c = core::census(net);
+  EXPECT_EQ(c.switches, 21u);
+  EXPECT_EQ(c.cores, 42u);
+  EXPECT_EQ(c.chips, 42u);
+}
+
+TEST(SwDragonfly, Radix16PresetMatchesPaper) {
+  const auto p = core::radix16_swdf();
+  EXPECT_EQ(p.max_groups(), 41);
+  EXPECT_EQ(p.num_chips(), 1312);
+  const auto p32 = core::radix32_swdf();
+  EXPECT_EQ(p32.max_groups(), 145);
+  EXPECT_EQ(p32.num_chips(), 18560);
+}
+
+TEST(SwDragonfly, GlobalLinksBijective) {
+  sim::Network net;
+  build_sw_dragonfly(net, small_df());
+  const auto& T = net.topo<SwDfTopo>();
+  const int G = 7, S = 3, H = 2;
+  // Every group pair has exactly one global link and the endpoints agree.
+  for (int ga = 0; ga < G; ++ga) {
+    for (int gb = 0; gb < G; ++gb) {
+      if (ga == gb) continue;
+      const int l = SwDfTopo::global_link(ga, gb);
+      ASSERT_LT(l, S * H);
+      const ChanId c = T.global_chan[static_cast<std::size_t>(
+          (ga * S + l / H) * H + l % H)];
+      ASSERT_NE(c, kInvalidChan);
+      EXPECT_EQ(T.loc[static_cast<std::size_t>(net.chan(c).src)].group, ga);
+      EXPECT_EQ(T.loc[static_cast<std::size_t>(net.chan(c).dst)].group, gb);
+    }
+  }
+}
+
+TEST(SwDragonfly, MinimalPathsDeliverWithinDiameter) {
+  sim::Network net;
+  build_sw_dragonfly(net, small_df());
+  // Diameter: term + local + global + local + term = 5 channel hops.
+  for (NodeId s : net.terminals())
+    for (NodeId d : net.terminals())
+      if (s != d) EXPECT_LE(walk(net, s, d, -1), 5);
+}
+
+TEST(SwDragonfly, ValiantPathsDeliverThroughMid) {
+  sim::Network net;
+  build_sw_dragonfly(net, small_df(0, route::RouteMode::Valiant));
+  const auto& T = net.topo<SwDfTopo>();
+  for (NodeId s : net.terminals()) {
+    for (NodeId d : net.terminals()) {
+      if (s == d) continue;
+      const auto gs = T.loc[static_cast<std::size_t>(s)].group;
+      const auto gd = T.loc[static_cast<std::size_t>(d)].group;
+      if (gs == gd) continue;
+      for (std::int32_t mid = 0; mid < 7; ++mid) {
+        if (mid == gs || mid == gd) continue;
+        EXPECT_LE(walk(net, s, d, mid), 8);  // +global+local via mid
+      }
+    }
+  }
+}
+
+TEST(SwDragonfly, CrossbarDegenerateCase) {
+  sim::Network net;
+  build_crossbar(net, 4, 1);
+  const auto c = core::census(net);
+  EXPECT_EQ(c.switches, 1u);
+  EXPECT_EQ(c.chips, 4u);
+  for (NodeId s : net.terminals())
+    for (NodeId d : net.terminals())
+      if (s != d) EXPECT_EQ(walk(net, s, d, -1), 2);  // up + down
+}
+
+TEST(SwDragonfly, TrimmedGroupCount) {
+  sim::Network net;
+  build_sw_dragonfly(net, small_df(4));
+  const auto& T = net.topo<SwDfTopo>();
+  EXPECT_EQ(T.num_wgroups, 4);
+  for (NodeId s : net.terminals())
+    for (NodeId d : net.terminals())
+      if (s != d) EXPECT_LE(walk(net, s, d, -1), 5);
+}
+
+TEST(SwDragonfly, InvalidParamsThrow) {
+  auto p = small_df();
+  p.groups = 100;  // exceeds S*h+1
+  sim::Network net;
+  EXPECT_THROW(build_sw_dragonfly(net, p), std::invalid_argument);
+}

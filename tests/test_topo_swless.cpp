@@ -1,0 +1,177 @@
+// Switch-less Dragonfly topology construction tests: scale formulas,
+// local/global wiring bijectivity, IO-converter plumbing, location tables,
+// and the small-scale (no-converter) variant.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/params.hpp"
+#include "topo/swless.hpp"
+
+using namespace sldf;
+using namespace sldf::topo;
+
+namespace {
+SwlessParams tiny(int g = 0) {
+  SwlessParams p;
+  p.a = 1;
+  p.b = 3;  // ab = 3 C-groups per W-group
+  p.chip_gx = 2;
+  p.chip_gy = 2;
+  p.noc_x = 1;
+  p.noc_y = 1;  // 2x2 router mesh, chip == router
+  p.ports_per_chiplet = 4;
+  p.local_ports = 2;
+  p.global_ports = 2;  // g max = 7
+  p.g = g;
+  return p;
+}
+}  // namespace
+
+TEST(SwlessTopo, ScaleFormulas) {
+  const auto p = tiny();
+  EXPECT_EQ(p.ab(), 3);
+  EXPECT_EQ(p.max_wgroups(), 7);
+  EXPECT_EQ(p.num_chips(), 7 * 3 * 4);
+  EXPECT_EQ(p.k(), 4);
+}
+
+TEST(SwlessTopo, Radix16PresetMatchesPaper) {
+  const auto p = core::radix16_swless();
+  EXPECT_EQ(p.ab(), 8);
+  EXPECT_EQ(p.max_wgroups(), 41);
+  EXPECT_EQ(p.num_chips(), 1312);
+  EXPECT_EQ(p.num_chips() * p.nodes_per_chip(), 5248);  // on-chip nodes
+
+  const auto p32 = core::radix32_swless();
+  EXPECT_EQ(p32.ab(), 16);
+  EXPECT_EQ(p32.max_wgroups(), 145);
+  EXPECT_EQ(p32.num_chips(), 18560);
+
+  const auto cs = core::case_study_swless();
+  EXPECT_EQ(cs.ab(), 32);
+  EXPECT_EQ(cs.k(), 48);
+  EXPECT_EQ(cs.max_wgroups(), 545);
+  EXPECT_EQ(cs.num_chips(), 279040);  // Table III
+}
+
+TEST(SwlessTopo, BuildCensus) {
+  sim::Network net;
+  build_swless_dragonfly(net, tiny());
+  const auto c = core::census(net);
+  EXPECT_EQ(c.chips, 84u);
+  EXPECT_EQ(c.cores, 84u);  // 1 router per chip here
+  EXPECT_EQ(c.io_converters, 21u * 4u);  // 21 C-groups x 4 ports
+  EXPECT_EQ(c.switches, 0u);
+}
+
+TEST(SwlessTopo, LocalWiringIsAllToAllWithinWGroup) {
+  sim::Network net;
+  build_swless_dragonfly(net, tiny());
+  const auto& T = net.topo<SwlessTopo>();
+  for (int wg = 0; wg < 7; ++wg) {
+    for (int ca = 0; ca < 3; ++ca) {
+      for (int cb = 0; cb < 3; ++cb) {
+        if (ca == cb) continue;
+        const auto& ep = T.cgroup(wg, ca).locals[static_cast<std::size_t>(
+            SwlessTopo::local_index(ca, cb))];
+        ASSERT_NE(ep.line_out, kInvalidChan);
+        // Follow host -> io -> line: lands at the peer C-group's io.
+        const auto peer_io = net.chan(ep.line_out).dst;
+        const auto& loc = T.loc[static_cast<std::size_t>(peer_io)];
+        EXPECT_EQ(loc.wg, wg);
+        EXPECT_EQ(loc.cg, cb);
+        EXPECT_EQ(net.chan(ep.line_out).type, LinkType::LongReachLocal);
+      }
+    }
+  }
+}
+
+TEST(SwlessTopo, GlobalWiringConnectsAllWGroupPairs) {
+  sim::Network net;
+  build_swless_dragonfly(net, tiny());
+  const auto& T = net.topo<SwlessTopo>();
+  const int H = 2;
+  for (int wa = 0; wa < 7; ++wa) {
+    for (int wb = 0; wb < 7; ++wb) {
+      if (wa == wb) continue;
+      const int l = SwlessTopo::global_link(wa, wb);
+      const auto& ep = T.cgroup(wa, l / H).globals[static_cast<std::size_t>(
+          l % H)];
+      ASSERT_NE(ep.line_out, kInvalidChan);
+      const auto peer_io = net.chan(ep.line_out).dst;
+      EXPECT_EQ(T.loc[static_cast<std::size_t>(peer_io)].wg, wb);
+      EXPECT_EQ(net.chan(ep.line_out).type, LinkType::LongReachGlobal);
+    }
+  }
+}
+
+TEST(SwlessTopo, IoConverterPortLayout) {
+  sim::Network net;
+  build_swless_dragonfly(net, tiny());
+  const auto& T = net.topo<SwlessTopo>();
+  const auto& ep = T.cgroup(0, 0).locals[0];
+  const auto& io = net.router(ep.io);
+  ASSERT_EQ(io.in.size(), 2u);
+  ASSERT_EQ(io.out.size(), 2u);
+  // in0/out0 attach to the host; in1/out1 are the line.
+  EXPECT_EQ(net.chan(io.in[0].in_chan).src, ep.host);
+  EXPECT_EQ(net.chan(io.out[0].out_chan).dst, ep.host);
+  EXPECT_EQ(net.chan(io.out[1].out_chan).src, ep.io);
+  EXPECT_NE(net.chan(io.out[1].out_chan).dst, ep.host);
+}
+
+TEST(SwlessTopo, TrimmedG) {
+  sim::Network net;
+  build_swless_dragonfly(net, tiny(3));
+  const auto& T = net.topo<SwlessTopo>();
+  EXPECT_EQ(T.num_wgroups, 3);
+  EXPECT_EQ(net.num_chips(), 3u * 3u * 4u);
+}
+
+TEST(SwlessTopo, SingleWGroupVariant) {
+  // §III-D1: the system can be a single fully-connected W-group.
+  auto p = tiny(1);
+  sim::Network net;
+  build_swless_dragonfly(net, p);
+  EXPECT_EQ(net.num_chips(), 12u);
+}
+
+TEST(SwlessTopo, NoConverterVariantWiresHostsDirectly) {
+  auto p = tiny();
+  p.io_converters = false;
+  sim::Network net;
+  build_swless_dragonfly(net, p);
+  const auto c = core::census(net);
+  EXPECT_EQ(c.io_converters, 0u);
+  const auto& T = net.topo<SwlessTopo>();
+  const auto& ep = T.cgroup(0, 0).locals[0];
+  EXPECT_EQ(net.chan(ep.exit_chan).src, ep.host);
+  EXPECT_EQ(net.router(net.chan(ep.exit_chan).dst).kind, NodeKind::Core);
+}
+
+TEST(SwlessTopo, HierTablesConsistent) {
+  sim::Network net;
+  build_swless_dragonfly(net, tiny());
+  const auto& T = net.topo<SwlessTopo>();
+  EXPECT_EQ(T.num_wgroups, 7);
+  EXPECT_EQ(T.num_cgroups, 21);
+  EXPECT_EQ(T.nodes_per_chip, 1);
+  for (ChipId ch = 0; ch < static_cast<ChipId>(net.num_chips()); ++ch) {
+    EXPECT_EQ(T.chip_wgroup[static_cast<std::size_t>(ch)], ch / 12);
+    EXPECT_EQ(T.chip_cgroup[static_cast<std::size_t>(ch)], ch / 4);
+  }
+}
+
+TEST(SwlessTopo, ValidationRejectsBadLocalPorts) {
+  auto p = tiny();
+  p.local_ports = 1;  // must be ab-1 = 2
+  sim::Network net;
+  EXPECT_THROW(build_swless_dragonfly(net, p), std::invalid_argument);
+}
+
+TEST(SwlessTopo, ValidationRejectsOversizedG) {
+  auto p = tiny();
+  p.g = 99;
+  sim::Network net;
+  EXPECT_THROW(build_swless_dragonfly(net, p), std::invalid_argument);
+}
