@@ -4,28 +4,19 @@
 // path tax — and divert like Valiant under the adversarial worst-case
 // pattern, giving the best of both with no configuration change.
 #include "bench_common.hpp"
-#include "core/params.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 using route::RouteMode;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   BenchEnv env(cli);
   banner("Ablation: UGAL-L adaptive vs minimal vs Valiant (radix-16)");
 
   const int g = env.quick ? 9 : static_cast<int>(cli.get_int("g", 0));
-  const auto swless = [g](RouteMode mode) {
-    return [g, mode](sim::Network& n) {
-      auto p = core::radix16_swless();
-      p.g = g;
-      p.mode = mode;
-      topo::build_swless_dragonfly(n, p);
-    };
-  };
 
   struct Panel {
     const char* name;
@@ -37,17 +28,23 @@ int main(int argc, char** argv) {
 
   auto csv = env.csv("ablation_adaptive.csv");
   for (const auto& p : panels) {
-    const auto rates = core::linspace_rates(p.max_rate, env.points(4));
-    const auto traffic_factory = [&](const sim::Network& n) {
-      return traffic::make_pattern(p.pattern, n);
-    };
     std::printf("--- %s ---\n", p.name);
     for (auto mode :
          {RouteMode::Minimal, RouteMode::Valiant, RouteMode::Adaptive}) {
-      run_series(env, csv,
-                 std::string(p.name) + "/" + to_string(mode),
-                 swless(mode), traffic_factory, rates);
+      auto s = env.spec(std::string(p.name) + "/" + to_string(mode),
+                        "radix16-swless", p.pattern);
+      s.topo["g"] = std::to_string(g);
+      s.mode = mode;
+      s.max_rate = p.max_rate;
+      s.points = env.points(4);
+      run_spec(csv, s);
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("ablation_adaptive", [&] { return bench_main(argc, argv); });
 }

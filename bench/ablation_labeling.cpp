@@ -4,17 +4,16 @@
 // perimeter-arc ("polar-style") labelings leave gaps that force XY
 // fallbacks (counted by the CDG audit) and change transit path lengths.
 #include "bench_common.hpp"
-#include "core/params.hpp"
-#include "route/cdg.hpp"
 #include "route/mesh_routing.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
+#include "topo/labeling.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 using topo::Labeling;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   BenchEnv env(cli);
   banner("Ablation: labeling methods for reduced-VC routing");
@@ -43,22 +42,23 @@ int main(int argc, char** argv) {
 
   const int g = env.quick ? 7 : 11;
   auto csv = env.csv("ablation_labeling.csv");
-  const auto rates = core::linspace_rates(0.8, env.points(4));
   for (auto lab : {Labeling::Snake, Labeling::RowMajor,
                    Labeling::PerimeterArc}) {
-    run_series(env, csv, std::string("reduced-safe-") + to_string(lab),
-               [g, lab](sim::Network& n) {
-                 auto p = core::radix16_swless();
-                 p.g = g;
-                 p.scheme = route::VcScheme::ReducedSafe;
-                 p.mode = route::RouteMode::Valiant;
-                 p.labeling = lab;
-                 topo::build_swless_dragonfly(n, p);
-               },
-               [](const sim::Network& n) {
-                 return traffic::make_pattern("uniform", n);
-               },
-               rates);
+    auto s = env.spec(std::string("reduced-safe-") + to_string(lab),
+                      "radix16-swless", "uniform");
+    s.topo["g"] = std::to_string(g);
+    s.topo["labeling"] = to_string(lab);
+    s.scheme = route::VcScheme::ReducedSafe;
+    s.mode = route::RouteMode::Valiant;
+    s.max_rate = 0.8;
+    s.points = env.points(4);
+    run_spec(csv, s);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("ablation_labeling", [&] { return bench_main(argc, argv); });
 }

@@ -6,17 +6,17 @@
 // (2) latency/throughput on the radix-16 network — quantifying what the
 // monotone path discipline costs in performance.
 #include "bench_common.hpp"
-#include "core/params.hpp"
 #include "route/cdg.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
+#include "sim/network.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 using route::RouteMode;
 using route::VcScheme;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   BenchEnv env(cli);
   banner("Ablation: VC schemes (Baseline / Reduced / ReducedSafe)");
@@ -26,19 +26,11 @@ int main(int argc, char** argv) {
   for (auto mode : {RouteMode::Minimal, RouteMode::Valiant}) {
     for (auto scheme :
          {VcScheme::Baseline, VcScheme::Reduced, VcScheme::ReducedSafe}) {
-      topo::SwlessParams p;
-      p.a = 1;
-      p.b = 3;
-      p.chip_gx = p.chip_gy = 2;
-      p.noc_x = p.noc_y = 1;
-      p.ports_per_chiplet = 4;
-      p.local_ports = 2;
-      p.global_ports = 2;
-      p.g = 5;
-      p.scheme = scheme;
-      p.mode = mode;
+      auto spec = env.spec("audit", "tiny-swless", "uniform");
+      spec.mode = mode;
+      spec.scheme = scheme;
       sim::Network net;
-      topo::build_swless_dragonfly(net, p);
+      core::build_network(net, spec);
       const auto rep = route::audit_cdg(net);
       std::printf("  %-13s %-8s vcs=%d : %s\n", to_string(scheme),
                   to_string(mode), net.num_vcs(),
@@ -50,20 +42,21 @@ int main(int argc, char** argv) {
   // --- Performance on the radix-16 network, uniform traffic ---
   const int g = env.quick ? 9 : 15;
   auto csv = env.csv("ablation_vc_schemes.csv");
-  const auto rates = core::linspace_rates(0.8, env.points(5));
   for (auto scheme :
        {VcScheme::Baseline, VcScheme::Reduced, VcScheme::ReducedSafe}) {
-    run_series(env, csv, std::string("swless-") + to_string(scheme),
-               [g, scheme](sim::Network& n) {
-                 auto p = core::radix16_swless();
-                 p.g = g;
-                 p.scheme = scheme;
-                 topo::build_swless_dragonfly(n, p);
-               },
-               [](const sim::Network& n) {
-                 return traffic::make_pattern("uniform", n);
-               },
-               rates);
+    auto s = env.spec(std::string("swless-") + to_string(scheme),
+                      "radix16-swless", "uniform");
+    s.topo["g"] = std::to_string(g);
+    s.scheme = scheme;
+    s.max_rate = 0.8;
+    s.points = env.points(5);
+    run_spec(csv, s);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("ablation_vc_schemes", [&] { return bench_main(argc, argv); });
 }

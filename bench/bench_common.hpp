@@ -1,4 +1,7 @@
-// Shared scaffolding for the figure/table benchmark binaries.
+// Shared scaffolding for the figure/table benchmark binaries. Every bench
+// describes its experiment as core::ScenarioSpec values (topology preset +
+// overrides, routing mode, traffic kind) and runs them through
+// core::run_scenario().
 //
 // Every bench accepts:
 //   --quick        shrink cycle counts and sweep points (CI smoke run)
@@ -14,7 +17,7 @@
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
 
 namespace sldf::bench {
 
@@ -49,6 +52,18 @@ struct BenchEnv {
     return quick ? std::max(3, full / 2) : full;
   }
 
+  /// A spec preloaded with this run's measurement window and seed.
+  [[nodiscard]] core::ScenarioSpec spec(std::string label,
+                                        std::string topology,
+                                        std::string traffic) const {
+    core::ScenarioSpec s;
+    s.label = std::move(label);
+    s.topology = std::move(topology);
+    s.traffic = std::move(traffic);
+    s.sim = base;
+    return s;
+  }
+
   [[nodiscard]] CsvWriter csv(const std::string& name) const {
     return CsvWriter(out_dir + "/" + name,
                      {"series", "offered", "avg_latency", "accepted", "p99",
@@ -63,19 +78,26 @@ inline void banner(const char* title) {
   std::fflush(stdout);
 }
 
-/// Runs and reports one sweep series.
-inline core::SweepSeries run_series(const BenchEnv& env, CsvWriter& csv,
-                                    const std::string& label,
-                                    const core::NetFactory& net,
-                                    const core::TrafficFactory& traffic,
-                                    const std::vector<double>& rates) {
-  core::SweepConfig cfg;
-  cfg.rates = rates;
-  cfg.base = env.base;
-  auto series = core::run_sweep(label, net, traffic, cfg);
+/// Runs one scenario and reports it (table + CSV rows).
+inline core::SweepSeries run_spec(CsvWriter& csv,
+                                  const core::ScenarioSpec& spec) {
+  auto series = core::run_scenario(spec);
   core::print_series(series);
   core::append_series_csv(csv, series);
   return series;
+}
+
+/// Wraps a bench main body: configuration errors (malformed flag values,
+/// unknown registry names) print a clear message and exit 1 instead of
+/// reaching std::terminate.
+template <typename Body>
+int guarded(const char* prog, Body&& body) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", prog, e.what());
+    return 1;
+  }
 }
 
 }  // namespace sldf::bench

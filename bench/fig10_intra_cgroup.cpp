@@ -4,28 +4,16 @@
 // traffic. Paper result: the mesh saturates near 3 flits/cycle/chip
 // (uniform) and 2 (bit-reverse), >2-3x the switch's single-link 1.0.
 #include "bench_common.hpp"
-#include "topo/cgroup.hpp"
-#include "topo/dragonfly.hpp"
-#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchEnv env(cli);
   banner("Fig 10(a-b): intra-C-group latency vs injection rate");
-
-  const auto mesh_factory = [](sim::Network& n) {
-    topo::CGroupShape s;
-    s.chip_gx = s.chip_gy = 2;
-    s.noc_x = s.noc_y = 2;
-    s.ports_per_chiplet = 6;
-    topo::build_mesh_network(n, s, 1, 32);
-  };
-  const auto switch_factory = [](sim::Network& n) {
-    topo::build_crossbar(n, 4, /*term_latency=*/1);
-  };
 
   struct Panel {
     const char* fig;
@@ -37,18 +25,27 @@ int main(int argc, char** argv) {
 
   for (const auto& p : panels) {
     auto csv = env.csv(std::string(p.fig) + ".csv");
-    const auto rates = core::linspace_rates(p.max_rate, env.points(8));
     std::printf("--- %s (%s) ---\n", p.fig, p.pattern);
-    run_series(env, csv, "Switch", switch_factory,
-               [&](const sim::Network& n) {
-                 return traffic::make_pattern(p.pattern, n);
-               },
-               rates);
-    run_series(env, csv, "2D-Mesh", mesh_factory,
-               [&](const sim::Network& n) {
-                 return traffic::make_pattern(p.pattern, n);
-               },
-               rates);
+
+    auto sw = env.spec("Switch", "crossbar", p.pattern);
+    sw.topo["terminals"] = "4";
+    sw.topo["term_latency"] = "1";
+    sw.max_rate = p.max_rate;
+    sw.points = env.points(8);
+    run_spec(csv, sw);
+
+    // cgroup-mesh defaults are the radix-16 shape: 2x2 chiplets of 2x2
+    // NoC routers, n = 6.
+    auto mesh = env.spec("2D-Mesh", "cgroup-mesh", p.pattern);
+    mesh.max_rate = p.max_rate;
+    mesh.points = env.points(8);
+    run_spec(csv, mesh);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig10_intra_cgroup", [&] { return bench_main(argc, argv); });
 }

@@ -6,32 +6,16 @@
 // bit-shuffle (inter-C-group links are the bottleneck there), and the 2B
 // on-wafer bandwidth widens the gap further.
 #include "bench_common.hpp"
-#include "core/params.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchEnv env(cli);
   banner("Fig 10(c-f): intra-W-group latency vs injection rate");
-
-  const auto swless = [](int width) {
-    return [width](sim::Network& n) {
-      auto p = core::radix16_swless();
-      p.g = 1;  // a single fully-connected W-group
-      p.mesh_width = width;
-      topo::build_swless_dragonfly(n, p);
-    };
-  };
-  const auto swbased = [](sim::Network& n) {
-    auto p = core::radix16_swdf();
-    p.groups = 1;
-    topo::build_sw_dragonfly(n, p);
-  };
 
   struct Panel {
     const char* fig;
@@ -43,16 +27,33 @@ int main(int argc, char** argv) {
                           {"fig10e", "bit-shuffle", 0.5},
                           {"fig10f", "bit-transpose", 1.8}};
 
+  struct Series {
+    const char* label;
+    const char* topology;
+    int mesh_width;
+  };
+  const Series series[] = {{"SW-based", "radix16-swdf", 0},
+                           {"SW-less", "radix16-swless", 1},
+                           {"SW-less-2B", "radix16-swless", 2}};
+
   for (const auto& p : panels) {
     auto csv = env.csv(std::string(p.fig) + ".csv");
-    const auto rates = core::linspace_rates(p.max_rate, env.points(8));
-    const auto traffic_factory = [&](const sim::Network& n) {
-      return traffic::make_pattern(p.pattern, n);
-    };
     std::printf("--- %s (%s) ---\n", p.fig, p.pattern);
-    run_series(env, csv, "SW-based", swbased, traffic_factory, rates);
-    run_series(env, csv, "SW-less", swless(1), traffic_factory, rates);
-    run_series(env, csv, "SW-less-2B", swless(2), traffic_factory, rates);
+    for (const auto& ser : series) {
+      auto s = env.spec(ser.label, ser.topology, p.pattern);
+      s.topo["g"] = "1";  // a single fully-connected (W-)group
+      if (ser.mesh_width > 1)
+        s.topo["mesh_width"] = std::to_string(ser.mesh_width);
+      s.max_rate = p.max_rate;
+      s.points = env.points(8);
+      run_spec(csv, s);
+    }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig10_local", [&] { return bench_main(argc, argv); });
 }

@@ -7,35 +7,20 @@
 //
 // Default runs use a reduced measurement window (the full Table IV window
 // is available via --paper); --quick additionally trims g.
+// Equivalent driver invocation: sldf --config configs/fig11a.conf
 #include "bench_common.hpp"
-#include "core/params.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   BenchEnv env(cli);
   banner("Fig 11(a-b): global latency vs injection rate (radix-16, 1312 chips)");
 
   const int g = env.quick ? 15 : static_cast<int>(cli.get_int("g", 0));
-
-  const auto swless = [g](int width) {
-    return [g, width](sim::Network& n) {
-      auto p = core::radix16_swless();
-      p.g = g;
-      p.mesh_width = width;
-      topo::build_swless_dragonfly(n, p);
-    };
-  };
-  const auto swbased = [g](sim::Network& n) {
-    auto p = core::radix16_swdf();
-    p.groups = g;
-    topo::build_sw_dragonfly(n, p);
-  };
 
   struct Panel {
     const char* fig;
@@ -47,14 +32,24 @@ int main(int argc, char** argv) {
 
   for (const auto& p : panels) {
     auto csv = env.csv(std::string(p.fig) + ".csv");
-    const auto rates = core::linspace_rates(p.max_rate, env.points(6));
-    const auto traffic_factory = [&](const sim::Network& n) {
-      return traffic::make_pattern(p.pattern, n);
-    };
     std::printf("--- %s (%s) ---\n", p.fig, p.pattern);
-    run_series(env, csv, "SW-based", swbased, traffic_factory, rates);
-    run_series(env, csv, "SW-less", swless(1), traffic_factory, rates);
-    run_series(env, csv, "SW-less-2B", swless(2), traffic_factory, rates);
+    for (const char* label : {"SW-based", "SW-less", "SW-less-2B"}) {
+      auto s = env.spec(label, std::string(label) == "SW-based"
+                                   ? "radix16-swdf"
+                                   : "radix16-swless",
+                        p.pattern);
+      s.topo["g"] = std::to_string(g);
+      if (std::string(label) == "SW-less-2B") s.topo["mesh_width"] = "2";
+      s.max_rate = p.max_rate;
+      s.points = env.points(6);
+      run_spec(csv, s);
+    }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig11_global", [&] { return bench_main(argc, argv); });
 }

@@ -7,15 +7,13 @@
 // The full 18560-chip system is a ~130k-router simulation; the default
 // trims g (override with --g or run --paper for the full 145 W-groups).
 #include "bench_common.hpp"
-#include "core/params.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   BenchEnv env(cli);
   banner("Fig 12(a-b): radix-32 scalability (local + global uniform)");
@@ -35,63 +33,54 @@ int main(int argc, char** argv) {
   // --- (a) local: one W-group of 16 C-groups (128 chips) ---
   {
     auto csv = env.csv("fig12a.csv");
-    const auto rates = core::linspace_rates(1.5, env.points(6));
-    const auto traffic_factory = [](const sim::Network& n) {
-      return traffic::make_pattern("uniform", n);
-    };
     std::printf("--- fig12a (local, radix-32 W-group) ---\n");
-    run_series(env, csv, "SW-based",
-               [](sim::Network& n) {
-                 auto p = core::radix32_swdf();
-                 p.groups = 1;
-                 topo::build_sw_dragonfly(n, p);
-               },
-               traffic_factory, rates);
+    auto sw = env.spec("SW-based", "radix32-swdf", "uniform");
+    sw.topo["groups"] = "1";
+    sw.max_rate = 1.5;
+    sw.points = env.points(6);
+    run_spec(csv, sw);
     for (int width : {1, 2}) {
-      run_series(env, csv, width == 1 ? "SW-less" : "SW-less-2B",
-                 [width](sim::Network& n) {
-                   auto p = core::radix32_swless();
-                   p.g = 1;
-                   p.mesh_width = width;
-                   topo::build_swless_dragonfly(n, p);
-                 },
-                 traffic_factory, rates);
+      auto s = env.spec(width == 1 ? "SW-less" : "SW-less-2B",
+                        "radix32-swless", "uniform");
+      s.topo["g"] = "1";
+      s.topo["mesh_width"] = std::to_string(width);
+      s.max_rate = 1.5;
+      s.points = env.points(6);
+      run_spec(csv, s);
     }
   }
 
   // --- (b) global ---
   {
     auto csv = env.csv("fig12b.csv");
-    const auto rates = core::linspace_rates(0.8, env.points(5));
-    const auto traffic_factory = [](const sim::Network& n) {
-      return traffic::make_pattern("uniform", n);
-    };
     std::printf("--- fig12b (global, radix-32 C-groups, ab=%d, g=%d) ---\n",
                 ab, ab * 9 + 1);
-    run_series(env, csv, "SW-based",
-               [ab](sim::Network& n) {
-                 auto p = core::radix32_swdf();
-                 p.switches_per_group = ab;
-                 p.groups = 0;  // full: ab*h + 1 groups
-                 topo::build_sw_dragonfly(n, p);
-               },
-               traffic_factory, rates);
+    auto sw = env.spec("SW-based", "radix32-swdf", "uniform");
+    sw.topo["switches_per_group"] = std::to_string(ab);
+    sw.topo["groups"] = "0";  // full: ab*h + 1 groups
+    sw.max_rate = 0.8;
+    sw.points = env.points(5);
+    run_spec(csv, sw);
     for (int width : {1, 2, 4}) {
       const char* label = width == 1   ? "SW-less"
                           : width == 2 ? "SW-less-2B"
                                        : "SW-less-4B";
-      run_series(env, csv, label,
-                 [ab, width](sim::Network& n) {
-                   auto p = core::radix32_swless();
-                   p.a = 2;
-                   p.b = ab / 2;
-                   p.local_ports = ab - 1;
-                   p.g = 0;  // full
-                   p.mesh_width = width;
-                   topo::build_swless_dragonfly(n, p);
-                 },
-                 traffic_factory, rates);
+      auto s = env.spec(label, "radix32-swless", "uniform");
+      s.topo["a"] = "2";
+      s.topo["b"] = std::to_string(ab / 2);
+      s.topo["local_ports"] = std::to_string(ab - 1);
+      s.topo["g"] = "0";  // full
+      s.topo["mesh_width"] = std::to_string(width);
+      s.max_rate = 0.8;
+      s.points = env.points(5);
+      run_spec(csv, s);
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig12_scalability", [&] { return bench_main(argc, argv); });
 }

@@ -7,40 +7,21 @@
 //
 // Throughput normalization: offered/accepted rates are per *active* chip
 // for the hotspot pattern (idle W-groups do not inject).
+// Equivalent driver invocation: sldf --config configs/fig13b.conf
 #include "bench_common.hpp"
-#include "core/params.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
 using route::RouteMode;
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   BenchEnv env(cli);
   banner("Fig 13(a-b): adversarial traffic, minimal vs non-minimal routing");
 
   const int g = env.quick ? 11 : static_cast<int>(cli.get_int("g", 0));
-
-  const auto swless = [g](RouteMode mode, int width) {
-    return [g, mode, width](sim::Network& n) {
-      auto p = core::radix16_swless();
-      p.g = g;
-      p.mode = mode;
-      p.mesh_width = width;
-      topo::build_swless_dragonfly(n, p);
-    };
-  };
-  const auto swbased = [g](RouteMode mode) {
-    return [g, mode](sim::Network& n) {
-      auto p = core::radix16_swdf();
-      p.groups = g;
-      p.mode = mode;
-      topo::build_sw_dragonfly(n, p);
-    };
-  };
 
   struct Panel {
     const char* fig;
@@ -50,23 +31,38 @@ int main(int argc, char** argv) {
   const Panel panels[] = {{"fig13a", "hotspot", 0.8},
                           {"fig13b", "worst-case", 0.48}};
 
+  struct Series {
+    const char* label;
+    const char* topology;
+    RouteMode mode;
+    int mesh_width;
+  };
+  const Series series[] = {
+      {"SW-based-Min", "radix16-swdf", RouteMode::Minimal, 0},
+      {"SW-less-Min", "radix16-swless", RouteMode::Minimal, 1},
+      {"SW-based-Mis", "radix16-swdf", RouteMode::Valiant, 0},
+      {"SW-less-Mis", "radix16-swless", RouteMode::Valiant, 1},
+      {"SW-less-2B-Mis", "radix16-swless", RouteMode::Valiant, 2}};
+
   for (const auto& p : panels) {
     auto csv = env.csv(std::string(p.fig) + ".csv");
-    const auto rates = core::linspace_rates(p.max_rate, env.points(5));
-    const auto traffic_factory = [&](const sim::Network& n) {
-      return traffic::make_pattern(p.pattern, n);
-    };
     std::printf("--- %s (%s) ---\n", p.fig, p.pattern);
-    run_series(env, csv, "SW-based-Min", swbased(RouteMode::Minimal),
-               traffic_factory, rates);
-    run_series(env, csv, "SW-less-Min", swless(RouteMode::Minimal, 1),
-               traffic_factory, rates);
-    run_series(env, csv, "SW-based-Mis", swbased(RouteMode::Valiant),
-               traffic_factory, rates);
-    run_series(env, csv, "SW-less-Mis", swless(RouteMode::Valiant, 1),
-               traffic_factory, rates);
-    run_series(env, csv, "SW-less-2B-Mis", swless(RouteMode::Valiant, 2),
-               traffic_factory, rates);
+    for (const auto& ser : series) {
+      auto s = env.spec(ser.label, ser.topology, p.pattern);
+      s.topo["g"] = std::to_string(g);
+      s.mode = ser.mode;
+      if (ser.mesh_width > 1)
+        s.topo["mesh_width"] = std::to_string(ser.mesh_width);
+      s.max_rate = p.max_rate;
+      s.points = env.points(5);
+      run_spec(csv, s);
+    }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig13_misrouting", [&] { return bench_main(argc, argv); });
 }

@@ -5,81 +5,82 @@
 // at ~1 for unidirectional rings; bidirectional rings + 2B on-wafer
 // bandwidth push the switch-less group to ~2x.
 #include "bench_common.hpp"
-#include "core/params.hpp"
-#include "topo/cgroup.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/swless.hpp"
-#include "traffic/allreduce.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
-using traffic::RingAllReduceTraffic;
-using traffic::RingScope;
 
-int main(int argc, char** argv) {
+namespace {
+
+core::ScenarioSpec ring_spec(const BenchEnv& env, const char* label,
+                             const char* topology, const char* scope,
+                             bool bidir) {
+  auto s = env.spec(label, topology, "ring-allreduce");
+  s.traffic_opts["scope"] = scope;
+  if (bidir) s.traffic_opts["bidir"] = "1";
+  return s;
+}
+
+}  // namespace
+
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchEnv env(cli);
   banner("Fig 14(a-b): ring AllReduce within C-group and W-group");
 
-  const auto ring = [](RingScope scope, bool bidir) {
-    return [scope, bidir](const sim::Network& n) {
-      return std::make_unique<RingAllReduceTraffic>(n, scope, bidir);
-    };
-  };
-
   // --- (a) intra-C-group ---
   {
     auto csv = env.csv("fig14a.csv");
-    const auto rates = core::linspace_rates(4.2, env.points(7));
-    const auto mesh = [](sim::Network& n) {
-      topo::CGroupShape s;
-      s.chip_gx = s.chip_gy = 2;
-      s.noc_x = s.noc_y = 2;
-      s.ports_per_chiplet = 6;
-      topo::build_mesh_network(n, s, 1, 32);
-    };
-    const auto xbar = [](sim::Network& n) {
-      topo::build_crossbar(n, 4, 1);
-    };
     std::printf("--- fig14a (intra-C-group AllReduce) ---\n");
-    run_series(env, csv, "SW-based-Uni", xbar,
-               ring(RingScope::CGroup, false), rates);
-    run_series(env, csv, "SW-less-Uni", mesh, ring(RingScope::CGroup, false),
-               rates);
-    run_series(env, csv, "SW-based-Bi", xbar, ring(RingScope::CGroup, true),
-               rates);
-    run_series(env, csv, "SW-less-Bi", mesh, ring(RingScope::CGroup, true),
-               rates);
+    struct Series {
+      const char* label;
+      const char* topology;
+      bool bidir;
+    };
+    const Series series[] = {{"SW-based-Uni", "crossbar", false},
+                             {"SW-less-Uni", "cgroup-mesh", false},
+                             {"SW-based-Bi", "crossbar", true},
+                             {"SW-less-Bi", "cgroup-mesh", true}};
+    for (const auto& ser : series) {
+      auto s = ring_spec(env, ser.label, ser.topology, "cgroup", ser.bidir);
+      s.max_rate = 4.2;
+      s.points = env.points(7);
+      run_spec(csv, s);
+    }
   }
 
   // --- (b) intra-W-group ---
   {
     auto csv = env.csv("fig14b.csv");
-    const auto rates = core::linspace_rates(2.2, env.points(7));
-    const auto swless = [](int width) {
-      return [width](sim::Network& n) {
-        auto p = core::radix16_swless();
-        p.g = 1;
-        p.mesh_width = width;
-        topo::build_swless_dragonfly(n, p);
-      };
-    };
-    const auto swbased = [](sim::Network& n) {
-      auto p = core::radix16_swdf();
-      p.groups = 1;
-      topo::build_sw_dragonfly(n, p);
-    };
     std::printf("--- fig14b (intra-W-group AllReduce) ---\n");
-    run_series(env, csv, "SW-based-Uni", swbased,
-               ring(RingScope::WGroup, false), rates);
-    run_series(env, csv, "SW-less-Uni", swless(1),
-               ring(RingScope::WGroup, false), rates);
-    run_series(env, csv, "SW-based-Bi", swbased,
-               ring(RingScope::WGroup, true), rates);
-    run_series(env, csv, "SW-less-Bi", swless(1),
-               ring(RingScope::WGroup, true), rates);
-    run_series(env, csv, "SW-less-Bi-2B", swless(2),
-               ring(RingScope::WGroup, true), rates);
+    struct Series {
+      const char* label;
+      const char* topology;
+      bool bidir;
+      int mesh_width;
+    };
+    const Series series[] = {
+        {"SW-based-Uni", "radix16-swdf", false, 0},
+        {"SW-less-Uni", "radix16-swless", false, 1},
+        {"SW-based-Bi", "radix16-swdf", true, 0},
+        {"SW-less-Bi", "radix16-swless", true, 1},
+        {"SW-less-Bi-2B", "radix16-swless", true, 2}};
+    for (const auto& ser : series) {
+      auto s = ring_spec(env, ser.label, ser.topology, "wgroup", ser.bidir);
+      s.topo["g"] = "1";
+      if (ser.mesh_width > 1)
+        s.topo["mesh_width"] = std::to_string(ser.mesh_width);
+      s.max_rate = 2.2;
+      s.points = env.points(7);
+      run_spec(csv, s);
+    }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig14_allreduce", [&] { return bench_main(argc, argv); });
 }

@@ -7,11 +7,7 @@
 // non-minimal routing on large C-groups shows the biggest on-wafer
 // overhead.
 #include "bench_common.hpp"
-#include "core/params.hpp"
 #include "model/energy.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/swless.hpp"
-#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::bench;
@@ -27,23 +23,21 @@ struct EnergyRow {
   double avg_hops;
 };
 
-EnergyRow measure(const BenchEnv& env, const std::string& label,
-                  const std::string& scale, const core::NetFactory& factory,
+EnergyRow measure(core::ScenarioSpec spec, const std::string& scale,
                   double rate) {
-  sim::Network net;
-  factory(net);
-  auto tr = traffic::make_pattern("uniform", net);
-  sim::SimConfig cfg = env.base;
-  cfg.inj_rate_per_chip = rate;
-  const auto res = sim::run_sim(net, cfg, *tr);
+  spec.rates = {rate};  // single-point "sweep" at the probe rate
+  const auto series = core::run_scenario(spec);
+  const auto& res = series.points.front().res;
   const auto e = model::price_result(res);
-  return {label, scale, e.inter_cgroup_pj, e.intra_cgroup_pj,
+  return {spec.label, scale, e.inter_cgroup_pj, e.intra_cgroup_pj,
           res.avg_hops_total};
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchEnv env(cli);
   banner("Fig 15(a-b): average energy per bit (pJ/bit), inter vs intra C-group");
@@ -52,59 +46,39 @@ int main(int argc, char** argv) {
   const int g32 = env.quick ? 5 : 11;
   const double rate = cli.get_double("rate", 0.2);
 
-  std::vector<EnergyRow> rows;
-  const auto swless16 = [g16](RouteMode m) {
-    return [g16, m](sim::Network& n) {
-      auto p = core::radix16_swless();
-      p.g = g16;
-      p.mode = m;
-      topo::build_swless_dragonfly(n, p);
-    };
+  struct Series {
+    const char* label;
+    bool swless;
+    RouteMode mode;
   };
-  const auto swdf16 = [g16](RouteMode m) {
-    return [g16, m](sim::Network& n) {
-      auto p = core::radix16_swdf();
-      p.groups = g16;
-      p.mode = m;
-      topo::build_sw_dragonfly(n, p);
-    };
-  };
-  const auto swless32 = [g32](RouteMode m) {
-    return [g32, m](sim::Network& n) {
-      auto p = core::radix32_swless();
-      p.g = g32;
-      p.mode = m;
-      topo::build_swless_dragonfly(n, p);
-    };
-  };
-  const auto swdf32 = [g32](RouteMode m) {
-    return [g32, m](sim::Network& n) {
-      auto p = core::radix32_swdf();
-      p.groups = g32;
-      p.mode = m;
-      topo::build_sw_dragonfly(n, p);
-    };
-  };
+  const Series series[] = {
+      {"SW-based", false, RouteMode::Minimal},
+      {"SW-less", true, RouteMode::Minimal},
+      {"SW-based-Misrouting", false, RouteMode::Valiant},
+      {"SW-less-Misrouting", true, RouteMode::Valiant}};
 
-  // (a) small scale: 4x4-router C-groups (radix-16 equivalents).
-  rows.push_back(measure(env, "SW-based", "small(4x4)",
-                         swdf16(RouteMode::Minimal), rate));
-  rows.push_back(measure(env, "SW-less", "small(4x4)",
-                         swless16(RouteMode::Minimal), rate));
-  rows.push_back(measure(env, "SW-based-Misrouting", "small(4x4)",
-                         swdf16(RouteMode::Valiant), rate));
-  rows.push_back(measure(env, "SW-less-Misrouting", "small(4x4)",
-                         swless16(RouteMode::Valiant), rate));
+  std::vector<EnergyRow> rows;
+  // (a) small scale: 4x4-router C-groups (radix-16 equivalents);
   // (b) large scale: 8x4-router C-groups (radix-32 equivalents; the paper
   // uses 7x7 C-group meshes — same regime: more short-reach hops).
-  rows.push_back(measure(env, "SW-based", "large(8x4)",
-                         swdf32(RouteMode::Minimal), rate));
-  rows.push_back(measure(env, "SW-less", "large(8x4)",
-                         swless32(RouteMode::Minimal), rate));
-  rows.push_back(measure(env, "SW-based-Misrouting", "large(8x4)",
-                         swdf32(RouteMode::Valiant), rate));
-  rows.push_back(measure(env, "SW-less-Misrouting", "large(8x4)",
-                         swless32(RouteMode::Valiant), rate));
+  struct Scale {
+    const char* name;
+    const char* swless_topo;
+    const char* swdf_topo;
+    int g;
+  };
+  const Scale scales[] = {{"small(4x4)", "radix16-swless", "radix16-swdf", g16},
+                          {"large(8x4)", "radix32-swless", "radix32-swdf", g32}};
+  for (const auto& scale : scales) {
+    for (const auto& ser : series) {
+      auto s = env.spec(ser.label,
+                        ser.swless ? scale.swless_topo : scale.swdf_topo,
+                        "uniform");
+      s.mode = ser.mode;
+      s.topo["g"] = std::to_string(scale.g);
+      rows.push_back(measure(s, scale.name, rate));
+    }
+  }
 
   CsvWriter csv(env.out_dir + "/fig15.csv",
                 {"network", "scale", "inter_cgroup_pj", "intra_cgroup_pj",
@@ -122,4 +96,10 @@ int main(int argc, char** argv) {
         CsvWriter::format_num(r.avg_hops)});
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig15_energy", [&] { return bench_main(argc, argv); });
 }

@@ -1,18 +1,25 @@
 // google-benchmark micro-kernels for the simulator substrate: end-to-end
-// cycle throughput, topology construction, routing-table builds, and RNG.
+// cycle throughput, topology construction (through the scenario registry),
+// routing-table builds, and RNG.
 #include <benchmark/benchmark.h>
 
-#include "core/params.hpp"
+#include "core/scenario.hpp"
 #include "route/mesh_routing.hpp"
+#include "sim/network.hpp"
 #include "sim/simulator.hpp"
-#include "topo/cgroup.hpp"
 #include "topo/labeling.hpp"
-#include "topo/swless.hpp"
 #include "traffic/pattern.hpp"
 
 using namespace sldf;
 
 namespace {
+
+core::ScenarioSpec wgroup_spec() {
+  core::ScenarioSpec s;
+  s.topology = "radix16-swless";
+  s.topo["g"] = "1";
+  return s;
+}
 
 void BM_RngNext(benchmark::State& state) {
   Rng rng(1);
@@ -37,11 +44,10 @@ void BM_MonotoneTableBuild(benchmark::State& state) {
 BENCHMARK(BM_MonotoneTableBuild)->Arg(4)->Arg(8);
 
 void BM_BuildRadix16WGroup(benchmark::State& state) {
+  const auto spec = wgroup_spec();
   for (auto _ : state) {
     sim::Network net;
-    auto p = core::radix16_swless();
-    p.g = 1;
-    topo::build_swless_dragonfly(net, p);
+    core::build_network(net, spec);
     benchmark::DoNotOptimize(net.num_routers());
   }
 }
@@ -51,9 +57,7 @@ BENCHMARK(BM_BuildRadix16WGroup);
 /// core metric; the figure benches are bound by this).
 void BM_SimulateWGroupCycles(benchmark::State& state) {
   sim::Network net;
-  auto p = core::radix16_swless();
-  p.g = 1;
-  topo::build_swless_dragonfly(net, p);
+  core::build_network(net, wgroup_spec());
   auto tr = traffic::make_pattern("uniform", net);
   std::uint64_t cycles = 0;
   for (auto _ : state) {
@@ -77,11 +81,9 @@ BENCHMARK(BM_SimulateWGroupCycles)->Unit(benchmark::kMillisecond);
 
 void BM_MeshXySweepPoint(benchmark::State& state) {
   sim::Network net;
-  topo::CGroupShape s;
-  s.chip_gx = s.chip_gy = 2;
-  s.noc_x = s.noc_y = 2;
-  s.ports_per_chiplet = 6;
-  topo::build_mesh_network(net, s, 1, 32);
+  core::ScenarioSpec mesh;
+  mesh.topology = "cgroup-mesh";
+  core::build_network(net, mesh);
   auto tr = traffic::make_pattern("uniform", net);
   for (auto _ : state) {
     sim::SimConfig cfg;

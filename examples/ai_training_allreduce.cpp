@@ -1,37 +1,32 @@
 // AI-training scenario (the workload motivating the paper's introduction):
 // estimate sustained ring-AllReduce bandwidth per accelerator chip on
 // (a) a switch-attached pod and (b) a wafer-scale C-group / W-group, then
-// translate flits/cycle into GB/s for a given link bandwidth.
+// translate flits/cycle into GB/s for a given link bandwidth. Each fabric
+// is a ScenarioSpec probed at one far-past-saturation offered load.
 //
 //   ./ai_training_allreduce [--link-gbps 512] [--bidir]
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.hpp"
-#include "core/params.hpp"
-#include "sim/simulator.hpp"
-#include "topo/cgroup.hpp"
-#include "topo/dragonfly.hpp"
-#include "topo/swless.hpp"
-#include "traffic/allreduce.hpp"
+#include "core/scenario.hpp"
 
 using namespace sldf;
 
 namespace {
 
-double saturation(sim::Network& net, traffic::RingAllReduceTraffic& tr) {
-  sim::SimConfig cfg;
-  cfg.inj_rate_per_chip = 5.0;  // well beyond saturation
-  cfg.warmup = 800;
-  cfg.measure = 2000;
-  cfg.drain = 0;
-  return sim::run_sim(net, cfg, tr).accepted;
+/// Accepted flits/cycle/chip at an offered load well beyond saturation.
+double saturation(core::ScenarioSpec spec) {
+  spec.rates = {5.0};
+  spec.sim.warmup = 800;
+  spec.sim.measure = 2000;
+  spec.sim.drain = 0;
+  return core::run_scenario(spec).points.front().res.accepted;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  using traffic::RingAllReduceTraffic;
-  using traffic::RingScope;
+int main(int argc, char** argv) try {
   const Cli cli(argc, argv);
   const double link_GBps = cli.get_double("link-gbps", 512.0) / 8.0;
   const bool bidir = cli.has("bidir");
@@ -42,60 +37,39 @@ int main(int argc, char** argv) {
               link_GBps * 8.0);
   std::printf("%-34s %14s %12s\n", "fabric", "flits/cyc/chip", "GB/s/chip");
 
-  struct Row {
+  struct Fabric {
     const char* name;
-    double sat;
+    const char* topology;
+    const char* scope;
+    int mesh_width;  ///< 0 = not a swless W-group spec.
   };
-  std::vector<Row> rows;
+  const Fabric fabrics[] = {
+      {"4 chips on an ideal switch", "crossbar", "cgroup", 0},
+      {"4 chips, wafer C-group mesh", "cgroup-mesh", "cgroup", 0},
+      {"32 chips, switch group ring", "radix16-swdf", "wgroup", 0},
+      {"32 chips, switch-less W-group", "radix16-swless", "wgroup", 1},
+      {"32 chips, switch-less W-group 2B", "radix16-swless", "wgroup", 2}};
 
-  {  // 4 accelerators behind one switch (NVLink-style pod)
-    sim::Network net;
-    topo::build_crossbar(net, 4, 1);
-    RingAllReduceTraffic tr(net, RingScope::CGroup, bidir);
-    rows.push_back({"4 chips on an ideal switch", saturation(net, tr)});
+  for (const auto& f : fabrics) {
+    core::ScenarioSpec spec;
+    spec.label = f.name;
+    spec.topology = f.topology;
+    spec.traffic = "ring-allreduce";
+    spec.traffic_opts["scope"] = f.scope;
+    if (bidir) spec.traffic_opts["bidir"] = "1";
+    if (std::string(f.scope) == "wgroup") spec.topo["g"] = "1";
+    if (f.mesh_width > 1)
+      spec.topo["mesh_width"] = std::to_string(f.mesh_width);
+    const double sat = saturation(spec);
+    std::printf("%-34s %14.2f %12.0f\n", f.name, sat, sat * link_GBps);
   }
-  {  // 4 chips on one wafer C-group (2x2 chiplets of 2x2 NoC)
-    sim::Network net;
-    topo::CGroupShape s;
-    s.chip_gx = s.chip_gy = 2;
-    s.noc_x = s.noc_y = 2;
-    s.ports_per_chiplet = 6;
-    topo::build_mesh_network(net, s, 1, 32);
-    RingAllReduceTraffic tr(net, RingScope::CGroup, bidir);
-    rows.push_back({"4 chips, wafer C-group mesh", saturation(net, tr)});
-  }
-  {  // 32 chips: switch-based Dragonfly group
-    sim::Network net;
-    auto p = core::radix16_swdf();
-    p.groups = 1;
-    topo::build_sw_dragonfly(net, p);
-    RingAllReduceTraffic tr(net, RingScope::WGroup, bidir);
-    rows.push_back({"32 chips, switch group ring", saturation(net, tr)});
-  }
-  {  // 32 chips: switch-less W-group
-    sim::Network net;
-    auto p = core::radix16_swless();
-    p.g = 1;
-    topo::build_swless_dragonfly(net, p);
-    RingAllReduceTraffic tr(net, RingScope::WGroup, bidir);
-    rows.push_back({"32 chips, switch-less W-group", saturation(net, tr)});
-  }
-  {  // 32 chips: switch-less W-group with 2x on-wafer bandwidth
-    sim::Network net;
-    auto p = core::radix16_swless();
-    p.g = 1;
-    p.mesh_width = 2;
-    topo::build_swless_dragonfly(net, p);
-    RingAllReduceTraffic tr(net, RingScope::WGroup, bidir);
-    rows.push_back({"32 chips, switch-less W-group 2B", saturation(net, tr)});
-  }
-
-  for (const auto& r : rows)
-    std::printf("%-34s %14.2f %12.0f\n", r.name, r.sat, r.sat * link_GBps);
 
   std::printf(
       "\nTakeaway (paper Fig 14): wafer-scale chips inject through several\n"
       "on-wafer links instead of one switch port, so ring collectives scale\n"
       "past the 1 flit/cycle/chip switch ceiling.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "ai_training_allreduce: error: %s\n", e.what());
+  return 1;
 }

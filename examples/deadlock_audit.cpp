@@ -8,37 +8,30 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "core/scenario.hpp"
 #include "route/cdg.hpp"
-#include "topo/swless.hpp"
+#include "sim/network.hpp"
 
 using namespace sldf;
-using route::RouteMode;
-using route::VcScheme;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const std::string scheme_s = cli.get("scheme", "reduced");
-  const std::string mode_s = cli.get("mode", "minimal");
 
-  topo::SwlessParams p;
-  p.a = 1;
-  p.b = 3;
-  p.chip_gx = p.chip_gy = 2;
-  p.noc_x = p.noc_y = 1;
-  p.ports_per_chiplet = 4;
-  p.local_ports = 2;
-  p.global_ports = 2;
-  p.g = static_cast<int>(cli.get_int("g", 5));
-  p.scheme = scheme_s == "baseline"       ? VcScheme::Baseline
-             : scheme_s == "reduced-safe" ? VcScheme::ReducedSafe
-                                          : VcScheme::Reduced;
-  p.mode = mode_s == "valiant" ? RouteMode::Valiant : RouteMode::Minimal;
-
+  core::ScenarioSpec spec;
   sim::Network net;
-  topo::build_swless_dragonfly(net, p);
+  try {
+    spec.topology = "tiny-swless";  // a=1,b=3 audit instance (registry)
+    spec.topo["g"] = std::to_string(cli.get_int("g", 5));
+    spec.scheme = route::parse_vc_scheme(cli.get("scheme", "reduced"));
+    spec.mode = route::parse_route_mode(cli.get("mode", "minimal"));
+    core::build_network(net, spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deadlock_audit: %s\n", e.what());
+    return 1;
+  }
   std::printf("scheme=%s mode=%s VCs=%d | %zu routers, %zu channels, "
               "%zu chips\n",
-              to_string(p.scheme), to_string(p.mode), net.num_vcs(),
+              to_string(spec.scheme), to_string(spec.mode), net.num_vcs(),
               net.num_routers(), net.num_channels(), net.num_chips());
 
   const auto rep = route::audit_cdg(net);

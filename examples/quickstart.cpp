@@ -1,45 +1,43 @@
-// Quickstart: build a small switch-less Dragonfly, run uniform traffic at a
-// few offered loads, and print latency/throughput — the 60-second tour of
-// the library.
+// Quickstart: describe an experiment as a ScenarioSpec, run it through the
+// registries, and print latency/throughput — the 60-second tour of the
+// library.
 //
-//   ./quickstart [--rate 0.4] [--scheme baseline|reduced|reduced-safe]
+//   ./quickstart [--rate 0.5] [--scheme baseline|reduced|reduced-safe]
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "core/builder.hpp"
-#include "core/experiment.hpp"
-#include "core/params.hpp"
-#include "traffic/pattern.hpp"
+#include "core/scenario.hpp"
+#include "sim/network.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace sldf;
-  Cli cli(argc, argv);
+  const Cli cli(argc, argv);
 
   // Radix-16-equivalent configuration from the paper's evaluation:
   // C-groups of 2x2 chiplets (each a 2x2 NoC), 8 C-groups per W-group,
-  // 41 W-groups, 1312 chips.
-  topo::SwlessParams p = core::radix16_swless();
-  const auto scheme = cli.get("scheme", "baseline");
-  if (scheme == "reduced") p.scheme = route::VcScheme::Reduced;
-  if (scheme == "reduced-safe") p.scheme = route::VcScheme::ReducedSafe;
+  // 41 W-groups, 1312 chips. Everything is a registry name: swap the
+  // topology, traffic, mode, or scheme without touching build code.
+  core::ScenarioSpec spec;
+  spec.label = "quickstart";
+  spec.topology = "radix16-swless";
+  spec.traffic = "uniform";
+  spec.scheme = route::parse_vc_scheme(cli.get("scheme", "baseline"));
+  spec.rates = {0.1, 0.3, cli.get_double("rate", 0.5)};
+  spec.sim.warmup = 1000;
+  spec.sim.measure = 2000;
+  spec.sim.drain = 1000;
 
-  auto net = core::make_network(p);
+  sim::Network net;
+  core::build_network(net, spec);
   std::printf("Switch-less Dragonfly (radix-16 equivalent, scheme=%s)\n%s\n\n",
-              scheme.c_str(), core::describe(core::census(*net)).c_str());
+              to_string(spec.scheme),
+              core::describe(core::census(net)).c_str());
 
-  sim::SimConfig sc;
-  sc.warmup = 1000;
-  sc.measure = 2000;
-  sc.drain = 1000;
-
-  auto traffic = traffic::make_pattern("uniform", *net);
-  std::printf("%-10s %-12s %-12s %-8s\n", "offered", "avg_latency",
-              "accepted", "drained");
-  for (double rate : {0.1, 0.3, static_cast<double>(cli.get_double("rate", 0.5))}) {
-    sc.inj_rate_per_chip = rate;
-    const auto res = sim::run_sim(*net, sc, *traffic);
-    std::printf("%-10.2f %-12.2f %-12.4f %-8s\n", rate, res.avg_latency,
-                res.accepted, res.drained ? "yes" : "no");
-  }
+  const auto series = core::run_scenario(spec);
+  core::print_series(series);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "quickstart: error: %s\n", e.what());
+  return 1;
 }

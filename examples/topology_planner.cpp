@@ -15,7 +15,16 @@ using namespace sldf::model;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const long target = cli.get_int("target-chips", 100000);
+  for (const auto& key : cli.unknown_keys({"target-chips"}))
+    std::fprintf(stderr, "topology_planner: warning: unknown flag --%s\n",
+                 key.c_str());
+  long target = 100000;
+  try {
+    target = cli.get_int("target-chips", 100000);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "topology_planner: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("Balanced switch-less Dragonfly configurations (Eq. 3)\n");
   std::printf("target: >= %ld chips\n\n", target);

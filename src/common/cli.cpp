@@ -1,8 +1,19 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace sldf {
+
+std::string Cli::trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
 
 Cli::Cli(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -34,13 +45,67 @@ std::string Cli::get(const std::string& key, const std::string& def) const {
 double Cli::get_double(const std::string& key, double def) const {
   const auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  double v = 0.0;
+  if (!parse_double(it->second, v))
+    throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                it->second + "'");
+  return v;
 }
 
 long Cli::get_int(const std::string& key, long def) const {
   const auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return def;
-  return std::strtol(it->second.c_str(), nullptr, 10);
+  long v = 0;
+  if (!parse_long(it->second, v))
+    throw std::invalid_argument("--" + key + ": expected an integer, got '" +
+                                it->second + "'");
+  return v;
+}
+
+std::vector<std::string> Cli::unknown_keys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : kv_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) == known.end())
+      unknown.push_back(key);
+  }
+  return unknown;
+}
+
+bool Cli::parse_long(const std::string& s, long& out) {
+  const std::string t = trim(s);
+  if (t.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(t.c_str(), &end, 10);
+  if (errno != 0 || end != t.c_str() + t.size()) return false;
+  out = v;
+  return true;
+}
+
+bool Cli::parse_double(const std::string& s, double& out) {
+  const std::string t = trim(s);
+  if (t.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(t.c_str(), &end);
+  if (errno != 0 || end != t.c_str() + t.size()) return false;
+  out = v;
+  return true;
+}
+
+bool Cli::parse_bool(const std::string& s, bool& out) {
+  const std::string t = trim(s);
+  if (t == "1" || t == "true" || t == "yes" || t == "on") {
+    out = true;
+    return true;
+  }
+  if (t == "0" || t == "false" || t == "no" || t == "off") {
+    out = false;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace sldf

@@ -1,0 +1,249 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+
+#include "common/cli.hpp"
+#include "core/params.hpp"
+#include "topo/cgroup.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+
+namespace sldf::core {
+
+KvReader::KvReader(const KvMap& kv, std::string context)
+    : kv_(kv), context_(std::move(context)) {}
+
+const std::string* KvReader::take(const char* key) {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return nullptr;
+  used_.push_back(key);
+  return &it->second;
+}
+
+void KvReader::apply_int(const char* key, int& field) {
+  if (const std::string* v = take(key)) {
+    long parsed = 0;
+    if (!Cli::parse_long(*v, parsed))
+      throw std::invalid_argument(context_ + ": option '" + std::string(key) +
+                                  "' expects an integer, got '" + *v + "'");
+    field = static_cast<int>(parsed);
+  }
+}
+
+void KvReader::apply_bool(const char* key, bool& field) {
+  if (const std::string* v = take(key)) {
+    bool parsed = false;
+    if (!Cli::parse_bool(*v, parsed))
+      throw std::invalid_argument(context_ + ": option '" + std::string(key) +
+                                  "' expects a boolean, got '" + *v + "'");
+    field = parsed;
+  }
+}
+
+int KvReader::get_int(const char* key, int def) {
+  apply_int(key, def);
+  return def;
+}
+
+bool KvReader::get_bool(const char* key, bool def) {
+  apply_bool(key, def);
+  return def;
+}
+
+std::string KvReader::get_str(const char* key, const char* def) {
+  if (const std::string* v = take(key)) return *v;
+  return def;
+}
+
+void KvReader::finish() const {
+  for (const auto& [key, value] : kv_) {
+    (void)value;
+    if (std::find(used_.begin(), used_.end(), key) == used_.end())
+      throw std::invalid_argument(context_ + ": unknown option '" + key +
+                                  "'");
+  }
+}
+
+namespace {
+
+/// A builder that cannot honor a requested routing mode / VC scheme must
+/// say so rather than silently running its default — otherwise a
+/// comparison experiment quietly measures the wrong configuration.
+void require_default_mode(const TopoConfig& cfg, const char* name) {
+  if (cfg.mode != route::RouteMode::Minimal)
+    throw std::invalid_argument(std::string("topology '") + name +
+                                "' does not support mode '" +
+                                route::to_string(cfg.mode) +
+                                "' (only minimal)");
+}
+void require_default_scheme(const TopoConfig& cfg, const char* name,
+                            const char* why) {
+  if (cfg.scheme != route::VcScheme::Baseline)
+    throw std::invalid_argument(std::string("topology '") + name +
+                                "' does not support VC scheme '" +
+                                route::to_string(cfg.scheme) + "' (" + why +
+                                ")");
+}
+
+void apply_labeling(KvReader& o, const char* key, topo::Labeling& field) {
+  if (const std::string* v = o.take(key)) {
+    if (*v == "snake")
+      field = topo::Labeling::Snake;
+    else if (*v == "row-major")
+      field = topo::Labeling::RowMajor;
+    else if (*v == "perimeter-arc")
+      field = topo::Labeling::PerimeterArc;
+    else
+      throw std::invalid_argument(
+          o.context() + ": option '" + std::string(key) +
+          "' expects snake|row-major|perimeter-arc, got '" + *v + "'");
+  }
+}
+
+void apply(topo::SwlessParams& p, const TopoConfig& cfg,
+           const std::string& name) {
+  KvReader o(cfg.params, "topology '" + name + "'");
+  o.apply_int("a", p.a);
+  o.apply_int("b", p.b);
+  o.apply_int("chip_gx", p.chip_gx);
+  o.apply_int("chip_gy", p.chip_gy);
+  o.apply_int("noc_x", p.noc_x);
+  o.apply_int("noc_y", p.noc_y);
+  o.apply_int("ports_per_chiplet", p.ports_per_chiplet);
+  o.apply_int("local_ports", p.local_ports);
+  o.apply_int("global_ports", p.global_ports);
+  o.apply_int("g", p.g);
+  o.apply_int("onchip_latency", p.onchip_latency);
+  o.apply_int("sr_latency", p.sr_latency);
+  o.apply_int("lr_latency", p.lr_latency);
+  o.apply_int("mesh_width", p.mesh_width);
+  o.apply_bool("io_converters", p.io_converters);
+  apply_labeling(o, "labeling", p.labeling);
+  o.apply_int("vc_buf", p.vc_buf);
+  o.finish();
+  p.mode = cfg.mode;
+  p.scheme = cfg.scheme;
+}
+
+void apply(topo::SwDragonflyParams& p, const TopoConfig& cfg,
+           const std::string& name) {
+  KvReader o(cfg.params, "topology '" + name + "'");
+  o.apply_int("switches_per_group", p.switches_per_group);
+  o.apply_int("terminals_per_switch", p.terminals_per_switch);
+  o.apply_int("globals_per_switch", p.globals_per_switch);
+  o.apply_int("groups", p.groups);
+  o.apply_int("g", p.groups);  // alias, matching the switch-less spelling
+  o.apply_int("term_latency", p.term_latency);
+  o.apply_int("local_latency", p.local_latency);
+  o.apply_int("global_latency", p.global_latency);
+  o.apply_int("vc_buf", p.vc_buf);
+  o.apply_int("vcs_per_class", p.vcs_per_class);
+  o.finish();
+  require_default_scheme(cfg, name.c_str(),
+                         "switch-based Dragonfly uses its own VC classes");
+  p.mode = cfg.mode;
+}
+
+TopologyBuilder swless_preset(topo::SwlessParams (*base)(),
+                              const char* name) {
+  return [base, name](sim::Network& net, const TopoConfig& cfg) {
+    auto p = base();
+    apply(p, cfg, name);
+    topo::build_swless_dragonfly(net, p);
+  };
+}
+
+TopologyBuilder swdf_preset(topo::SwDragonflyParams (*base)(),
+                            const char* name) {
+  return [base, name](sim::Network& net, const TopoConfig& cfg) {
+    auto p = base();
+    apply(p, cfg, name);
+    topo::build_sw_dragonfly(net, p);
+  };
+}
+
+topo::SwlessParams default_swless() { return topo::SwlessParams{}; }
+topo::SwDragonflyParams default_swdf() { return topo::SwDragonflyParams{}; }
+
+/// The small audit instance used by the deadlock examples/ablations:
+/// a=1, b=3 C-groups of 2x2 single-router chiplets, h=2, g=5.
+topo::SwlessParams tiny_swless() {
+  topo::SwlessParams p;
+  p.a = 1;
+  p.b = 3;
+  p.chip_gx = p.chip_gy = 2;
+  p.noc_x = p.noc_y = 1;
+  p.ports_per_chiplet = 4;
+  p.local_ports = 2;
+  p.global_ports = 2;
+  p.g = 5;
+  return p;
+}
+
+void build_cgroup_mesh(sim::Network& net, const TopoConfig& cfg) {
+  topo::CGroupShape s;
+  int num_vcs = 1;
+  int vc_buf = 32;
+  KvReader o(cfg.params, "topology 'cgroup-mesh'");
+  o.apply_int("chip_gx", s.chip_gx);
+  o.apply_int("chip_gy", s.chip_gy);
+  o.apply_int("noc_x", s.noc_x);
+  o.apply_int("noc_y", s.noc_y);
+  o.apply_int("ports_per_chiplet", s.ports_per_chiplet);
+  apply_labeling(o, "labeling", s.labeling);
+  o.apply_int("onchip_latency", s.onchip_latency);
+  o.apply_int("sr_latency", s.sr_latency);
+  o.apply_int("mesh_width", s.mesh_width);
+  o.apply_bool("io_converters", s.io_converters);
+  o.apply_int("num_vcs", num_vcs);
+  o.apply_int("vc_buf", vc_buf);
+  o.finish();
+  require_default_mode(cfg, "cgroup-mesh");
+  require_default_scheme(cfg, "cgroup-mesh", "XY routing needs no scheme");
+  topo::build_mesh_network(net, s, num_vcs, vc_buf);
+}
+
+void build_crossbar_net(sim::Network& net, const TopoConfig& cfg) {
+  int terminals = 4;
+  int term_latency = 1;
+  KvReader o(cfg.params, "topology 'crossbar'");
+  o.apply_int("terminals", terminals);
+  o.apply_int("term_latency", term_latency);
+  o.finish();
+  require_default_mode(cfg, "crossbar");
+  require_default_scheme(cfg, "crossbar", "a single switch has no scheme");
+  topo::build_crossbar(net, terminals, term_latency);
+}
+
+}  // namespace
+
+TopologyRegistry::TopologyRegistry() {
+  add("radix16-swless",
+      "paper SS V-B1: 2x2 chiplets of 2x2 NoC, 8 C-groups/W-group, g=41",
+      swless_preset(&radix16_swless, "radix16-swless"));
+  add("radix32-swless",
+      "paper SS V-B3: 4x2 chiplets (8x4 mesh), 16 C-groups/W-group, g=145",
+      swless_preset(&radix32_swless, "radix32-swless"));
+  add("swless", "switch-less Dragonfly with raw SwlessParams defaults",
+      swless_preset(&default_swless, "swless"));
+  add("tiny-swless", "small deadlock-audit instance (a=1, b=3, h=2, g=5)",
+      swless_preset(&tiny_swless, "tiny-swless"));
+  add("radix16-swdf", "switch-based baseline: 8 switches/group, 4:7:5, g=41",
+      swdf_preset(&radix16_swdf, "radix16-swdf"));
+  add("radix32-swdf",
+      "switch-based baseline: 16 switches/group, 8:15:9, g=145",
+      swdf_preset(&radix32_swdf, "radix32-swdf"));
+  add("swdf", "switch-based Dragonfly with raw SwDragonflyParams defaults",
+      swdf_preset(&default_swdf, "swdf"));
+  add("cgroup-mesh", "one standalone C-group wafer mesh with XY routing",
+      &build_cgroup_mesh);
+  add("crossbar", "ideal single-switch crossbar (params: terminals)",
+      &build_crossbar_net);
+}
+
+TopologyRegistry& TopologyRegistry::instance() {
+  static TopologyRegistry reg;
+  return reg;
+}
+
+}  // namespace sldf::core

@@ -1,0 +1,140 @@
+// String-keyed registries behind the scenario layer (BookSim-style: every
+// network and traffic pattern is a named entry, so new variants are a
+// registration plus a config file instead of a new binary).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "route/routing_modes.hpp"
+
+namespace sldf::sim {
+class Network;
+}
+
+namespace sldf::core {
+
+/// String key/value map used for topology overrides and traffic options.
+using KvMap = std::map<std::string, std::string>;
+
+/// Generic string-keyed factory registry with help text. Lookup failures
+/// throw std::invalid_argument listing the known names.
+template <typename Factory>
+class NamedRegistry {
+ public:
+  void add(const std::string& name, std::string help, Factory make) {
+    entries_[name] = Entry{std::move(help), std::move(make)};
+  }
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;
+  }
+  [[nodiscard]] const std::string& help(const std::string& name) const {
+    return find(name, "registry entry").help;
+  }
+  [[nodiscard]] const Factory& at(const std::string& name,
+                                  const char* what) const {
+    return find(name, what).make;
+  }
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory make;
+  };
+
+  const Entry& find(const std::string& name, const char* what) const {
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) return it->second;
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw std::invalid_argument(std::string("unknown ") + what + " '" + name +
+                                "' (known: " + known + ")");
+  }
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// Typed consumption of a string option/override map. Every getter marks
+/// its key consumed; finish() rejects leftovers so a misspelled key fails
+/// loudly instead of silently running the defaults. Shared by the topology
+/// override appliers and the traffic-pattern option readers.
+class KvReader {
+ public:
+  /// `context` prefixes error messages, e.g. "topology 'radix16-swless'".
+  KvReader(const KvMap& kv, std::string context);
+
+  /// Overwrite `field` if `key` is present (throws on a malformed value).
+  void apply_int(const char* key, int& field);
+  void apply_bool(const char* key, bool& field);
+
+  /// Value of `key`, or the default when absent.
+  [[nodiscard]] int get_int(const char* key, int def);
+  [[nodiscard]] bool get_bool(const char* key, bool def);
+  [[nodiscard]] std::string get_str(const char* key, const char* def);
+
+  /// Raw access (marks the key consumed); nullptr when absent.
+  const std::string* take(const char* key);
+
+  /// Throws std::invalid_argument naming any key no getter consumed.
+  void finish() const;
+
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+ private:
+  const KvMap& kv_;
+  std::string context_;
+  std::vector<std::string> used_;
+};
+
+/// Everything a topology builder needs besides the Network itself.
+struct TopoConfig {
+  KvMap params;  ///< Preset overrides in string form, e.g. {"g", "15"}.
+  route::RouteMode mode = route::RouteMode::Minimal;
+  route::VcScheme scheme = route::VcScheme::Baseline;
+};
+
+using TopologyBuilder = std::function<void(sim::Network&, const TopoConfig&)>;
+
+/// Named topology presets: the paper's radix-16/radix-32 switch-less and
+/// switch-based networks, the raw parameter structs, the standalone C-group
+/// mesh, and the ideal crossbar. Unknown override keys throw.
+class TopologyRegistry {
+ public:
+  /// The process-wide registry, with the built-in presets registered.
+  static TopologyRegistry& instance();
+
+  void add(const std::string& name, std::string help, TopologyBuilder make) {
+    reg_.add(name, std::move(help), std::move(make));
+  }
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return reg_.contains(name);
+  }
+  [[nodiscard]] std::vector<std::string> names() const { return reg_.names(); }
+  [[nodiscard]] const std::string& help(const std::string& name) const {
+    return reg_.help(name);
+  }
+  /// Builds the named preset into `net`, applying overrides/mode/scheme.
+  void build(const std::string& name, sim::Network& net,
+             const TopoConfig& cfg) const {
+    reg_.at(name, "topology")(net, cfg);
+  }
+
+ private:
+  TopologyRegistry();
+  NamedRegistry<TopologyBuilder> reg_;
+};
+
+}  // namespace sldf::core

@@ -1,0 +1,268 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "sim/network.hpp"
+#include "traffic/pattern.hpp"
+
+namespace sldf::core {
+
+namespace {
+
+std::string format_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+long to_long(const std::string& key, const std::string& value) {
+  long v = 0;
+  if (!Cli::parse_long(value, v))
+    throw std::invalid_argument("scenario key '" + key +
+                                "' expects an integer, got '" + value + "'");
+  return v;
+}
+
+double to_double(const std::string& key, const std::string& value) {
+  double v = 0.0;
+  if (!Cli::parse_double(value, v))
+    throw std::invalid_argument("scenario key '" + key +
+                                "' expects a number, got '" + value + "'");
+  return v;
+}
+
+std::vector<double> to_rates(const std::string& value) {
+  std::vector<double> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = Cli::trim(item);
+    if (item.empty()) continue;
+    out.push_back(to_double("rates", item));
+  }
+  return out;
+}
+
+}  // namespace
+
+void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  if (key.rfind("topo.", 0) == 0) {
+    topo[key.substr(5)] = value;
+    return;
+  }
+  if (key.rfind("traffic.", 0) == 0) {
+    traffic_opts[key.substr(8)] = value;
+    return;
+  }
+  if (key == "label") {
+    label = value;
+  } else if (key == "topology") {
+    topology = value;
+  } else if (key == "traffic") {
+    traffic = value;
+  } else if (key == "mode") {
+    mode = route::parse_route_mode(value);
+  } else if (key == "scheme") {
+    scheme = route::parse_vc_scheme(value);
+  } else if (key == "rates") {
+    rates = to_rates(value);
+  } else if (key == "max_rate") {
+    max_rate = to_double(key, value);
+  } else if (key == "points") {
+    points = static_cast<int>(to_long(key, value));
+  } else if (key == "stop_factor") {
+    stop_latency_factor = to_double(key, value);
+  } else if (key == "threads") {
+    threads = static_cast<unsigned>(to_long(key, value));
+  } else if (key == "warmup") {
+    sim.warmup = to_long(key, value);
+  } else if (key == "measure") {
+    sim.measure = to_long(key, value);
+  } else if (key == "drain") {
+    sim.drain = to_long(key, value);
+  } else if (key == "pkt_len") {
+    sim.pkt_len = static_cast<int>(to_long(key, value));
+  } else if (key == "seed") {
+    sim.seed = static_cast<std::uint64_t>(to_long(key, value));
+  } else if (key == "max_src_queue") {
+    sim.max_src_queue = static_cast<int>(to_long(key, value));
+  } else {
+    throw std::invalid_argument("unknown scenario key '" + key + "'");
+  }
+}
+
+KvMap ScenarioSpec::to_kv() const {
+  KvMap kv;
+  kv["label"] = label;
+  kv["topology"] = topology;
+  kv["traffic"] = traffic;
+  kv["mode"] = route::to_string(mode);
+  kv["scheme"] = route::to_string(scheme);
+  if (!rates.empty()) {
+    std::string joined;
+    for (double r : rates) {
+      if (!joined.empty()) joined += ",";
+      joined += format_num(r);
+    }
+    kv["rates"] = joined;
+  } else {
+    kv["max_rate"] = format_num(max_rate);
+    kv["points"] = std::to_string(points);
+  }
+  kv["stop_factor"] = format_num(stop_latency_factor);
+  kv["threads"] = std::to_string(threads);
+  kv["warmup"] = std::to_string(sim.warmup);
+  kv["measure"] = std::to_string(sim.measure);
+  kv["drain"] = std::to_string(sim.drain);
+  kv["pkt_len"] = std::to_string(sim.pkt_len);
+  kv["seed"] = std::to_string(sim.seed);
+  kv["max_src_queue"] = std::to_string(sim.max_src_queue);
+  for (const auto& [k, v] : topo) kv["topo." + k] = v;
+  for (const auto& [k, v] : traffic_opts) kv["traffic." + k] = v;
+  return kv;
+}
+
+std::string ScenarioSpec::to_config() const {
+  std::string out;
+  for (const auto& [k, v] : to_kv()) out += k + " = " + v + "\n";
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::from_kv(const KvMap& kv) {
+  ScenarioSpec s;
+  for (const auto& [k, v] : kv) s.set(k, v);
+  return s;
+}
+
+std::vector<double> ScenarioSpec::effective_rates() const {
+  if (!rates.empty()) return rates;
+  return linspace_rates(max_rate, points);
+}
+
+const std::vector<std::string>& scenario_keys() {
+  static const std::vector<std::string> keys = {
+      "label",   "topology", "traffic",     "mode",    "scheme",
+      "rates",   "max_rate", "points",      "stop_factor", "threads",
+      "warmup",  "measure",  "drain",       "pkt_len", "seed",
+      "max_src_queue"};
+  return keys;
+}
+
+ScenarioSpec spec_from_cli(const Cli& cli, const ScenarioSpec& defaults,
+                           std::vector<std::string>* unused) {
+  ScenarioSpec s = defaults;
+  for (const auto& [key, value] : cli.entries()) {
+    const bool prefixed =
+        key.rfind("topo.", 0) == 0 || key.rfind("traffic.", 0) == 0;
+    const auto& keys = scenario_keys();
+    const bool known =
+        prefixed || std::find(keys.begin(), keys.end(), key) != keys.end();
+    if (!known) {
+      if (unused) unused->push_back(key);
+      continue;
+    }
+    s.set(key, value);
+  }
+  return s;
+}
+
+std::vector<ScenarioSpec> parse_scenario_text(const std::string& text,
+                                              const ScenarioSpec& defaults) {
+  ScenarioSpec base = defaults;
+  std::vector<ScenarioSpec> series;
+  ScenarioSpec* current = &base;
+
+  std::stringstream ss(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(ss, raw)) {
+    ++lineno;
+    const std::string line = Cli::trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw std::invalid_argument("scenario file line " +
+                                    std::to_string(lineno) +
+                                    ": unterminated section header");
+      std::string name = Cli::trim(line.substr(1, line.size() - 2));
+      if (name.rfind("series", 0) == 0) name = Cli::trim(name.substr(6));
+      if (name.empty())
+        throw std::invalid_argument("scenario file line " +
+                                    std::to_string(lineno) +
+                                    ": empty series name");
+      series.push_back(base);
+      series.back().label = name;
+      current = &series.back();
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("scenario file line " +
+                                  std::to_string(lineno) +
+                                  ": expected 'key = value', got '" + line +
+                                  "'");
+    const std::string key = Cli::trim(line.substr(0, eq));
+    const std::string value = Cli::trim(line.substr(eq + 1));
+    if (key.empty())
+      throw std::invalid_argument("scenario file line " +
+                                  std::to_string(lineno) + ": empty key");
+    try {
+      current->set(key, value);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("scenario file line " +
+                                  std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  if (series.empty()) series.push_back(base);
+  return series;
+}
+
+std::vector<ScenarioSpec> load_scenario_file(const std::string& path,
+                                             const ScenarioSpec& defaults) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("cannot open scenario file: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_scenario_text(ss.str(), defaults);
+}
+
+void build_network(sim::Network& net, const ScenarioSpec& spec) {
+  TopologyRegistry::instance().build(spec.topology, net, spec.topo_config());
+}
+
+NetFactory net_factory(const ScenarioSpec& spec) {
+  return [spec](sim::Network& net) { build_network(net, spec); };
+}
+
+TrafficFactory traffic_factory(const ScenarioSpec& spec) {
+  const std::string kind = spec.traffic;
+  const KvMap opts = spec.traffic_opts;
+  return [kind, opts](const sim::Network& net) {
+    return traffic::make_pattern(kind, net, opts);
+  };
+}
+
+SweepSeries run_scenario(const ScenarioSpec& spec) {
+  SweepConfig cfg;
+  cfg.rates = spec.effective_rates();
+  cfg.base = spec.sim;
+  cfg.stop_latency_factor = spec.stop_latency_factor;
+  cfg.threads = spec.threads;
+  return run_sweep(spec.label, net_factory(spec), traffic_factory(spec), cfg);
+}
+
+std::vector<SweepSeries> run_scenarios(const std::vector<ScenarioSpec>& specs,
+                                       unsigned threads) {
+  std::vector<SweepSeries> out(specs.size());
+  ThreadPool::parallel_for(specs.size(), threads == 0 ? 1 : threads,
+                           [&](std::size_t i) { out[i] = run_scenario(specs[i]); });
+  return out;
+}
+
+}  // namespace sldf::core

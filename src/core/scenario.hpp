@@ -1,0 +1,92 @@
+// Declarative scenario layer: one ScenarioSpec names everything the paper's
+// evaluation grid varies — topology preset (+ param overrides), routing
+// mode, VC scheme, traffic pattern (+ options), and the sweep — and
+// run_scenario() executes it through the registries. Specs parse from
+// `--key=value` CLI flags and from a `key = value` config-file format with
+// `[series NAME]` sections, so every figure is a config file instead of a
+// hand-wired main().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/registry.hpp"
+#include "route/routing_modes.hpp"
+
+namespace sldf::core {
+
+struct ScenarioSpec {
+  std::string label = "scenario";  ///< Series label (CSV/table output).
+  std::string topology = "radix16-swless";  ///< TopologyRegistry key.
+  KvMap topo;  ///< Preset overrides, config keys `topo.<param>`.
+  route::RouteMode mode = route::RouteMode::Minimal;
+  route::VcScheme scheme = route::VcScheme::Baseline;
+  std::string traffic = "uniform";  ///< TrafficRegistry key.
+  KvMap traffic_opts;  ///< Pattern options, config keys `traffic.<opt>`.
+
+  /// Explicit offered loads; when empty, linspace(max_rate, points) is used.
+  std::vector<double> rates;
+  double max_rate = 1.0;
+  int points = 6;
+  double stop_latency_factor = 8.0;  ///< See SweepConfig.
+  unsigned threads = 1;              ///< Sweep-point parallelism.
+  sim::SimConfig sim;                ///< Cycle counts, packet length, seed.
+
+  /// Applies one `key = value` setting (the config/CLI vocabulary: label,
+  /// topology, traffic, mode, scheme, rates, max_rate, points, stop_factor,
+  /// threads, warmup, measure, drain, pkt_len, seed, max_src_queue, plus
+  /// prefixed topo.* / traffic.* entries). Throws std::invalid_argument on
+  /// unknown keys or malformed values.
+  void set(const std::string& key, const std::string& value);
+
+  /// Serializes every setting back to the config vocabulary; a spec
+  /// round-trips through from_kv(to_kv()).
+  [[nodiscard]] KvMap to_kv() const;
+  /// to_kv() rendered as `key = value` lines (valid scenario-file input).
+  [[nodiscard]] std::string to_config() const;
+  static ScenarioSpec from_kv(const KvMap& kv);
+
+  [[nodiscard]] std::vector<double> effective_rates() const;
+  [[nodiscard]] TopoConfig topo_config() const {
+    return TopoConfig{topo, mode, scheme};
+  }
+};
+
+/// The non-prefixed keys ScenarioSpec::set understands (for flag warnings).
+const std::vector<std::string>& scenario_keys();
+
+/// Builds a spec from parsed CLI flags. Keys that are not scenario keys are
+/// appended to `unused` (when given) instead of throwing, so drivers can
+/// consume their own flags and warn about the rest.
+ScenarioSpec spec_from_cli(const Cli& cli, const ScenarioSpec& defaults = {},
+                           std::vector<std::string>* unused = nullptr);
+
+/// Parses the scenario-file format: `key = value` lines, blank lines and
+/// full-line #/; comments ignored. Each optional `[series NAME]` section
+/// starts a new series from the shared base (the keys above the FIRST
+/// section); sections are independent of one another. With no sections the
+/// file describes a single spec. Throws on syntax errors.
+std::vector<ScenarioSpec> parse_scenario_text(
+    const std::string& text, const ScenarioSpec& defaults = {});
+std::vector<ScenarioSpec> load_scenario_file(
+    const std::string& path, const ScenarioSpec& defaults = {});
+
+/// One-shot build of the spec's network (registry lookup + overrides).
+void build_network(sim::Network& net, const ScenarioSpec& spec);
+/// The spec's two factories, for composing with run_sweep directly.
+NetFactory net_factory(const ScenarioSpec& spec);
+TrafficFactory traffic_factory(const ScenarioSpec& spec);
+
+/// Runs the spec's sweep through the registries (label, net, traffic,
+/// rates, sim config all from the spec).
+SweepSeries run_scenario(const ScenarioSpec& spec);
+
+/// Runs several specs as one experiment, `threads` series in flight at a
+/// time on a thread pool (each series runs its own sweep serially, keeping
+/// per-series early-stop semantics). Results are in spec order.
+std::vector<SweepSeries> run_scenarios(const std::vector<ScenarioSpec>& specs,
+                                       unsigned threads);
+
+}  // namespace sldf::core

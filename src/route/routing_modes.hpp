@@ -1,6 +1,9 @@
 // Routing mode and virtual-channel scheme selectors (paper §IV).
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 namespace sldf::route {
 
 enum class RouteMode {
@@ -36,6 +39,24 @@ constexpr const char* to_string(VcScheme s) {
     case VcScheme::ReducedSafe: return "reduced-safe";
   }
   return "?";
+}
+
+/// String lookup used by the scenario layer. Throws std::invalid_argument
+/// on unknown names; accepted names match to_string().
+inline RouteMode parse_route_mode(const std::string& s) {
+  if (s == "minimal") return RouteMode::Minimal;
+  if (s == "valiant") return RouteMode::Valiant;
+  if (s == "adaptive") return RouteMode::Adaptive;
+  throw std::invalid_argument(
+      "unknown route mode '" + s + "' (expected minimal|valiant|adaptive)");
+}
+inline VcScheme parse_vc_scheme(const std::string& s) {
+  if (s == "baseline") return VcScheme::Baseline;
+  if (s == "reduced") return VcScheme::Reduced;
+  if (s == "reduced-safe") return VcScheme::ReducedSafe;
+  throw std::invalid_argument(
+      "unknown VC scheme '" + s +
+      "' (expected baseline|reduced|reduced-safe)");
 }
 
 /// VCs required on every channel of a switch-less Dragonfly network.

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "common/cli.hpp"
 #include "topo/hier.hpp"
+#include "traffic/allreduce.hpp"
 
 namespace sldf::traffic {
 
@@ -115,19 +117,74 @@ NodeId WorstCaseTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
   return peers[rng.below(peers.size())];
 }
 
+namespace {
+
+TrafficRegistry::Factory permutation(const char* name, Permutation kind) {
+  return [name, kind](const sim::Network& net, const core::KvMap& opts) {
+    core::KvReader(opts, std::string("traffic '") + name + "'").finish();
+    return std::make_unique<PermutationTraffic>(net, kind);
+  };
+}
+
+}  // namespace
+
+TrafficRegistry::TrafficRegistry() {
+  add("uniform", "uniform random over all terminals",
+      [](const sim::Network& net, const core::KvMap& opts) {
+        core::KvReader(opts, "traffic 'uniform'").finish();
+        return std::make_unique<UniformTraffic>(net);
+      });
+  add("bit-reverse", "bit-reversal permutation over terminal indices",
+      permutation("bit-reverse", Permutation::BitReverse));
+  add("bit-shuffle", "bit-shuffle permutation over terminal indices",
+      permutation("bit-shuffle", Permutation::BitShuffle));
+  add("bit-transpose", "bit-transpose permutation over terminal indices",
+      permutation("bit-transpose", Permutation::BitTranspose));
+  add("hotspot",
+      "traffic confined to the first hot_groups W-groups (default 4)",
+      [](const sim::Network& net, const core::KvMap& opts) {
+        core::KvReader o(opts, "traffic 'hotspot'");
+        const int hot_groups = o.get_int("hot_groups", 4);
+        o.finish();
+        return std::make_unique<HotspotTraffic>(net, hot_groups);
+      });
+  add("worst-case", "every W-group i sends to W-group (i+1) mod g",
+      [](const sim::Network& net, const core::KvMap& opts) {
+        core::KvReader(opts, "traffic 'worst-case'").finish();
+        return std::make_unique<WorstCaseTraffic>(net);
+      });
+  add("ring-allreduce",
+      "ring AllReduce streams (options: scope=cgroup|wgroup|system, bidir)",
+      [](const sim::Network& net, const core::KvMap& opts) {
+        core::KvReader o(opts, "traffic 'ring-allreduce'");
+        const std::string scope_s = o.get_str("scope", "wgroup");
+        const bool bidir = o.get_bool("bidir", false);
+        o.finish();
+        RingScope scope;
+        if (scope_s == "cgroup")
+          scope = RingScope::CGroup;
+        else if (scope_s == "wgroup")
+          scope = RingScope::WGroup;
+        else if (scope_s == "system")
+          scope = RingScope::System;
+        else
+          throw std::invalid_argument(
+              "traffic 'ring-allreduce': option 'scope' expects "
+              "cgroup|wgroup|system, got '" +
+              scope_s + "'");
+        return std::make_unique<RingAllReduceTraffic>(net, scope, bidir);
+      });
+}
+
+TrafficRegistry& TrafficRegistry::instance() {
+  static TrafficRegistry reg;
+  return reg;
+}
+
 std::unique_ptr<sim::TrafficSource> make_pattern(const std::string& kind,
-                                                 const sim::Network& net) {
-  if (kind == "uniform") return std::make_unique<UniformTraffic>(net);
-  if (kind == "bit-reverse")
-    return std::make_unique<PermutationTraffic>(net, Permutation::BitReverse);
-  if (kind == "bit-shuffle")
-    return std::make_unique<PermutationTraffic>(net, Permutation::BitShuffle);
-  if (kind == "bit-transpose")
-    return std::make_unique<PermutationTraffic>(net,
-                                                Permutation::BitTranspose);
-  if (kind == "hotspot") return std::make_unique<HotspotTraffic>(net);
-  if (kind == "worst-case") return std::make_unique<WorstCaseTraffic>(net);
-  throw std::invalid_argument("unknown traffic pattern: " + kind);
+                                                 const sim::Network& net,
+                                                 const core::KvMap& opts) {
+  return TrafficRegistry::instance().make(kind, net, opts);
 }
 
 }  // namespace sldf::traffic

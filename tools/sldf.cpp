@@ -1,0 +1,167 @@
+// sldf — the unified scenario driver. Runs any ScenarioSpec: topology
+// preset, routing mode, VC scheme, and traffic pattern are registry
+// lookups, so every experiment in the paper's evaluation grid is a config
+// file (or a handful of flags) instead of a dedicated binary.
+//
+//   sldf --topology=radix16-swless --traffic=uniform --max_rate=0.8
+//   sldf --config configs/fig11a.conf --out results/fig11a.csv
+//
+// A config file uses `key = value` lines; `[series NAME]` sections run
+// several labelled series as one experiment, each starting from the shared
+// base keys above the first section (sections are independent of one
+// another). CLI scenario keys override the file for every series.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/thread_pool.hpp"
+#include "core/scenario.hpp"
+#include "traffic/pattern.hpp"
+
+using namespace sldf;
+
+namespace {
+
+const std::vector<std::string> kDriverFlags = {"config", "out",
+                                               "series-threads", "list",
+                                               "print", "help"};
+
+void print_usage() {
+  std::printf(
+      "usage: sldf [--config FILE] [--key=value ...]\n"
+      "\n"
+      "driver flags:\n"
+      "  --config FILE        load a scenario file (supports [series NAME]\n"
+      "                       sections; CLI keys override every series)\n"
+      "  --out FILE.csv       append all series to a CSV file\n"
+      "  --series-threads N   run N series concurrently (default 1)\n"
+      "  --list               list registered topologies/patterns and exit\n"
+      "  --print              print the resolved spec(s) and exit\n"
+      "  --help               this text\n"
+      "\n"
+      "scenario keys (also valid in config files):\n"
+      "  label topology traffic mode scheme rates max_rate points\n"
+      "  stop_factor threads warmup measure drain pkt_len seed\n"
+      "  max_src_queue topo.<param> traffic.<option>\n");
+}
+
+void print_registries() {
+  std::printf("topologies:\n");
+  const auto& topos = core::TopologyRegistry::instance();
+  for (const auto& name : topos.names())
+    std::printf("  %-16s %s\n", name.c_str(), topos.help(name).c_str());
+  std::printf("\ntraffic patterns:\n");
+  const auto& patterns = traffic::TrafficRegistry::instance();
+  for (const auto& name : patterns.names())
+    std::printf("  %-16s %s\n", name.c_str(), patterns.help(name).c_str());
+  std::printf(
+      "\nroute modes:  minimal | valiant | adaptive\n"
+      "VC schemes:   baseline | reduced | reduced-safe\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    if (cli.has("help")) {
+      print_usage();
+      return 0;
+    }
+    if (cli.has("list")) {
+      print_registries();
+      return 0;
+    }
+
+    // Warn about flags that are neither driver flags nor scenario keys.
+    std::vector<std::string> known = kDriverFlags;
+    for (const auto& key : core::scenario_keys()) known.push_back(key);
+    for (const auto& key : cli.unknown_keys(known)) {
+      if (key.rfind("topo.", 0) == 0 || key.rfind("traffic.", 0) == 0)
+        continue;
+      std::fprintf(stderr, "sldf: warning: unknown flag --%s (ignored)\n",
+                   key.c_str());
+    }
+
+    // Resolve the series: config file first, CLI keys override each series.
+    std::vector<core::ScenarioSpec> series;
+    if (cli.has("config")) {
+      series = core::load_scenario_file(cli.get("config"));
+      for (auto& spec : series)
+        spec = core::spec_from_cli(cli, spec, nullptr);
+    } else {
+      series.push_back(core::spec_from_cli(cli, {}, nullptr));
+    }
+
+    // Validate registry names up front so a misspelled topology/traffic
+    // fails before any series starts running. Option-key typos inside
+    // topo.*/traffic.* surface when their series starts; series are
+    // isolated below, so one failure never discards the others' results.
+    for (const auto& spec : series) {
+      if (!core::TopologyRegistry::instance().contains(spec.topology))
+        throw std::invalid_argument("unknown topology '" + spec.topology +
+                                    "' (see sldf --list)");
+      if (!traffic::TrafficRegistry::instance().contains(spec.traffic))
+        throw std::invalid_argument("unknown traffic pattern '" +
+                                    spec.traffic + "' (see sldf --list)");
+    }
+
+    if (cli.has("print")) {
+      for (const auto& spec : series) {
+        std::printf("[series %s]\n%s\n", spec.label.c_str(),
+                    spec.to_config().c_str());
+      }
+      return 0;
+    }
+
+    const auto threads =
+        static_cast<unsigned>(cli.get_int("series-threads", 1));
+    std::printf("sldf: running %zu series (%u in flight)\n\n", series.size(),
+                threads);
+
+    // Run with per-series isolation: a failure (e.g. an option typo that
+    // only surfaces at build time) is reported but never discards the
+    // results of series that completed.
+    struct Outcome {
+      core::SweepSeries result;
+      std::string error;
+    };
+    std::vector<Outcome> outcomes(series.size());
+    ThreadPool::parallel_for(series.size(), threads == 0 ? 1 : threads,
+                             [&](std::size_t i) {
+                               try {
+                                 outcomes[i].result =
+                                     core::run_scenario(series[i]);
+                               } catch (const std::exception& e) {
+                                 outcomes[i].result.label = series[i].label;
+                                 outcomes[i].error = e.what();
+                               }
+                             });
+
+    int failures = 0;
+    for (const auto& o : outcomes) {
+      if (o.error.empty()) {
+        core::print_series(o.result);
+      } else {
+        ++failures;
+        std::fprintf(stderr, "sldf: series '%s' failed: %s\n",
+                     o.result.label.c_str(), o.error.c_str());
+      }
+    }
+    if (cli.has("out")) {
+      CsvWriter csv(cli.get("out"),
+                    {"series", "offered", "avg_latency", "accepted", "p99",
+                     "delivered", "drained"});
+      for (const auto& o : outcomes)
+        if (o.error.empty()) core::append_series_csv(csv, o.result);
+      std::printf("wrote %s\n", cli.get("out").c_str());
+    }
+    return failures > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sldf: error: %s\n", e.what());
+    return 1;
+  }
+}
