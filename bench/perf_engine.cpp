@@ -1,0 +1,155 @@
+#include "bench/perf_engine.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "core/scenario.hpp"
+
+namespace sldf::bench {
+
+namespace {
+
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;  // ru_maxrss in KiB
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+core::ScenarioSpec point_spec(const std::string& topology, double rate,
+                              bool quick, std::uint64_t seed) {
+  core::ScenarioSpec s;
+  s.topology = topology;
+  s.traffic = "uniform";
+  s.rates = {rate};
+  s.sim.seed = seed;
+  if (quick) {
+    s.sim.warmup = 200;
+    s.sim.measure = 500;
+    s.sim.drain = 300;
+  } else {
+    s.sim.warmup = 500;
+    s.sim.measure = 1200;
+    s.sim.drain = 600;
+  }
+  return s;
+}
+
+/// The fig11a experiment (three radix-16 series, uniform traffic) with the
+/// measurement window of configs/fig11a.conf, embedded so the bench does
+/// not depend on the working directory.
+std::vector<core::ScenarioSpec> fig11a_specs(std::uint64_t seed) {
+  core::ScenarioSpec base;
+  base.traffic = "uniform";
+  base.max_rate = 1.0;
+  base.points = 6;
+  base.sim.warmup = 1000;
+  base.sim.measure = 2200;
+  base.sim.drain = 1200;
+  base.sim.seed = seed;
+
+  std::vector<core::ScenarioSpec> specs;
+  core::ScenarioSpec s = base;
+  s.label = "SW-based";
+  s.topology = "radix16-swdf";
+  specs.push_back(s);
+  s = base;
+  s.label = "SW-less";
+  s.topology = "radix16-swless";
+  specs.push_back(s);
+  s = base;
+  s.label = "SW-less-2B";
+  s.topology = "radix16-swless";
+  s.topo["mesh_width"] = "2";
+  specs.push_back(s);
+  return specs;
+}
+
+PerfResult run_specs(const std::string& preset,
+                     const std::vector<core::ScenarioSpec>& specs) {
+  PerfResult r;
+  r.preset = preset;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& spec : specs) {
+    const core::SweepSeries series = core::run_scenario(spec);
+    for (const auto& pt : series.points) {
+      ++r.points;
+      r.cycles += pt.res.cycles_run;
+      r.flit_hops += pt.res.flit_hops;
+      r.delivered += pt.res.delivered_total;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  if (r.wall_s > 0.0) {
+    r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_s;
+    r.flit_hops_per_sec = static_cast<double>(r.flit_hops) / r.wall_s;
+  }
+  r.peak_rss_mb = peak_rss_mb();
+  return r;
+}
+
+}  // namespace
+
+std::vector<PerfResult> run_perf_suite(bool quick, std::uint64_t seed) {
+  std::vector<PerfResult> out;
+  const auto one = [&](const std::string& name, const std::string& topology,
+                       double rate) {
+    std::fprintf(stderr, "sldf-bench: running %s ...\n", name.c_str());
+    out.push_back(
+        run_specs(name, {point_spec(topology, rate, quick, seed)}));
+  };
+  // Point presets: low load (latency regime) and near saturation
+  // (throughput regime) on the paper's switch-less networks.
+  one("radix16-low", "radix16-swless", 0.1);
+  one("radix16-sat", "radix16-swless", 0.9);
+  if (!quick) {
+    one("radix32-low", "radix32-swless", 0.1);
+    one("radix32-sat", "radix32-swless", 0.9);
+    std::fprintf(stderr, "sldf-bench: running fig11a-sweep ...\n");
+    out.push_back(run_specs("fig11a-sweep", fig11a_specs(seed)));
+  }
+  return out;
+}
+
+void write_bench_json(const std::string& path,
+                      const std::vector<PerfResult>& results, bool quick) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f << "{\n  \"bench\": \"sldf-bench\",\n  \"schema\": 1,\n";
+  f << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  f << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PerfResult& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"preset\": \"%s\", \"points\": %d, "
+                  "\"cycles\": %llu, \"flit_hops\": %llu, "
+                  "\"delivered_packets\": %llu, \"wall_s\": %.3f, "
+                  "\"cycles_per_sec\": %.0f, \"flit_hops_per_sec\": %.0f, "
+                  "\"peak_rss_mb\": %.1f}%s\n",
+                  r.preset.c_str(), r.points,
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(r.flit_hops),
+                  static_cast<unsigned long long>(r.delivered), r.wall_s,
+                  r.cycles_per_sec, r.flit_hops_per_sec, r.peak_rss_mb,
+                  i + 1 < results.size() ? "," : "");
+    f << buf;
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace sldf::bench

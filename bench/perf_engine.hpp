@@ -1,0 +1,37 @@
+// Engine-throughput measurement harness behind the `sldf-bench` tool.
+//
+// Runs a fixed set of presets (radix-16 / radix-32 switch-less networks at
+// low and near-saturation load, plus the full fig11a three-series sweep)
+// and reports wall time, simulated cycles/sec, flit-hops/sec, and peak RSS
+// per preset. Results serialize to BENCH_sim.json so the perf trajectory
+// of the simulator is recorded run over run (see README "Performance").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sldf::bench {
+
+struct PerfResult {
+  std::string preset;
+  int points = 0;                 ///< Sweep points executed.
+  std::uint64_t cycles = 0;       ///< Simulated cycles, summed over points.
+  std::uint64_t flit_hops = 0;    ///< Channel traversals, summed over points.
+  std::uint64_t delivered = 0;    ///< Packets delivered, summed over points.
+  double wall_s = 0.0;
+  double cycles_per_sec = 0.0;
+  double flit_hops_per_sec = 0.0;
+  double peak_rss_mb = 0.0;       ///< getrusage high-water mark after the run.
+};
+
+/// Runs the preset suite. `quick` restricts to the radix-16 point presets
+/// with short windows (CI smoke); the full suite adds radix-32 and the
+/// fig11a sweep. Deterministic for a fixed `seed`.
+std::vector<PerfResult> run_perf_suite(bool quick, std::uint64_t seed);
+
+/// Writes BENCH_sim.json (schema documented in the README).
+void write_bench_json(const std::string& path,
+                      const std::vector<PerfResult>& results, bool quick);
+
+}  // namespace sldf::bench

@@ -1,0 +1,81 @@
+// Hugepage-friendly STL allocator for the engine's large flat arenas.
+//
+// The cycle engine's working set is tens of MB accessed at random; with
+// 4 KiB pages that is thousands of TLB entries. Allocations of 2 MiB or
+// more are therefore mmap'd with 2 MiB alignment and marked
+// MADV_HUGEPAGE, so kernels with transparent hugepages (madvise or always
+// mode) back them with 2 MiB pages. Smaller allocations — and any
+// platform without the needed syscalls — fall back to operator new.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace sldf {
+
+inline constexpr std::size_t kHugePageSize = 2u << 20;
+
+inline void* huge_alloc(std::size_t bytes) {
+#if defined(__linux__)
+  if (bytes >= kHugePageSize) {
+    // Over-allocate so the usable region can start on a 2 MiB boundary,
+    // then trim; THP only maps aligned 2 MiB extents. huge_free frees by
+    // size, so this branch must not fall back to operator new — an
+    // anonymous mmap of this size only fails when the process is out of
+    // address space anyway.
+    const std::size_t len = bytes + kHugePageSize;
+    void* raw = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED) throw std::bad_alloc();
+    const auto base = reinterpret_cast<std::uintptr_t>(raw);
+    const std::uintptr_t aligned =
+        (base + kHugePageSize - 1) & ~(kHugePageSize - 1);
+    if (aligned > base) ::munmap(raw, aligned - base);
+    const std::size_t tail = (base + len) - (aligned + bytes);
+    if (tail > 0)
+      ::munmap(reinterpret_cast<void*>(aligned + bytes), tail);
+    ::madvise(reinterpret_cast<void*>(aligned), bytes, MADV_HUGEPAGE);
+    return reinterpret_cast<void*>(aligned);
+  }
+#endif
+  // Cache-line alignment for over-aligned element types (e.g. Packet).
+  return ::operator new(bytes, std::align_val_t{64});
+}
+
+inline void huge_free(void* p, std::size_t bytes) noexcept {
+#if defined(__linux__)
+  if (bytes >= kHugePageSize) {
+    ::munmap(p, bytes);
+    return;
+  }
+#endif
+  ::operator delete(p, std::align_val_t{64});
+}
+
+/// Minimal C++17 allocator over huge_alloc/huge_free for std::vector.
+template <typename T>
+struct HugePageAllocator {
+  using value_type = T;
+
+  HugePageAllocator() = default;
+  template <typename U>
+  constexpr HugePageAllocator(const HugePageAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(huge_alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    huge_free(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const HugePageAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace sldf

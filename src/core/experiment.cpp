@@ -1,11 +1,17 @@
 #include "core/experiment.hpp"
 
 #include <cstdio>
-#include <mutex>
+#include <thread>
 
 #include "common/thread_pool.hpp"
 
 namespace sldf::core {
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 std::vector<double> linspace_rates(double max, int n) {
   std::vector<double> r;
@@ -20,11 +26,15 @@ SweepSeries run_sweep(const std::string& label, const NetFactory& make_net,
                       const SweepConfig& cfg) {
   SweepSeries series;
   series.label = label;
+  const unsigned threads = resolve_threads(cfg.threads);
 
-  if (cfg.threads <= 1) {
+  if (threads <= 1) {
+    // Serial: network, traffic, and engine context are built once and
+    // reused across points, so later points allocate (almost) nothing.
     sim::Network net;
     make_net(net);
     auto traffic = make_traffic(net);
+    sim::SimContext ctx;
     double zero_load = 0.0;
     for (std::size_t i = 0; i < cfg.rates.size(); ++i) {
       sim::SimConfig sc = cfg.base;
@@ -32,7 +42,7 @@ SweepSeries run_sweep(const std::string& label, const NetFactory& make_net,
       sc.seed = cfg.base.seed + i;
       SweepPoint pt;
       pt.rate = cfg.rates[i];
-      pt.res = sim::run_sim(net, sc, *traffic);
+      pt.res = sim::run_sim(ctx, net, sc, *traffic);
       series.points.push_back(pt);
       if (i == 0) zero_load = pt.res.avg_latency;
       if (cfg.stop_latency_factor > 0 && zero_load > 0 &&
@@ -43,10 +53,9 @@ SweepSeries run_sweep(const std::string& label, const NetFactory& make_net,
   }
 
   // Parallel: every point owns a freshly built network (deterministic).
+  // Each task writes only its own series.points[i], so no locking is needed.
   series.points.resize(cfg.rates.size());
-  std::vector<bool> done(cfg.rates.size(), false);
-  std::mutex mu;
-  ThreadPool::parallel_for(cfg.rates.size(), cfg.threads,
+  ThreadPool::parallel_for(cfg.rates.size(), threads,
                            [&](std::size_t i) {
                              sim::Network net;
                              make_net(net);
@@ -54,12 +63,9 @@ SweepSeries run_sweep(const std::string& label, const NetFactory& make_net,
                              sim::SimConfig sc = cfg.base;
                              sc.inj_rate_per_chip = cfg.rates[i];
                              sc.seed = cfg.base.seed + i;
-                             SweepPoint pt;
+                             SweepPoint& pt = series.points[i];
                              pt.rate = cfg.rates[i];
                              pt.res = sim::run_sim(net, sc, *traffic);
-                             std::lock_guard lk(mu);
-                             series.points[i] = pt;
-                             done[i] = true;
                            });
   // Apply the early-stop rule post hoc for consistent output.
   if (cfg.stop_latency_factor > 0 && !series.points.empty()) {

@@ -26,7 +26,8 @@ struct SweepConfig {
   /// zero-load (first point) latency. 0 disables early stopping.
   double stop_latency_factor = 8.0;
   /// Number of worker threads; each builds its own network. 1 = serial
-  /// (network built once and reset between points).
+  /// (network + engine context built once and reused across points);
+  /// 0 = auto (hardware concurrency).
   unsigned threads = 1;
 };
 
@@ -47,6 +48,9 @@ SweepSeries run_sweep(const std::string& label, const NetFactory& make_net,
 
 /// Evenly spaced rates in (0, max]: {max/n, 2*max/n, ..., max}.
 std::vector<double> linspace_rates(double max, int n);
+
+/// Maps the thread-count convention (0 = auto) to a concrete count >= 1.
+unsigned resolve_threads(unsigned threads);
 
 /// Prints a series as an aligned table (offered, latency, accepted) and
 /// optionally appends rows to a CSV ("series,offered,latency,accepted,...").

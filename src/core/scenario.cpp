@@ -78,7 +78,16 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   } else if (key == "stop_factor") {
     stop_latency_factor = to_double(key, value);
   } else if (key == "threads") {
-    threads = static_cast<unsigned>(to_long(key, value));
+    // Sweep-point parallelism: a count, or "auto"/0 for hardware concurrency.
+    if (value == "auto") {
+      threads = 0;
+    } else {
+      const long n = to_long(key, value);
+      if (n < 0)
+        throw std::invalid_argument(
+            "scenario key 'threads' expects a count >= 0 or 'auto'");
+      threads = static_cast<unsigned>(n);
+    }
   } else if (key == "warmup") {
     sim.warmup = to_long(key, value);
   } else if (key == "measure") {
@@ -115,7 +124,7 @@ KvMap ScenarioSpec::to_kv() const {
     kv["points"] = std::to_string(points);
   }
   kv["stop_factor"] = format_num(stop_latency_factor);
-  kv["threads"] = std::to_string(threads);
+  kv["threads"] = threads == 0 ? "auto" : std::to_string(threads);
   kv["warmup"] = std::to_string(sim.warmup);
   kv["measure"] = std::to_string(sim.measure);
   kv["drain"] = std::to_string(sim.drain);

@@ -31,7 +31,7 @@ struct ScenarioSpec {
   double max_rate = 1.0;
   int points = 6;
   double stop_latency_factor = 8.0;  ///< See SweepConfig.
-  unsigned threads = 1;              ///< Sweep-point parallelism.
+  unsigned threads = 1;  ///< Sweep-point parallelism (0 = auto; see set()).
   sim::SimConfig sim;                ///< Cycle counts, packet length, seed.
 
   /// Applies one `key = value` setting (the config/CLI vocabulary: label,

@@ -18,13 +18,7 @@ int gateway_occupancy(const sim::Network& net, const SwDfTopo& T,
   const int link = SwDfTopo::global_link(group, peer);
   const ChanId c = T.global_chan[static_cast<std::size_t>(
       (group * T.p.switches_per_group + link / H) * H + link % H)];
-  if (c == kInvalidChan) return 0;
-  const auto& ch = net.chan(c);
-  const auto& op = net.router(ch.src).out[static_cast<std::size_t>(
-      ch.src_port)];
-  int used = 0;
-  for (const auto& vc : op.vcs) used += net.vc_buf() - vc.credits;
-  return used;
+  return net.channel_occupancy(c);
 }
 
 }  // namespace
@@ -33,7 +27,8 @@ void DragonflyRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
                                    Rng& rng) {
   pkt.vc_class = 0;
   pkt.mid_wgroup = -1;
-  const auto& T = net.topo<SwDfTopo>();
+  if (topo_ == nullptr) topo_ = &net.topo<SwDfTopo>();
+  const auto& T = *topo_;
   const auto& sloc = T.loc[static_cast<std::size_t>(pkt.src)];
   const auto& dloc = T.loc[static_cast<std::size_t>(pkt.dst)];
   const int G = T.p.effective_groups();
@@ -59,8 +54,8 @@ void DragonflyRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
 sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
                                            NodeId router, PortIx /*in_port*/,
                                            sim::Packet& pkt) {
-  const auto& T = net.topo<SwDfTopo>();
-  const auto& r = net.router(router);
+  if (topo_ == nullptr) topo_ = &net.topo<SwDfTopo>();
+  const auto& T = *topo_;
   // VC = class * vcs_per_class + destination hash: spreads head-of-line
   // queues per destination (ideal-switch approximation).
   const auto vcix = [&] {
@@ -68,12 +63,12 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
                              static_cast<int>(pkt.dst) % vcs_per_class_);
   };
 
-  if (r.kind == NodeKind::Core) {
+  if (net.kind_of(router) == NodeKind::Core) {
     // Terminal node: either the destination or the source injecting upward.
-    if (router == pkt.dst) return {r.eject_port, vcix()};
+    if (router == pkt.dst) return {net.eject_port_of(router), vcix()};
     const ChanId up = T.up_chan[static_cast<std::size_t>(
         net.chip_of(router))];  // chip id == terminal index by construction
-    return {net.chan(up).src_port, vcix()};
+    return {net.out_port_of(up), vcix()};
   }
 
   // At a switch.
@@ -88,12 +83,12 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
     if (loc.sw == dloc.sw) {
       const ChanId down = T.down_chan[static_cast<std::size_t>(
           (loc.group * S + loc.sw) * T.p.terminals_per_switch + dloc.term)];
-      return {net.chan(down).src_port, vcix()};
+      return {net.out_port_of(down), vcix()};
     }
     const ChanId l = T.local_chan[static_cast<std::size_t>(
         (loc.group * S + loc.sw) * (S - 1) +
         SwDfTopo::local_index(loc.sw, dloc.sw))];
-    return {net.chan(l).src_port, vcix()};
+    return {net.out_port_of(l), vcix()};
   }
 
   // Heading to another group (the Valiant bounce group first, if any).
@@ -105,12 +100,12 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
         (loc.group * S + loc.sw) * H + link % H)];
     assert(gchan != kInvalidChan);
     ++pkt.vc_class;  // new group => next VC class
-    return {net.chan(gchan).src_port, vcix()};
+    return {net.out_port_of(gchan), vcix()};
   }
   const ChanId l = T.local_chan[static_cast<std::size_t>(
       (loc.group * S + loc.sw) * (S - 1) +
       SwDfTopo::local_index(loc.sw, owner))];
-  return {net.chan(l).src_port, vcix()};
+  return {net.out_port_of(l), vcix()};
 }
 
 }  // namespace sldf::route

@@ -7,6 +7,10 @@
 #include "sim/network.hpp"
 #include "sim/routing.hpp"
 
+namespace sldf::topo {
+struct SwDfTopo;
+}
+
 namespace sldf::route {
 
 class DragonflyRouting final : public sim::RoutingAlgorithm {
@@ -31,6 +35,9 @@ class DragonflyRouting final : public sim::RoutingAlgorithm {
  private:
   RouteMode mode_;
   int vcs_per_class_;
+  /// Topo-info downcast cached on first use (per-flit dynamic_cast is too
+  /// expensive); stable for the owning network's lifetime.
+  const topo::SwDfTopo* topo_ = nullptr;
 };
 
 }  // namespace sldf::route

@@ -92,10 +92,10 @@ void XyMeshRouting::init_packet(const sim::Network&, sim::Packet& pkt, Rng&) {
 
 sim::RouteDecision XyMeshRouting::route(const sim::Network& net, NodeId router,
                                         PortIx /*in_port*/, sim::Packet& pkt) {
-  const auto& info = net.topo<topo::MeshTopo>();
-  const auto& r = net.router(router);
+  if (topo_ == nullptr) topo_ = &net.topo<topo::MeshTopo>();
+  const auto& info = *topo_;
   if (router == pkt.dst)
-    return {r.eject_port, static_cast<VcIx>(pkt.vc_class)};
+    return {net.eject_port_of(router), static_cast<VcIx>(pkt.vc_class)};
   const int cur = info.node_pos[static_cast<std::size_t>(router)];
   const int dst = info.node_pos[static_cast<std::size_t>(pkt.dst)];
   const int d = xy_dir(info.shape.mx(), cur, dst);
@@ -103,7 +103,7 @@ sim::RouteDecision XyMeshRouting::route(const sim::Network& net, NodeId router,
   const ChanId c = info.cg.mesh_out[static_cast<std::size_t>(cur)]
                                    [static_cast<std::size_t>(d)];
   assert(c != kInvalidChan);
-  return {net.chan(c).src_port, static_cast<VcIx>(pkt.vc_class)};
+  return {net.out_port_of(c), static_cast<VcIx>(pkt.vc_class)};
 }
 
 }  // namespace sldf::route

@@ -60,6 +60,9 @@ class XyMeshRouting final : public sim::RoutingAlgorithm {
   sim::RouteDecision route(const sim::Network& net, NodeId router,
                            PortIx in_port, sim::Packet& pkt) override;
   [[nodiscard]] const char* name() const override { return "mesh-xy"; }
+
+ private:
+  const topo::MeshTopo* topo_ = nullptr;  ///< Downcast cached on first use.
 };
 
 }  // namespace sldf::route

@@ -9,18 +9,6 @@ using topo::SwlessTopo;
 
 namespace {
 
-/// Buffered-flit occupancy of a channel, read from the upstream output
-/// port's credit counters (UGAL-L congestion signal).
-int channel_occupancy(const sim::Network& net, ChanId c) {
-  if (c == kInvalidChan) return 0;
-  const auto& ch = net.chan(c);
-  const auto& op = net.router(ch.src).out[static_cast<std::size_t>(
-      ch.src_port)];
-  int used = 0;
-  for (const auto& vc : op.vcs) used += net.vc_buf() - vc.credits;
-  return used;
-}
-
 /// The line channel of the global link leaving W-group `wg` toward `peer`.
 ChanId gateway_line(const SwlessTopo& T, std::int32_t wg, std::int32_t peer) {
   const int link = SwlessTopo::global_link(wg, peer);
@@ -39,7 +27,8 @@ void SwlessRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
   pkt.target = kInvalidNode;
   pkt.exit_chan = kInvalidChan;
   pkt.mid_wgroup = -1;
-  const auto& T = net.topo<SwlessTopo>();
+  if (topo_ == nullptr) topo_ = &net.topo<SwlessTopo>();
+  const auto& T = *topo_;
   const auto& sloc = T.loc[static_cast<std::size_t>(pkt.src)];
   const auto& dloc = T.loc[static_cast<std::size_t>(pkt.dst)];
   const int G = T.p.effective_wgroups();
@@ -57,8 +46,8 @@ void SwlessRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
   // Adaptive (UGAL-L): misroute via `mid` only when the minimal gateway is
   // at least twice as congested as the candidate's (the non-minimal path
   // pays two global hops), with a small threshold to prefer minimal.
-  const int q_min = channel_occupancy(net, gateway_line(T, sloc.wg, dloc.wg));
-  const int q_val = channel_occupancy(net, gateway_line(T, sloc.wg, mid));
+  const int q_min = net.channel_occupancy(gateway_line(T, sloc.wg, dloc.wg));
+  const int q_val = net.channel_occupancy(gateway_line(T, sloc.wg, mid));
   constexpr int kThreshold = 4;  // flits of slack granted to minimal
   if (q_min > 2 * q_val + kThreshold) pkt.mid_wgroup = mid;
 }
@@ -165,11 +154,14 @@ int SwlessRouting::mesh_dir(const SwlessTopo& T, const sim::Packet& pkt,
 
 sim::RouteDecision SwlessRouting::route(const sim::Network& net, NodeId router,
                                         PortIx in_port, sim::Packet& pkt) {
-  const auto& T = net.topo<SwlessTopo>();
-  const auto& r = net.router(router);
+  // Cached across calls: the topo downcast (dynamic_cast) is far too
+  // expensive for a per-head-flit path. The Network owns the topo info, so
+  // the pointer is stable for this network's lifetime.
+  if (topo_ == nullptr) topo_ = &net.topo<SwlessTopo>();
+  const auto& T = *topo_;
   const auto vcix = [&] { return static_cast<VcIx>(pkt.vc_class); };
 
-  if (r.kind == NodeKind::IoConverter) {
+  if (net.kind_of(router) == NodeKind::IoConverter) {
     // Port layout: in/out 0 = attach (host side), in/out 1 = line.
     if (in_port == 0) {
       // Leaving the C-group: the crossing applies phase and VC class.
@@ -182,11 +174,11 @@ sim::RouteDecision SwlessRouting::route(const sim::Network& net, NodeId router,
     return {static_cast<PortIx>(0), vcix()};
   }
 
-  if (router == pkt.dst) return {r.eject_port, vcix()};
+  if (router == pkt.dst) return {net.eject_port_of(router), vcix()};
   if (pkt.target == kInvalidNode) plan_leg(T, router, pkt);
 
   if (router == pkt.target) {
-    const PortIx out = net.chan(pkt.exit_chan).src_port;
+    const PortIx out = net.out_port_of(pkt.exit_chan);
     if (!T.p.io_converters) {
       // No conversion modules (small-scale variant): the crossing happens
       // here and the line channel carries the next class.
@@ -207,7 +199,7 @@ sim::RouteDecision SwlessRouting::route(const sim::Network& net, NodeId router,
   const ChanId c = inst.mesh_out[static_cast<std::size_t>(loc.pos)]
                                 [static_cast<std::size_t>(d)];
   assert(c != kInvalidChan);
-  return {net.chan(c).src_port, vcix()};
+  return {net.out_port_of(c), vcix()};
 }
 
 }  // namespace sldf::route

@@ -43,6 +43,9 @@ class SwlessRouting final : public sim::RoutingAlgorithm {
 
   VcScheme scheme_;
   RouteMode mode_;
+  /// Topo-info downcast cached on first use (per-flit dynamic_cast is too
+  /// expensive); stable for the owning network's lifetime.
+  const topo::SwlessTopo* topo_ = nullptr;
 };
 
 }  // namespace sldf::route

@@ -25,6 +25,12 @@ struct Channel {
   std::uint16_t width_den = 1;
   LinkType type = LinkType::OnChip;
 
+  // Flat offset precomputed by Network::finalize(): VC v of the input port
+  // this channel feeds is `dst_vc_base + v` in the network's input-VC
+  // arrays (FIFO arena / ivc_meta). Deliveries use it directly instead of
+  // re-deriving router/port offsets.
+  std::uint32_t dst_vc_base = 0;
+
   // Token bucket (micro-tokens scaled by width_den): each cycle adds
   // width_num tokens, capped at width_num + width_den so idle periods do
   // not accumulate unbounded burst; sending one flit costs width_den.

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hugepage.hpp"
 #include "common/types.hpp"
 
 namespace sldf::sim {
@@ -29,34 +30,37 @@ enum class RoutePhase : std::uint8_t {
   DstCGroup = 5,    ///< In the destination C-group (Cd).
 };
 
-struct Packet {
-  NodeId src = kInvalidNode;      ///< Source router (terminal host).
+struct alignas(64) Packet {
+  // Field order is deliberate: the per-hop routing path (route(),
+  // plan_leg()) reads dst + the routing-state block, so they share the
+  // packet's first cache line — and the whole struct is one aligned line,
+  // so any pool access costs exactly one cache line.
   NodeId dst = kInvalidNode;      ///< Destination router (terminal host).
-  ChipId src_chip = kInvalidChip;
-  ChipId dst_chip = kInvalidChip;
-  std::uint16_t len = 0;          ///< Total flits.
-  std::uint16_t flits_ejected = 0;
-
-  // --- routing state (owned by the routing algorithm) ---
+  NodeId target = kInvalidNode;   ///< Intra-C-group target router.
+  std::int32_t exit_chan = kInvalidChan;  ///< Channel to take when at target.
+  std::int32_t mid_wgroup = -1;   ///< Valiant intermediate W/group (-1: minimal).
   RoutePhase phase = RoutePhase::SrcCGroup;
   RoutePhase next_phase = RoutePhase::SrcCGroup;  ///< Applied on the next
                                                   ///< inter-C-group crossing.
   std::uint8_t vc_class = 0;      ///< Current VC class (maps to a VC index).
   std::uint8_t next_class = 0;    ///< VC class after the crossing.
-  std::int32_t mid_wgroup = -1;   ///< Valiant intermediate W/group (-1: minimal).
-  NodeId target = kInvalidNode;   ///< Intra-C-group target router.
-  std::int32_t exit_chan = kInvalidChan;  ///< Channel to take when at target.
-  std::int32_t entry_node = kInvalidNode; ///< Router where this C-group was
-                                          ///< entered (monotone-path schemes).
+  std::uint16_t len = 0;          ///< Total flits.
+  std::uint16_t flits_ejected = 0;
+  NodeId src = kInvalidNode;      ///< Source router (terminal host).
+  ChipId src_chip = kInvalidChip;
+  ChipId dst_chip = kInvalidChip;
 
   // --- measurement ---
   Cycle t_gen = 0;     ///< Cycle the packet was created (enters source queue).
   Cycle t_eject = 0;   ///< Cycle the tail flit was consumed at the destination.
-  std::uint16_t hops[kNumLinkTypes] = {};  ///< Head-flit hops per link type.
+  /// Head-flit hops per link type (u8: a path never remotely approaches
+  /// 255 hops of one type; keeps the packet inside one cache line).
+  std::uint8_t hops[kNumLinkTypes] = {};
   std::uint8_t measured = 0;  ///< 1 if generated inside the measurement window.
 
   [[nodiscard]] Cycle latency() const { return t_eject - t_gen; }
 };
+static_assert(sizeof(Packet) == 64);
 
 /// Free-list pool of packets. PacketIds are stable until release().
 class PacketPool {
@@ -74,6 +78,13 @@ class PacketPool {
 
   void release(PacketId id) { free_.push_back(id); }
 
+  /// Forgets every packet but keeps both vectors' storage, so a pool reused
+  /// across runs (see SimContext) reaches zero steady-state allocation.
+  void reset() {
+    slots_.clear();
+    free_.clear();
+  }
+
   Packet& operator[](PacketId id) { return slots_[id]; }
   const Packet& operator[](PacketId id) const { return slots_[id]; }
 
@@ -81,7 +92,7 @@ class PacketPool {
   [[nodiscard]] std::size_t live() const { return slots_.size() - free_.size(); }
 
  private:
-  std::vector<Packet> slots_;
+  std::vector<Packet, HugePageAllocator<Packet>> slots_;
   std::vector<PacketId> free_;
 };
 

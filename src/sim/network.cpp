@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace sldf::sim {
@@ -76,46 +77,130 @@ void Network::finalize(int num_vcs, int vc_buf_flits) {
     throw std::invalid_argument("finalize: bad vc configuration");
   num_vcs_ = num_vcs;
   vc_buf_ = vc_buf_flits;
-  for (auto& r : routers_) {
-    for (auto& ip : r.in) {
-      ip.vcs.clear();
-      ip.vcs.resize(static_cast<std::size_t>(num_vcs));
-      for (auto& vc : ip.vcs)
-        vc.fifo.set_capacity(static_cast<std::uint32_t>(vc_buf_flits));
+
+  // Per-router flat port offsets (prefix sums over port counts, plus a
+  // sentinel so per-router counts are base[r+1] - base[r]).
+  in_port_base_.resize(routers_.size() + 1);
+  out_port_base_.resize(routers_.size() + 1);
+  std::uint64_t in_ports = 0;
+  std::uint64_t out_ports = 0;
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    in_port_base_[i] = static_cast<std::uint32_t>(in_ports);
+    out_port_base_[i] = static_cast<std::uint32_t>(out_ports);
+    in_ports += routers_[i].in.size();
+    out_ports += routers_[i].out.size();
+  }
+  in_port_base_[routers_.size()] = static_cast<std::uint32_t>(in_ports);
+  out_port_base_[routers_.size()] = static_cast<std::uint32_t>(out_ports);
+  const std::uint64_t n_ivc = in_ports * static_cast<std::uint64_t>(num_vcs);
+  const std::uint64_t n_ovc = out_ports * static_cast<std::uint64_t>(num_vcs);
+  if (n_ivc > std::numeric_limits<std::uint32_t>::max() ||
+      n_ovc > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("finalize: network exceeds 2^32 VCs");
+  num_in_ports_ = static_cast<std::uint32_t>(in_ports);
+  num_out_ports_ = static_cast<std::uint32_t>(out_ports);
+  node_meta_.resize(routers_.size());
+  for (std::size_t i = 0; i < routers_.size(); ++i)
+    node_meta_[i] =
+        (static_cast<std::uint32_t>(
+             static_cast<std::uint16_t>(routers_[i].eject_port))
+         << 8) |
+        static_cast<std::uint32_t>(routers_[i].kind);
+
+  // Flat VC state + one FIFO arena for every input VC.
+  if (vc_buf_flits > 0xffff)
+    throw std::invalid_argument("finalize: vc_buf_flits must be <= 65535");
+  if (num_vcs > 0xff)
+    throw std::invalid_argument("finalize: num_vcs must be <= 255");
+  fifos_.init(static_cast<std::size_t>(n_ivc),
+              static_cast<std::uint32_t>(vc_buf_flits),
+              pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
+
+  // Cache each channel's destination offset for the delivery hot path and
+  // the compact chan -> src_port table for the routing hot path.
+  src_port_by_chan_.resize(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i].dst_vc_base =
+        in_vc_index(channels_[i].dst, channels_[i].dst_port, 0);
+    src_port_by_chan_[i] = channels_[i].src_port;
+  }
+
+  // Lay out the per-output-port records: fixed words + one credit word per
+  // VC + the u16 requester slots, rounded up to a power of two.
+  const std::uint32_t rec_words =
+      kOvc0 + static_cast<std::uint32_t>(num_vcs) +
+      (static_cast<std::uint32_t>(num_vcs) + 1) / 2;
+  port_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(std::bit_ceil(rec_words)));
+  port_state_.assign(static_cast<std::size_t>(num_out_ports_)
+                         << port_shift_,
+                     0);
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const Router& r = routers_[i];
+    for (std::size_t p = 0; p < r.out.size(); ++p) {
+      std::uint32_t* rec =
+          port_rec(static_cast<std::uint32_t>(out_port_base_[i] + p));
+      if (r.out[p].out_chan != kInvalidChan) {
+        const Channel& c = chan(r.out[p].out_chan);
+        rec[kDstVcBase] = c.dst_vc_base;
+        rec[kDstNode] = static_cast<std::uint32_t>(c.dst);
+        rec[kLinkMeta] =
+            static_cast<std::uint32_t>(c.latency) |
+            (static_cast<std::uint32_t>(c.type) << 8) |
+            (static_cast<std::uint32_t>(c.width_num) << 16) |
+            (static_cast<std::uint32_t>(c.width_den) << 24);
+        if (c.width_num > 0xff || c.width_den > 0xff)
+          throw std::invalid_argument(
+              "finalize: channel width terms must be <= 255");
+      } else {
+        rec[kDstNode] = static_cast<std::uint32_t>(kInvalidNode);
+      }
     }
-    for (auto& op : r.out) {
-      op.vcs.assign(static_cast<std::size_t>(num_vcs), OutputVc{});
-      for (auto& vc : op.vcs) vc.credits = vc_buf_flits;
-      op.requesters.clear();
-      op.rr = 0;
+  }
+
+  // Credit-return wiring per input port.
+  credit_return_by_port_.assign(num_in_ports_, CreditReturn{});
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const Router& r = routers_[i];
+    for (std::size_t p = 0; p < r.in.size(); ++p) {
+      CreditReturn& cr = credit_return_by_port_[in_port_base_[i] + p];
+      if (r.in[p].in_chan != kInvalidChan) {
+        const Channel& c = chan(r.in[p].in_chan);
+        const std::uint32_t base =
+            (out_port_index(c.src, c.src_port) << port_shift_) + kOvc0;
+        if (base > 0xffffff)
+          throw std::invalid_argument(
+              "finalize: network too large for packed credit-return bases");
+        cr.meta = base | (static_cast<std::uint32_t>(c.latency) << 24);
+        cr.src = c.src;
+      }
     }
+  }
+
+  init_port_dynamic_state();
+}
+
+void Network::init_port_dynamic_state() {
+  for (std::uint32_t p = 0; p < num_out_ports_; ++p) {
+    std::uint32_t* rec = port_rec(p);
+    rec[0] = 0;  // SA count | rr
+    const std::uint32_t meta = rec[kLinkMeta];
+    const std::uint32_t wnum = (meta >> 16) & 0xff;
+    const std::uint32_t wden = meta >> 24;
+    rec[kTokens] = wnum + wden;  // full bucket (token_cap); 0 for ejection
+    rec[kTokenCycle] = 0;
+    for (int v = 0; v < num_vcs_; ++v)
+      rec[kOvc0 + static_cast<std::uint32_t>(v)] =
+          static_cast<std::uint32_t>(vc_buf_) << 8;
+    std::uint16_t* reqs = reinterpret_cast<std::uint16_t*>(
+        rec + kOvc0 + static_cast<std::uint32_t>(num_vcs_));
+    for (int v = 0; v < num_vcs_; ++v) reqs[v] = 0;
   }
 }
 
 void Network::reset_dynamic_state() {
-  for (auto& r : routers_) {
-    r.in_active_list = false;
-    r.buffered = 0;
-    for (auto& ip : r.in) {
-      ip.buffered = 0;
-      for (auto& vc : ip.vcs) {
-        vc.state = IvcState::Idle;
-        vc.out_port = kInvalidPort;
-        vc.out_vc = kInvalidVc;
-        while (!vc.fifo.empty()) vc.fifo.pop();
-      }
-    }
-    for (auto& op : r.out) {
-      for (auto& vc : op.vcs) {
-        vc.busy = false;
-        vc.owner_port = kInvalidPort;
-        vc.owner_vc = kInvalidVc;
-        vc.credits = vc_buf_;
-      }
-      op.requesters.clear();
-      op.rr = 0;
-    }
-  }
+  fifos_.reset(pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
+  init_port_dynamic_state();
   for (auto& c : channels_) c.reset_tokens();
 }
 

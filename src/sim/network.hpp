@@ -1,12 +1,21 @@
 // The Network: routers + channels + chip/terminal registry + routing.
 // Builders in src/topo construct it; the Simulator animates it.
+//
+// Dynamic per-VC state is stored structure-of-arrays at network scope
+// (cache-friendly for the cycle engine): input-VC FSM/route arrays and the
+// flit FIFO arena are indexed by `in_vc_index()`, output-VC busy/credit
+// arrays by `out_vc_index()`. The flat offsets are computed once in
+// finalize() and cached per channel (Channel::{dst,src}_vc_base).
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <memory>
 #include <vector>
 
+#include "common/hugepage.hpp"
 #include "common/types.hpp"
+#include "sim/buffer.hpp"
 #include "sim/channel.hpp"
 #include "sim/router.hpp"
 #include "sim/routing.hpp"
@@ -38,7 +47,13 @@ class Network {
   /// injection input port and ejection output port).
   void make_terminal(NodeId core, ChipId chip);
 
-  /// Sizes all VC arrays and initializes credits. Call once after wiring.
+  /// Sizes all flat VC arrays, computes the per-router/per-channel offsets,
+  /// and initializes credits. Call once after wiring.
+  ///
+  /// `vc_buf_flits` is the *logical* per-VC buffer depth: it is what
+  /// credits enforce and may be any value >= 1. FIFO *storage* is rounded
+  /// up to the next power of two internally so ring indexing is mask-based;
+  /// this changes memory footprint only, never simulation results.
   void finalize(int num_vcs, int vc_buf_flits);
 
   void set_routing(std::unique_ptr<RoutingAlgorithm> routing) {
@@ -49,8 +64,14 @@ class Network {
   }
 
   /// Clears all dynamic state (buffers, pipelines, allocations) so a network
-  /// can be re-simulated without rebuilding the topology.
+  /// can be re-simulated without rebuilding the topology. Allocation-free.
   void reset_dynamic_state();
+
+ private:
+  /// (Re)initializes the dynamic words of every per-port record.
+  void init_port_dynamic_state();
+
+ public:
 
   // ---- accessors ----
   [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
@@ -89,12 +110,160 @@ class Network {
   }
 
   /// Convenience: output-port index at chan's source router.
+  /// Backed by a compact array (finalized networks) so routing algorithms
+  /// don't pull a whole Channel cache line for one port number.
   [[nodiscard]] PortIx out_port_of(ChanId c) const {
-    return chan(c).src_port;
+    return finalized() ? src_port_by_chan_[static_cast<std::size_t>(c)]
+                       : chan(c).src_port;
   }
 
   std::vector<Router>& routers() { return routers_; }
   std::vector<Channel>& channels() { return channels_; }
+
+  // ---- flat VC state (valid once finalized) ----
+  /// Flat index of input port `p` at router `r` (network-wide).
+  [[nodiscard]] std::uint32_t in_port_index(NodeId r, PortIx p) const {
+    return in_port_base_[static_cast<std::size_t>(r)] +
+           static_cast<std::uint32_t>(p);
+  }
+  /// Flat index of output port `p` at router `r` (network-wide).
+  [[nodiscard]] std::uint32_t out_port_index(NodeId r, PortIx p) const {
+    return out_port_base_[static_cast<std::size_t>(r)] +
+           static_cast<std::uint32_t>(p);
+  }
+  [[nodiscard]] std::uint32_t num_in_ports() const { return num_in_ports_; }
+  [[nodiscard]] std::uint32_t num_out_ports() const { return num_out_ports_; }
+  /// Flat per-node mirrors of Router::kind / Router::eject_port, so routing
+  /// algorithms stay off the AoS Router objects in their per-flit path.
+  [[nodiscard]] NodeKind kind_of(NodeId r) const {
+    return static_cast<NodeKind>(node_meta_[static_cast<std::size_t>(r)] &
+                                 0xff);
+  }
+  [[nodiscard]] PortIx eject_port_of(NodeId r) const {
+    return static_cast<PortIx>(node_meta_[static_cast<std::size_t>(r)] >> 8);
+  }
+
+  /// Prefetch hooks: addresses of the per-router offset entries.
+  [[nodiscard]] const std::uint32_t* in_port_base_addr(NodeId r) const {
+    return &in_port_base_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const std::uint32_t* out_port_base_addr(NodeId r) const {
+    return &out_port_base_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::uint32_t num_in_ports_of(NodeId r) const {
+    return in_port_base_[static_cast<std::size_t>(r) + 1] -
+           in_port_base_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::uint32_t num_out_ports_of(NodeId r) const {
+    return out_port_base_[static_cast<std::size_t>(r) + 1] -
+           out_port_base_[static_cast<std::size_t>(r)];
+  }
+
+  /// Flat index of input VC `v` of input port `p` at router `r`.
+  [[nodiscard]] std::uint32_t in_vc_index(NodeId r, PortIx p, VcIx v) const {
+    return (in_port_base_[static_cast<std::size_t>(r)] +
+            static_cast<std::uint32_t>(p)) *
+               static_cast<std::uint32_t>(num_vcs_) +
+           static_cast<std::uint32_t>(v);
+  }
+  /// Flat index of output VC `v` of output port `p` at router `r`.
+  [[nodiscard]] std::uint32_t out_vc_index(NodeId r, PortIx p, VcIx v) const {
+    return (out_port_base_[static_cast<std::size_t>(r)] +
+            static_cast<std::uint32_t>(p)) *
+               static_cast<std::uint32_t>(num_vcs_) +
+           static_cast<std::uint32_t>(v);
+  }
+
+  FlitFifoArena& fifos() { return fifos_; }
+  [[nodiscard]] const FlitFifoArena& fifos() const { return fifos_; }
+
+  // Packed input-VC word: out_port (high 16) | out_vc (bits 8..15) |
+  // IvcState (low 8). One load covers the whole RC/VA/SA metadata.
+  static constexpr std::uint32_t pack_ivc(PortIx port, VcIx vc,
+                                          IvcState st) {
+    return (static_cast<std::uint32_t>(static_cast<std::uint16_t>(port))
+            << 16) |
+           (static_cast<std::uint32_t>(static_cast<std::uint8_t>(vc)) << 8) |
+           static_cast<std::uint32_t>(st);
+  }
+  static constexpr IvcState ivc_state_of(std::uint32_t meta) {
+    return static_cast<IvcState>(meta & 0xff);
+  }
+  static constexpr std::uint32_t ivc_vc_of(std::uint32_t meta) {
+    return (meta >> 8) & 0xff;
+  }
+  static constexpr std::uint32_t ivc_port_of(std::uint32_t meta) {
+    return meta >> 16;
+  }
+
+  // ---- per-output-port record -------------------------------------------
+  // Everything SA/VA/credit handling touches for one output port lives in
+  // one cache-line-sized record (power-of-two u32 stride) in port_state_:
+  //
+  //   word 0          : SA requester count (low u16) | round-robin (high)
+  //   word kTokens    : channel token bucket (micro-tokens)
+  //   word kTokenCycle: cycle of the last token refresh (truncated u32)
+  //   word kDstVcBase : flat input-VC base of the downstream port
+  //   word kDstNode   : downstream router (kInvalidNode for ejection ports)
+  //   word kLinkMeta  : latency | link type | width_num | width_den (u8 each)
+  //   words kOvc0..   : one word per output VC: credits << 8 | busy bit
+  //   then            : SA requesters, u16 each, encoded (in_port << 8) | vc
+  //
+  // A port never has more than num_vcs requesters (each output VC is held
+  // by at most one input VC), so the record size is static.
+  static constexpr std::uint32_t kTokens = 1;
+  static constexpr std::uint32_t kTokenCycle = 2;
+  static constexpr std::uint32_t kDstVcBase = 3;
+  static constexpr std::uint32_t kDstNode = 4;
+  static constexpr std::uint32_t kLinkMeta = 5;
+  static constexpr std::uint32_t kOvc0 = 6;
+
+  [[nodiscard]] std::uint32_t port_shift() const { return port_shift_; }
+  [[nodiscard]] std::uint32_t port_stride() const { return 1u << port_shift_; }
+  std::uint32_t* port_rec(std::uint32_t pflat) {
+    return &port_state_[static_cast<std::size_t>(pflat) << port_shift_];
+  }
+  [[nodiscard]] const std::uint32_t* port_rec(std::uint32_t pflat) const {
+    return &port_state_[static_cast<std::size_t>(pflat) << port_shift_];
+  }
+  std::vector<std::uint32_t, HugePageAllocator<std::uint32_t>>&
+  port_state() {
+    return port_state_;
+  }
+
+  /// Credit-return wiring of one input port (src == kInvalidNode for
+  /// injection ports, which return no credits). Packed to 8 bytes so the
+  /// per-grant load is one naturally-aligned access: `meta` holds the
+  /// channel latency in the top 8 bits and the port_state_ index of the
+  /// upstream port's first output-VC word in the low 24.
+  struct CreditReturn {
+    std::uint32_t meta = 0;
+    NodeId src = kInvalidNode;
+
+    [[nodiscard]] std::uint32_t credit_base() const {
+      return meta & 0xffffff;
+    }
+    [[nodiscard]] std::uint32_t latency() const { return meta >> 24; }
+  };
+  static_assert(sizeof(CreditReturn) == 8);
+  std::vector<CreditReturn>& credit_return_by_port() {
+    return credit_return_by_port_;
+  }
+
+  /// Buffered-flit occupancy of the downstream input port fed by channel
+  /// `c`, read from the upstream output port's credit counters (the UGAL-L
+  /// congestion signal used by the adaptive routing schemes).
+  [[nodiscard]] int channel_occupancy(ChanId c) const {
+    if (c == kInvalidChan) return 0;
+    const Channel& ch = chan(c);
+    const std::uint32_t* rec =
+        port_rec(out_port_index(ch.src, ch.src_port));
+    int used = 0;
+    for (int v = 0; v < num_vcs_; ++v)
+      used += vc_buf_ -
+              static_cast<int>(rec[kOvc0 + static_cast<std::uint32_t>(v)] >> 8);
+    return used;
+  }
 
  private:
   std::vector<Router> routers_;
@@ -106,6 +275,19 @@ class Network {
   std::unique_ptr<TopoInfo> topo_;
   int num_vcs_ = 0;
   int vc_buf_ = 0;
+
+  // Flat per-network VC state (finalize() sizes everything).
+  std::vector<std::uint32_t> in_port_base_;   ///< Per router: first input port.
+  std::vector<std::uint32_t> out_port_base_;  ///< Per router: first output port.
+  std::uint32_t num_in_ports_ = 0;
+  std::uint32_t num_out_ports_ = 0;
+  std::vector<std::uint32_t> node_meta_;  ///< eject_port << 8 | kind.
+  FlitFifoArena fifos_;  ///< FIFO rings + per-VC meta words (pack_ivc()).
+  /// Per-output-port records (see the offset constants above).
+  std::vector<std::uint32_t, HugePageAllocator<std::uint32_t>> port_state_;
+  std::uint32_t port_shift_ = 0;
+  std::vector<CreditReturn> credit_return_by_port_;
+  std::vector<PortIx> src_port_by_chan_;  ///< Compact chan -> src_port.
 };
 
 }  // namespace sldf::sim

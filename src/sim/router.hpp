@@ -1,49 +1,33 @@
-// Input-queued virtual-channel router state. The per-cycle pipeline
-// (RC -> VA -> SA/ST) is executed by the Simulator over these structures.
+// Input-queued virtual-channel router. The per-cycle pipeline
+// (RC -> VA -> SA/ST) is executed by the Simulator.
+//
+// Per-VC state (FSM, route choice, FIFOs, output credits) does NOT live
+// here: it is stored in flat per-network arrays owned by the Network,
+// indexed by `(port_base + port) * num_vcs + vc` offsets computed once in
+// Network::finalize(). The Router keeps only the static wiring (per-port
+// channel ids) and the small per-output-port switch-allocation state.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
-#include "sim/buffer.hpp"
 
 namespace sldf::sim {
 
-/// State machine of one input virtual channel.
+/// State machine of one input virtual channel (stored SoA in the Network).
 enum class IvcState : std::uint8_t {
   Idle,    ///< No packet in progress; next head flit triggers RC.
   Routed,  ///< Route computed, waiting for an output VC (VA).
   Active,  ///< Output VC held; flits flow through SA/ST until the tail.
 };
 
-struct InputVc {
-  IvcState state = IvcState::Idle;
-  PortIx out_port = kInvalidPort;
-  VcIx out_vc = kInvalidVc;
-  VcFifo fifo;
-};
-
 struct InputPort {
   ChanId in_chan = kInvalidChan;  ///< kInvalidChan for the injection port.
-  std::vector<InputVc> vcs;
-  std::uint32_t buffered = 0;  ///< Total flits across this port's VC FIFOs.
-};
-
-struct OutputVc {
-  bool busy = false;           ///< Held by an in-flight packet.
-  PortIx owner_port = kInvalidPort;
-  VcIx owner_vc = kInvalidVc;
-  std::int32_t credits = 0;    ///< Free slots in the downstream input FIFO.
 };
 
 struct OutputPort {
   ChanId out_chan = kInvalidChan;  ///< kInvalidChan for the ejection port.
-  std::vector<OutputVc> vcs;
-  /// Input VCs currently holding one of this port's output VCs, encoded as
-  /// (in_port << 8) | in_vc. Kept small; round-robin scanned by SA.
-  std::vector<std::uint16_t> requesters;
-  std::uint16_t rr = 0;  ///< Round-robin pointer into `requesters`.
 };
 
 struct Router {
@@ -53,8 +37,6 @@ struct Router {
   std::vector<OutputPort> out;
   PortIx inj_port = kInvalidPort;    ///< Injection input port (terminals only).
   PortIx eject_port = kInvalidPort;  ///< Ejection output port (terminals only).
-  std::uint32_t buffered = 0;  ///< Total flits buffered across input ports.
-  bool in_active_list = false;
 
   [[nodiscard]] bool has_terminal() const { return inj_port != kInvalidPort; }
 };

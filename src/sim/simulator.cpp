@@ -1,12 +1,76 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
 namespace sldf::sim {
 
+namespace {
+
+inline void set_bit(std::vector<std::uint64_t>& w, std::uint32_t i) {
+  w[i >> 6] |= 1ULL << (i & 63);
+}
+inline void clear_bit(std::vector<std::uint64_t>& w, std::uint32_t i) {
+  w[i >> 6] &= ~(1ULL << (i & 63));
+}
+
+/// Extracts the bits of word `w` of `words` that fall inside [begin, end).
+inline std::uint64_t masked_word(const std::vector<std::uint64_t>& words,
+                                 std::uint32_t w, std::uint32_t begin,
+                                 std::uint32_t end) {
+  std::uint64_t bits = words[w];
+  if (w == (begin >> 6)) bits &= ~0ULL << (begin & 63);
+  if (w == ((end - 1) >> 6)) bits &= ~0ULL >> (63 - ((end - 1) & 63));
+  return bits;
+}
+
+/// Sizes/resets `ctx` for `net` and returns the wheel mask. The wheel must
+/// hold at least max-channel-latency + 1 slots; any power of two above that
+/// behaves identically (slot index = cycle & mask uniquely maps every
+/// in-flight event to its target cycle), so a larger recycled wheel is fine.
+std::size_t prepare_context(SimContext& ctx, Network& net) {
+  std::size_t max_lat = 1;
+  for (std::size_t i = 0; i < net.num_channels(); ++i)
+    max_lat = std::max<std::size_t>(max_lat,
+                                    net.chan(static_cast<ChanId>(i)).latency);
+  std::size_t w = 1;
+  while (w <= max_lat) w <<= 1;
+  if (ctx.wheel.size() < w)
+    ctx.wheel.resize(w);
+  else
+    w = ctx.wheel.size();  // already a power of two (only sized here)
+  for (auto& slot : ctx.wheel) slot.clear();  // keeps slot capacity
+
+  ctx.pool.reset();
+  ctx.active.clear();
+  ctx.scratch.clear();
+  ctx.ract.assign(net.num_routers(), 0);
+  ctx.ivc_pending.assign((net.fifos().num_fifos() + 63) / 64, 0);
+  ctx.port_pending.assign((net.num_out_ports() + 63) / 64, 0);
+  ctx.ovc_waiters.assign(static_cast<std::size_t>(net.num_out_ports()) *
+                             static_cast<std::size_t>(net.num_vcs()),
+                         kNoWaiter);
+  ctx.ivc_wait_next.assign(net.fifos().num_fifos(), kNoWaiter);
+  return w - 1;
+}
+
+}  // namespace
+
 Simulator::Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic)
-    : net_(net), cfg_(cfg), traffic_(traffic), rng_(cfg.seed) {
+    : net_(net), cfg_(cfg), traffic_(traffic), rng_(cfg.seed),
+      owned_ctx_(std::make_unique<SimContext>()), ctx_(owned_ctx_.get()) {
+  init();
+}
+
+Simulator::Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic,
+                     SimContext& ctx)
+    : net_(net), cfg_(cfg), traffic_(traffic), rng_(cfg.seed), ctx_(&ctx) {
+  init();
+}
+
+void Simulator::init() {
   if (!net_.finalized())
     throw std::logic_error("Simulator: network not finalized");
   if (!net_.routing())
@@ -20,31 +84,27 @@ Simulator::Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic)
   per_node_pkt_rate_ = cfg_.inj_rate_per_chip / nodes_per_chip /
                        static_cast<double>(cfg_.pkt_len);
 
-  // Wheel size: next power of two above the maximum channel latency.
-  std::size_t max_lat = 1;
-  for (std::size_t i = 0; i < net_.num_channels(); ++i)
-    max_lat = std::max<std::size_t>(
-        max_lat, net_.chan(static_cast<ChanId>(i)).latency);
-  std::size_t w = 1;
-  while (w <= max_lat) w <<= 1;
-  wheel_mask_ = w - 1;
-  wheel_flits_.resize(w);
-  wheel_credits_.resize(w);
+  wheel_mask_ = prepare_context(*ctx_, net_);
 
-  terms_.reserve(net_.terminals().size());
-  for (NodeId n : net_.terminals()) {
-    TerminalState t;
-    t.node = n;
+  ctx_->terms.resize(net_.terminals().size());
+  for (std::size_t i = 0; i < ctx_->terms.size(); ++i) {
+    TerminalState& t = ctx_->terms[i];
+    t.node = net_.terminals()[i];
     t.next_gen = per_node_pkt_rate_ > 0.0
                      ? rng_.geometric_skip(per_node_pkt_rate_)
                      : ~0ULL;
-    terms_.push_back(std::move(t));
+    t.queue.clear();
+    t.inj_base = net_.in_vc_index(t.node, net_.router(t.node).inj_port, 0);
+    t.inj_vc = 0;
+    t.pushed = 0;
   }
 }
 
 void Simulator::generate_and_inject() {
   const Cycle gen_end = cfg_.warmup + cfg_.measure;
-  for (auto& t : terms_) {
+  PacketPool& pool = ctx_->pool;
+  FlitFifoArena& fifos = net_.fifos();
+  for (auto& t : ctx_->terms) {
     // --- generation (geometric-skip Bernoulli source) ---
     while (t.next_gen <= now_) {
       const Cycle when = t.next_gen;
@@ -57,8 +117,8 @@ void Simulator::generate_and_inject() {
       }
       const NodeId dst = traffic_.dest(net_, t.node, rng_);
       if (dst == kInvalidNode) continue;
-      const PacketId pid = pool_.acquire();
-      Packet& p = pool_[pid];
+      const PacketId pid = pool.acquire();
+      Packet& p = pool[pid];
       p.src = t.node;
       p.dst = dst;
       p.src_chip = net_.chip_of(t.node);
@@ -72,22 +132,28 @@ void Simulator::generate_and_inject() {
     }
     // --- injection: one flit per cycle into the injection port ---
     if (t.queue.empty()) continue;
-    Router& r = net_.router(t.node);
-    InputPort& ip = r.in[static_cast<std::size_t>(r.inj_port)];
     const PacketId pid = t.queue.front();
-    Packet& p = pool_[pid];
+    Packet& p = pool[pid];
     if (t.pushed == 0) t.inj_vc = static_cast<VcIx>(p.vc_class);
-    InputVc& ivc = ip.vcs[static_cast<std::size_t>(t.inj_vc)];
-    if (!ivc.fifo.full()) {
+    const std::uint32_t ix = t.inj_base + static_cast<std::uint32_t>(t.inj_vc);
+    if (!fifos.full(ix)) {
       Flit f;
       f.pkt = pid;
       f.idx = t.pushed;
       f.head = (t.pushed == 0);
       f.tail = (t.pushed + 1 == p.len);
-      ivc.fifo.push(f);
-      ++ip.buffered;
-      ++r.buffered;
-      activate_router(t.node);
+      fifos.push(ix, f);
+      if (fifos.size(ix) == 1) {
+        const std::uint32_t meta = fifos.meta(ix);
+        if (Network::ivc_state_of(meta) == IvcState::Idle)
+          set_bit(ctx_->ivc_pending, ix);  // fresh head flit: needs RC/VA
+        else  // refilled a streaming VC: wake its output port for SA
+          set_bit(ctx_->port_pending,
+                  net_.out_port_index(t.node, static_cast<PortIx>(
+                                                  Network::ivc_port_of(meta))));
+        mark_work(t.node);
+      }
+      activate_router_buffered(t.node);
       if (++t.pushed == p.len) {
         t.queue.pop_front();
         t.pushed = 0;
@@ -97,31 +163,68 @@ void Simulator::generate_and_inject() {
 }
 
 void Simulator::deliver_channels() {
-  auto& flits = wheel_flits_[now_ & wheel_mask_];
-  for (const auto& ev : flits) {
-    Router& rd = net_.router(ev.dst);
-    InputPort& dip = rd.in[static_cast<std::size_t>(ev.dst_port)];
-    InputVc& ivc = dip.vcs[static_cast<std::size_t>(ev.vc)];
-    assert(!ivc.fifo.full() && "credit protocol violated");
-    ivc.fifo.push(ev.flit);
-    ++dip.buffered;
-    ++rd.buffered;
-    activate_router(ev.dst);
+  auto& slot = ctx_->wheel[now_ & wheel_mask_];
+  FlitFifoArena& fifos = net_.fifos();
+  const std::size_t n = slot.size();
+  constexpr std::size_t kPf = 8;  // prefetch distance (events are 16 bytes)
+  // Pass 1: flit arrivals (before credits, matching router-activation order).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPf < n) {
+      const auto& pe = slot[i + kPf];
+      if (pe.flit.pkt != kInvalidPacket)  // vc_flat indexes the VC arrays
+        __builtin_prefetch(fifos.word_addr(pe.vc_flat));
+    }
+    const auto& ev = slot[i];
+    if (ev.flit.pkt == kInvalidPacket) continue;
+    assert(!fifos.full(ev.vc_flat) && "credit protocol violated");
+    fifos.push(ev.vc_flat, ev.flit);
+    if (fifos.size(ev.vc_flat) == 1) {
+      const std::uint32_t meta = fifos.meta(ev.vc_flat);
+      if (Network::ivc_state_of(meta) == IvcState::Idle) {
+        set_bit(ctx_->ivc_pending, ev.vc_flat);  // fresh head: needs RC/VA
+        // RC will read this packet next cycle — pull its line in now.
+        __builtin_prefetch(&ctx_->pool[ev.flit.pkt]);
+        mark_work(ev.node);
+      } else {
+        // Refilled an Active VC: its output port may have been parked on
+        // an empty FIFO — wake it for SA.
+        assert(Network::ivc_state_of(meta) == IvcState::Active);
+        set_bit(ctx_->port_pending,
+                net_.out_port_index(
+                    ev.node,
+                    static_cast<PortIx>(Network::ivc_port_of(meta))));
+        mark_work(ev.node);
+      }
+    }
+    activate_router_buffered(ev.node);
   }
-  flits.clear();
-  auto& credits = wheel_credits_[now_ & wheel_mask_];
-  for (const auto& ev : credits) {
-    Router& rs = net_.router(ev.src);
-    OutputVc& ov = rs.out[static_cast<std::size_t>(ev.src_port)]
-                       .vcs[static_cast<std::size_t>(ev.vc)];
-    ++ov.credits;
-    activate_router(ev.src);
+  // Pass 2: credit returns. A credit can unblock the output port that owns
+  // the VC, so wake it if it has requesters. For credit events `vc_flat`
+  // indexes the port_state_ arena directly; the whole port record shares
+  // one cache line, so the count check is free after the credit bump.
+  auto& ps = net_.port_state();
+  const std::uint32_t pshift = net_.port_shift();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPf < n) {
+      const auto& pe = slot[i + kPf];
+      if (pe.flit.pkt == kInvalidPacket)  // vc_flat indexes port_state_
+        __builtin_prefetch(&ps[pe.vc_flat]);
+    }
+    const auto& ev = slot[i];
+    if (ev.flit.pkt != kInvalidPacket) continue;
+    ps[ev.vc_flat] += 0x100;  // ++credits
+    const std::uint32_t pflat = ev.vc_flat >> pshift;
+    if ((ps[static_cast<std::size_t>(pflat) << pshift] & 0xffff) != 0) {
+      set_bit(ctx_->port_pending, pflat);
+      mark_work(ev.node);
+    }
+    activate_router(ev.node);
   }
-  credits.clear();
+  slot.clear();
 }
 
 void Simulator::handle_eject(const Flit& f) {
-  Packet& p = pool_[f.pkt];
+  Packet& p = ctx_->pool[f.pkt];
   ++p.flits_ejected;
   const bool in_window =
       now_ >= cfg_.warmup && now_ < cfg_.warmup + cfg_.measure;
@@ -137,134 +240,269 @@ void Simulator::handle_eject(const Flit& f) {
       for (int h = 0; h < kNumLinkTypes; ++h)
         hop_sum_[h] += static_cast<double>(p.hops[h]);
     }
-    pool_.release(f.pkt);
+    ctx_->pool.release(f.pkt);
   }
 }
 
 void Simulator::process_router(NodeId rid) {
-  Router& r = net_.router(rid);
-  const auto nvc = static_cast<std::size_t>(net_.num_vcs());
+  // True when this call leaves any pending bit set for this router (so the
+  // work flag must stay armed for next cycle).
+  bool leftover = false;
+  const auto nvc = static_cast<std::uint32_t>(net_.num_vcs());
+  FlitFifoArena& fifos = net_.fifos();
+  const std::uint32_t ibase = net_.in_vc_index(rid, 0, 0);
+  const std::uint32_t pbegin = net_.out_port_index(rid, 0);
 
-  // --- RC + VA over input VCs ---
-  for (std::size_t pi = 0; pi < r.in.size(); ++pi) {
-    InputPort& ip = r.in[pi];
-    if (ip.buffered == 0) continue;
-    for (std::size_t vi = 0; vi < nvc; ++vi) {
-      InputVc& ivc = ip.vcs[vi];
-      if (ivc.fifo.empty()) continue;
-      if (ivc.state == IvcState::Idle) {
-        const Flit& f = ivc.fifo.front();
-        assert(f.head && "non-head flit at idle VC");
-        Packet& pkt = pool_[f.pkt];
-        const RouteDecision d = net_.routing()->route(
-            net_, rid, static_cast<PortIx>(pi), pkt);
-        assert(d.out_port >= 0 &&
-               d.out_port < static_cast<PortIx>(r.out.size()));
-        assert(d.out_vc >= 0 && d.out_vc < static_cast<VcIx>(nvc));
-        ivc.out_port = d.out_port;
-        ivc.out_vc = d.out_vc;
-        ivc.state = IvcState::Routed;
-      }
-      if (ivc.state == IvcState::Routed) {
-        OutputPort& op = r.out[static_cast<std::size_t>(ivc.out_port)];
-        OutputVc& ov = op.vcs[static_cast<std::size_t>(ivc.out_vc)];
-        if (!ov.busy) {
-          ov.busy = true;
-          ov.owner_port = static_cast<PortIx>(pi);
-          ov.owner_vc = static_cast<VcIx>(vi);
-          op.requesters.push_back(
-              static_cast<std::uint16_t>((pi << 8) | vi));
-          ivc.state = IvcState::Active;
+  // --- RC + VA over pending input VCs (non-empty, not yet Active) ---
+  // The bitmask scan visits VCs in ascending (port, vc) order — exactly the
+  // order of a full nested scan — so VA arbitration is unchanged.
+  const std::uint32_t vend = ibase + net_.num_in_ports_of(rid) * nvc;
+  if (vend > ibase) {
+    for (std::uint32_t w = ibase >> 6; w <= (vend - 1) >> 6; ++w) {
+      std::uint64_t bits = masked_word(ctx_->ivc_pending, w, ibase, vend);
+      while (bits) {
+        const std::uint32_t ix =
+            (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        assert(!fifos.empty(ix));
+        const std::uint32_t pi = (ix - ibase) / nvc;
+        const std::uint32_t vi = (ix - ibase) % nvc;
+        std::uint32_t meta = fifos.meta(ix);
+        if (Network::ivc_state_of(meta) == IvcState::Idle) {
+          const Flit& f = fifos.front(ix);
+          assert(f.head && "non-head flit at idle VC");
+          Packet& pkt = ctx_->pool[f.pkt];
+          const RouteDecision d = net_.routing()->route(
+              net_, rid, static_cast<PortIx>(pi), pkt);
+          assert(d.out_port >= 0 &&
+                 d.out_port < static_cast<PortIx>(net_.num_out_ports_of(rid)));
+          assert(d.out_vc >= 0 && d.out_vc < static_cast<VcIx>(nvc));
+          meta = Network::pack_ivc(d.out_port, d.out_vc, IvcState::Routed);
+          fifos.set_meta(ix, meta);
+        }
+        // Routed: try VA (claim the chosen output VC).
+        const std::uint32_t pflat = pbegin + Network::ivc_port_of(meta);
+        std::uint32_t* rec = net_.port_rec(pflat);
+        std::uint32_t& ow = rec[Network::kOvc0 + Network::ivc_vc_of(meta)];
+        if (!(ow & 1)) {
+          ow |= 1;  // busy
+          // Always wake the port: a parked (stalled) port may be grantable
+          // through this new requester even while the others are blocked.
+          set_bit(ctx_->port_pending, pflat);
+          auto* reqs =
+              reinterpret_cast<std::uint16_t*>(rec + Network::kOvc0 + nvc);
+          reqs[rec[0] & 0xffff] = static_cast<std::uint16_t>((pi << 8) | vi);
+          ++rec[0];  // ++count (low u16; rr lives in the high half)
+          fifos.set_meta(ix, (meta & ~0xffu) |
+                                 static_cast<std::uint32_t>(IvcState::Active));
+          clear_bit(ctx_->ivc_pending, ix);
+        } else {
+          // Busy: park on the output VC's waiter chain instead of
+          // re-polling every cycle. The tail flit that frees the VC
+          // re-arms the pending bit, and the next cycle's ascending scan
+          // retries — the first cycle a poll loop could have succeeded.
+          const std::uint32_t ovcflat =
+              pflat * nvc + Network::ivc_vc_of(meta);
+          ctx_->ivc_wait_next[ix] = ctx_->ovc_waiters[ovcflat];
+          ctx_->ovc_waiters[ovcflat] = ix;
+          clear_bit(ctx_->ivc_pending, ix);
         }
       }
     }
   }
 
-  // --- SA + ST per output port ---
-  for (auto& op : r.out) {
-    if (op.requesters.empty()) continue;
-    const bool is_eject = (op.out_chan == kInvalidChan);
-    int budget = 1;  // ejection: one flit per cycle per node
-    if (!is_eject) {
-      Channel& oc = net_.chan(op.out_chan);
-      oc.refresh_tokens(now_);
-      budget = oc.flit_allowance();
-    }
-    for (int grant = 0; grant < budget; ++grant) {
-      const auto nreq = op.requesters.size();
-      std::size_t chosen = nreq;
-      for (std::size_t k = 0; k < nreq; ++k) {
-        const std::size_t idx = (op.rr + k) % nreq;
-        const std::uint16_t enc = op.requesters[idx];
-        InputVc& ivc = r.in[enc >> 8].vcs[enc & 0xff];
-        if (ivc.fifo.empty()) continue;
-        if (!is_eject &&
-            op.vcs[static_cast<std::size_t>(ivc.out_vc)].credits <= 0)
-          continue;
-        chosen = idx;
-        break;
-      }
-      if (chosen == nreq) break;
-      const std::uint16_t enc = op.requesters[chosen];
-      const std::size_t pi = enc >> 8;
-      const std::size_t vi = enc & 0xff;
-      InputPort& ip = r.in[pi];
-      InputVc& ivc = ip.vcs[vi];
-      OutputVc& ov = op.vcs[static_cast<std::size_t>(ivc.out_vc)];
-
-      const Flit f = ivc.fifo.pop();
-      --ip.buffered;
-      --r.buffered;
-      if (ip.in_chan != kInvalidChan) {
-        const Channel& icv = net_.chan(ip.in_chan);
-        wheel_credits_[(now_ + icv.latency) & wheel_mask_].push_back(
-            CreditDelivery{icv.src, icv.src_port, static_cast<VcIx>(vi)});
-      }
-      if (is_eject) {
-        handle_eject(f);
-      } else {
-        Channel& oc = net_.chan(op.out_chan);
-        --ov.credits;
-        oc.consume_token();
-        if (f.head) {
-          Packet& pkt = pool_[f.pkt];
-          ++pkt.hops[static_cast<int>(oc.type)];
+  // --- SA + ST over output ports with requesters ---
+  const std::uint32_t pend = pbegin + net_.num_out_ports_of(rid);
+  for (std::uint32_t w = pbegin >> 6;
+       pend > pbegin && w <= (pend - 1) >> 6; ++w) {
+    std::uint64_t pbits = masked_word(ctx_->port_pending, w, pbegin, pend);
+    while (pbits) {
+      const std::uint32_t pflat =
+          (w << 6) + static_cast<std::uint32_t>(std::countr_zero(pbits));
+      pbits &= pbits - 1;
+      bool port_left = true;  // bit still set when the grant loop ends?
+      std::uint32_t* rec = net_.port_rec(pflat);
+      auto* reqs =
+          reinterpret_cast<std::uint16_t*>(rec + Network::kOvc0 + nvc);
+      assert((rec[0] & 0xffff) > 0);
+      const std::uint32_t link_meta = rec[Network::kLinkMeta];
+      const auto dst = static_cast<NodeId>(rec[Network::kDstNode]);
+      const bool is_eject = (dst == kInvalidNode);
+      int budget = 1;  // ejection: one flit per cycle per node
+      if (!is_eject) {
+        // Token-bucket refresh, on the record's copy of the channel state.
+        const std::uint32_t wnum = (link_meta >> 16) & 0xff;
+        const std::uint32_t wden = link_meta >> 24;
+        const auto now32 = static_cast<std::uint32_t>(now_);
+        const std::uint32_t elapsed = now32 - rec[Network::kTokenCycle];
+        if (elapsed > 0) {
+          const std::uint64_t add =
+              static_cast<std::uint64_t>(elapsed) * wnum +
+              rec[Network::kTokens];
+          const std::uint32_t cap = wnum + wden;
+          rec[Network::kTokens] =
+              static_cast<std::uint32_t>(add > cap ? cap : add);
+          rec[Network::kTokenCycle] = now32;
         }
-        wheel_flits_[(now_ + oc.latency) & wheel_mask_].push_back(
-            FlitDelivery{oc.dst, oc.dst_port, ivc.out_vc, f});
+        budget = static_cast<int>(rec[Network::kTokens] /
+                                  (link_meta >> 24));
       }
-      if (f.tail) {
-        ov.busy = false;
-        ov.owner_port = kInvalidPort;
-        ov.owner_vc = kInvalidVc;
-        ivc.state = IvcState::Idle;
-        ivc.out_port = kInvalidPort;
-        ivc.out_vc = kInvalidVc;
-        op.requesters.erase(op.requesters.begin() +
-                            static_cast<std::ptrdiff_t>(chosen));
-        if (!op.requesters.empty())
-          op.rr = static_cast<std::uint16_t>(chosen % op.requesters.size());
-        else
-          op.rr = 0;
-      } else {
-        op.rr = static_cast<std::uint16_t>((chosen + 1) % nreq);
+      for (int grant = 0; grant < budget; ++grant) {
+        const std::uint32_t nreq = rec[0] & 0xffff;
+        const std::uint32_t rr = rec[0] >> 16;
+        std::uint32_t chosen = nreq;
+        std::uint32_t ix = 0;
+        std::uint32_t out_vc = 0;
+        for (std::uint32_t k = 0; k < nreq; ++k) {
+          std::uint32_t idx = rr + k;
+          if (idx >= nreq) idx -= nreq;  // rr < nreq, so one wrap suffices
+          const std::uint16_t enc = reqs[idx];
+          const std::uint32_t cand =
+              ibase + static_cast<std::uint32_t>(enc >> 8) * nvc +
+              static_cast<std::uint32_t>(enc & 0xff);
+          if (fifos.empty(cand)) continue;
+          const std::uint32_t cand_vc = Network::ivc_vc_of(fifos.meta(cand));
+          if (!is_eject && (rec[Network::kOvc0 + cand_vc] >> 8) == 0)
+            continue;
+          chosen = idx;
+          ix = cand;
+          out_vc = cand_vc;
+          // The grant below needs this requester's credit-return entry.
+          __builtin_prefetch(
+              &net_.credit_return_by_port()[net_.in_port_index(rid, 0) +
+                                            (enc >> 8)]);
+          break;
+        }
+        if (chosen == nreq) {
+          // Fruitless scan: nothing observable happened, so the port can be
+          // parked until an event (credit return, FIFO refill, new
+          // requester) makes a grant possible again. Sub-flit/cycle
+          // channels (width < 1) stay live: time alone refills their
+          // token bucket.
+          if (is_eject || ((link_meta >> 16) & 0xff) >= (link_meta >> 24)) {
+            clear_bit(ctx_->port_pending, pflat);
+            port_left = false;
+          }
+          break;
+        }
+        const std::uint16_t enc = reqs[chosen];
+        const std::uint32_t pi = enc >> 8;
+        const std::uint32_t vi = enc & 0xff;
+
+        const Flit f = fifos.pop(ix);
+        ctx_->ract[static_cast<std::size_t>(rid)] -= 4;  // --buffered
+        const Network::CreditReturn cr =
+            net_.credit_return_by_port()[net_.in_port_index(rid, 0) + pi];
+        if (cr.src != kInvalidNode) {
+          ctx_->wheel[(now_ + cr.latency()) & wheel_mask_].push_back(
+              WheelEvent{cr.credit_base() + vi, cr.src,
+                         Flit{}});  // pkt == kInvalidPacket marks a credit
+        }
+        if (is_eject) {
+          handle_eject(f);
+        } else {
+          ++flit_hops_;
+          rec[Network::kOvc0 + out_vc] -= 0x100;          // --credits
+          rec[Network::kTokens] -= link_meta >> 24;       // consume token
+          if (f.head) {
+            Packet& pkt = ctx_->pool[f.pkt];
+            ++pkt.hops[static_cast<int>((link_meta >> 8) & 0xff)];
+          }
+          ctx_->wheel[(now_ + (link_meta & 0xff)) & wheel_mask_].push_back(
+              WheelEvent{rec[Network::kDstVcBase] + out_vc, dst, f});
+        }
+        if (f.tail) {
+          rec[Network::kOvc0 + out_vc] &= ~1u;  // release the output VC
+          // Wake every VC parked on this output VC (see the VA else-branch).
+          std::uint32_t wix = ctx_->ovc_waiters[pflat * nvc + out_vc];
+          if (wix != kNoWaiter) {
+            ctx_->ovc_waiters[pflat * nvc + out_vc] = kNoWaiter;
+            leftover = true;
+            do {
+              set_bit(ctx_->ivc_pending, wix);
+              const std::uint32_t nx = ctx_->ivc_wait_next[wix];
+              ctx_->ivc_wait_next[wix] = kNoWaiter;
+              wix = nx;
+            } while (wix != kNoWaiter);
+          }
+          fifos.set_meta(
+              ix, Network::pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
+          if (!fifos.empty(ix)) {
+            set_bit(ctx_->ivc_pending, ix);  // next packet's head is waiting
+            __builtin_prefetch(&ctx_->pool[fifos.front(ix).pkt]);  // for RC
+            leftover = true;
+          }
+          const std::uint32_t left = nreq - 1;
+          for (std::uint32_t k = chosen; k < left; ++k)
+            reqs[k] = reqs[k + 1];
+          if (left > 0) {
+            rec[0] = left | ((chosen == left ? 0 : chosen) << 16);
+          } else {
+            rec[0] = 0;
+            clear_bit(ctx_->port_pending, pflat);
+            port_left = false;
+            break;  // no requesters left for the remaining budget
+          }
+        } else {
+          const std::uint32_t nrr = chosen + 1 == nreq ? 0 : chosen + 1;
+          rec[0] = nreq | (nrr << 16);
+        }
       }
+      if (port_left && (rec[0] & 0xffff) != 0) leftover = true;
     }
   }
+  if (!leftover) ctx_->ract[static_cast<std::size_t>(rid)] &= ~2u;
 }
 
 void Simulator::step() {
   deliver_channels();
   generate_and_inject();
 
-  // Snapshot: routers activated during this pass run next cycle.
-  std::vector<NodeId> snapshot;
-  snapshot.swap(active_routers_);
-  for (NodeId rid : snapshot) net_.router(rid).in_active_list = false;
-  for (NodeId rid : snapshot) {
-    process_router(rid);
+  // Snapshot: routers activated during this pass run next cycle. The two
+  // lists ping-pong so neither ever re-allocates in steady state.
+  ctx_->scratch.clear();
+  ctx_->scratch.swap(ctx_->active);
+  for (NodeId rid : ctx_->scratch)
+    ctx_->ract[static_cast<std::size_t>(rid)] &= ~1u;
+  // The active list gives exact lookahead, so the per-router state lines
+  // (scattered in L3) are prefetched in two stages: far = the flat-offset
+  // entries, near = the lines those offsets point at.
+  const auto& snap = ctx_->scratch;
+  const std::size_t nsnap = snap.size();
+  for (std::size_t i = 0; i < nsnap; ++i) {
+    if (i + 8 < nsnap) {
+      const NodeId r8 = snap[i + 8];
+      __builtin_prefetch(&ctx_->ract[static_cast<std::size_t>(r8)]);
+      __builtin_prefetch(net_.in_port_base_addr(r8));
+      __builtin_prefetch(net_.out_port_base_addr(r8));
+    }
+    if (i + 3 < nsnap &&
+        (ctx_->ract[static_cast<std::size_t>(snap[i + 3])] & 2)) {
+      const NodeId r3 = snap[i + 3];
+      const std::uint32_t ib = net_.in_vc_index(r3, 0, 0);
+      const std::uint32_t pb = net_.out_port_index(r3, 0);
+      __builtin_prefetch(&ctx_->ivc_pending[ib >> 6]);
+      __builtin_prefetch(&ctx_->port_pending[pb >> 6]);
+      // Input-VC words (head/size + meta) span a couple of lines each; the
+      // per-port records are one line per port.
+      __builtin_prefetch(net_.fifos().word_addr(ib));
+      if (ib + 8 < net_.fifos().num_fifos())
+        __builtin_prefetch(net_.fifos().word_addr(ib + 8));
+      if (ib + 16 < net_.fifos().num_fifos())
+        __builtin_prefetch(net_.fifos().word_addr(ib + 16));
+      const std::uint32_t nout = net_.num_out_ports_of(r3);
+      std::uint32_t* rec = net_.port_rec(pb);
+      const std::uint32_t words = net_.port_stride();
+      for (std::uint32_t p = 0; p < nout && p < 4; ++p)
+        __builtin_prefetch(rec + p * words);
+    }
+    const NodeId rid = snap[i];
+    // Process only routers with pending RC/VA or SA work (the work flag is
+    // a superset of the pending bits, so a skipped call would have been a
+    // pure no-op; the active list itself is maintained exactly as before).
+    if (ctx_->ract[static_cast<std::size_t>(rid)] & 2) process_router(rid);
     // Keep the router live while any input VC holds flits.
-    if (net_.router(rid).buffered > 0) activate_router(rid);
+    if (ctx_->ract[static_cast<std::size_t>(rid)] > 3) activate_router(rid);
   }
   ++now_;
 }
@@ -296,6 +534,7 @@ SimResult Simulator::run() {
   res.suppressed = suppressed_;
   res.drained = delivered_measured_ == generated_measured_;
   res.cycles_run = now_;
+  res.flit_hops = flit_hops_;
   double total = 0.0;
   if (delivered_measured_ > 0) {
     for (int h = 0; h < kNumLinkTypes; ++h) {
@@ -309,8 +548,14 @@ SimResult Simulator::run() {
 }
 
 SimResult run_sim(Network& net, const SimConfig& cfg, TrafficSource& traffic) {
+  SimContext ctx;
+  return run_sim(ctx, net, cfg, traffic);
+}
+
+SimResult run_sim(SimContext& ctx, Network& net, const SimConfig& cfg,
+                  TrafficSource& traffic) {
   net.reset_dynamic_state();
-  Simulator sim(net, cfg, traffic);
+  Simulator sim(net, cfg, traffic, ctx);
   return sim.run();
 }
 

@@ -4,11 +4,19 @@
 // Methodology follows the paper's Table IV defaults: 4-flit packets,
 // 32-flit per-VC input buffers, 1 flit/cycle base links, 1-cycle short-reach
 // and 8-cycle long-reach delays, 5000 warmup + 10000 measured cycles.
+//
+// Hot-path layout: all per-VC state lives in the Network's flat arrays
+// (see network.hpp); in-flight flits and credits share one timing-wheel
+// event record; and every growable container the engine touches per cycle
+// (wheel slots, active lists, source queues, packet pool) lives in a
+// SimContext that can be reused across runs, so steady-state simulation
+// performs no heap allocation.
 #pragma once
 
-#include <deque>
+#include <memory>
 #include <vector>
 
+#include "common/ring.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -52,11 +60,69 @@ struct SimResult {
   double avg_hops[kNumLinkTypes] = {};  ///< Per delivered measured packet.
   double avg_hops_total = 0.0;
   Cycle cycles_run = 0;
+  /// Flits forwarded onto channels over the whole run (excludes ejection):
+  /// the engine-throughput numerator reported by sldf-bench.
+  std::uint64_t flit_hops = 0;
 };
+
+/// One timing-wheel record: a flit arriving at an input VC, or (when
+/// `flit.pkt == kInvalidPacket`) a credit returning to an output VC.
+/// `vc_flat` indexes the corresponding flat VC array; `node` is the router
+/// to re-activate.
+struct WheelEvent {
+  std::uint32_t vc_flat = 0;
+  NodeId node = kInvalidNode;
+  Flit flit;
+};
+
+struct TerminalState {
+  NodeId node = kInvalidNode;
+  Cycle next_gen = 0;
+  RingQueue<PacketId> queue;  ///< Packets waiting to enter the network.
+  std::uint32_t inj_base = 0;  ///< Flat index of the injection port's VC 0.
+  VcIx inj_vc = 0;            ///< VC fifo the current head packet uses.
+  std::uint16_t pushed = 0;   ///< Flits of the head packet already pushed.
+};
+
+/// Reusable engine storage. A context handed to consecutive runs (e.g. the
+/// points of a sweep) keeps its high-water-mark capacities, so later runs
+/// allocate nothing. A default-constructed context works for any network;
+/// the Simulator (re)sizes it on construction.
+struct SimContext {
+  PacketPool pool;
+  std::vector<TerminalState> terms;
+  std::vector<NodeId> active;      ///< Routers to process next cycle.
+  std::vector<NodeId> scratch;     ///< Ping-pong partner of `active`.
+  /// Per router, one word: buffered-flit count << 2 | has-pending-work
+  /// flag (bit 1) | in-active-list flag (bit 0). The work flag is a
+  /// superset of "any pending bit set for this router": events set it,
+  /// process_router() clears it when it leaves no pending bits behind.
+  std::vector<std::uint32_t> ract;
+  std::vector<std::vector<WheelEvent>> wheel;  ///< Timing-wheel slots.
+  /// One bit per input VC: non-empty and not yet Active, i.e. needs RC/VA.
+  /// Scanned in ascending index order, so arbitration matches a full scan.
+  std::vector<std::uint64_t> ivc_pending;
+  /// One bit per output port: `requesters` non-empty, i.e. SA has work.
+  std::vector<std::uint64_t> port_pending;
+  /// VA waiter chains: a Routed input VC blocked on a busy output VC parks
+  /// here instead of re-polling every cycle. ovc_waiters[out-VC] heads an
+  /// intrusive list linked through ivc_wait_next[input-VC]; the tail flit
+  /// releasing the VC re-arms every waiter's pending bit, which the next
+  /// cycle scans in ascending order — exactly when and how a poll loop
+  /// would have succeeded. kNoWaiter marks an empty link.
+  std::vector<std::uint32_t> ovc_waiters;
+  std::vector<std::uint32_t> ivc_wait_next;
+};
+
+inline constexpr std::uint32_t kNoWaiter = 0xffffffffu;
 
 class Simulator {
  public:
+  /// Owns a private SimContext (one-shot runs, tests).
   Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic);
+  /// Reuses `ctx` (sweeps); the context is reset for this run.
+  Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic,
+            SimContext& ctx);
 
   /// Runs warmup + measurement + drain and returns the aggregated result.
   SimResult run();
@@ -66,53 +132,44 @@ class Simulator {
   [[nodiscard]] Cycle now() const { return now_; }
 
  private:
-  struct TerminalState {
-    NodeId node = kInvalidNode;
-    Cycle next_gen = 0;
-    std::deque<PacketId> queue;  ///< Packets waiting to enter the network.
-    VcIx inj_vc = 0;             ///< VC fifo the current head packet uses.
-    std::uint16_t pushed = 0;    ///< Flits of the head packet already pushed.
-  };
-
-  struct FlitDelivery {
-    NodeId dst;
-    PortIx dst_port;
-    VcIx vc;
-    Flit flit;
-  };
-  struct CreditDelivery {
-    NodeId src;
-    PortIx src_port;
-    VcIx vc;
-  };
-
+  void init();
   void generate_and_inject();
   void deliver_channels();
   void process_router(NodeId rid);
   void handle_eject(const Flit& f);
 
   void activate_router(NodeId id) {
-    Router& r = net_.router(id);
-    if (!r.in_active_list) {
-      r.in_active_list = true;
-      active_routers_.push_back(id);
+    std::uint32_t& a = ctx_->ract[static_cast<std::size_t>(id)];
+    if (!(a & 1)) {
+      a |= 1;
+      ctx_->active.push_back(id);
     }
+  }
+
+  /// Activate + count one more buffered flit in a single word update.
+  void activate_router_buffered(NodeId id) {
+    std::uint32_t& a = ctx_->ract[static_cast<std::size_t>(id)];
+    const bool was = a & 1;
+    a = (a + 4) | 1;
+    if (!was) ctx_->active.push_back(id);
+  }
+
+  /// Marks `id` as having pending RC/VA or SA work (call alongside any
+  /// pending-bit set from outside process_router()).
+  void mark_work(NodeId id) {
+    ctx_->ract[static_cast<std::size_t>(id)] |= 2;
   }
 
   Network& net_;
   SimConfig cfg_;
   TrafficSource& traffic_;
   Rng rng_;
-  PacketPool pool_;
+  std::unique_ptr<SimContext> owned_ctx_;
+  SimContext* ctx_ = nullptr;
 
   Cycle now_ = 0;
   double per_node_pkt_rate_ = 0.0;
-  std::vector<TerminalState> terms_;
-  std::vector<NodeId> active_routers_;
-  // Timing wheel: slot (cycle % wheel size) holds the deliveries due then.
   std::size_t wheel_mask_ = 0;
-  std::vector<std::vector<FlitDelivery>> wheel_flits_;
-  std::vector<std::vector<CreditDelivery>> wheel_credits_;
 
   // measurement accumulators
   OnlineStats lat_;
@@ -122,10 +179,14 @@ class Simulator {
   std::uint64_t delivered_measured_ = 0;
   std::uint64_t delivered_total_ = 0;
   std::uint64_t suppressed_ = 0;
+  std::uint64_t flit_hops_ = 0;
   double hop_sum_[kNumLinkTypes] = {};
 };
 
-/// Convenience wrapper: reset + simulate.
+/// Convenience wrapper: reset + simulate (one-shot context).
 SimResult run_sim(Network& net, const SimConfig& cfg, TrafficSource& traffic);
+/// Same, reusing `ctx` across calls (allocation-free after the first run).
+SimResult run_sim(SimContext& ctx, Network& net, const SimConfig& cfg,
+                  TrafficSource& traffic);
 
 }  // namespace sldf::sim

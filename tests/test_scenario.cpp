@@ -75,6 +75,20 @@ TEST(ScenarioSpec, LinspaceWhenNoExplicitRates) {
   EXPECT_DOUBLE_EQ(rates.back(), 1.0);
 }
 
+TEST(ScenarioSpec, ThreadsAcceptsAutoAndCounts) {
+  ScenarioSpec s;
+  s.set("threads", "4");
+  EXPECT_EQ(s.threads, 4u);
+  s.set("threads", "auto");
+  EXPECT_EQ(s.threads, 0u);  // 0 = hardware concurrency at run time
+  EXPECT_EQ(s.to_kv().at("threads"), "auto");
+  EXPECT_EQ(ScenarioSpec::from_kv(s.to_kv()).threads, 0u);
+  EXPECT_THROW(s.set("threads", "-2"), std::invalid_argument);
+  EXPECT_THROW(s.set("threads", "many"), std::invalid_argument);
+  EXPECT_GE(core::resolve_threads(0), 1u);
+  EXPECT_EQ(core::resolve_threads(3), 3u);
+}
+
 TEST(ScenarioSpec, UnknownKeyThrows) {
   ScenarioSpec s;
   EXPECT_THROW(s.set("topolgy", "radix16-swless"), std::invalid_argument);

@@ -3,6 +3,9 @@
 // latency accounting, and backpressure.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "core/experiment.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -238,21 +241,135 @@ TEST(SimCore, ChannelTokenBucket) {
   EXPECT_NEAR(static_cast<double>(sent) / 400.0, 0.75, 0.02);
 }
 
-TEST(SimCore, VcFifoRing) {
-  VcFifo f(4);
-  EXPECT_TRUE(f.empty());
+TEST(SimCore, FifoArenaRing) {
+  FlitFifoArena a;
+  a.init(/*num_fifos=*/3, /*capacity=*/4, /*meta_init=*/0);
+  EXPECT_TRUE(a.empty(1));
   for (std::uint16_t i = 0; i < 4; ++i)
-    f.push(Flit{0, i, i == 0, i == 3});
-  EXPECT_TRUE(f.full());
+    a.push(1, Flit{0, i, i == 0, i == 3});
+  EXPECT_TRUE(a.full(1));
+  EXPECT_TRUE(a.empty(0));  // neighbours unaffected
+  EXPECT_TRUE(a.empty(2));
   for (std::uint16_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(f.front().idx, i);
-    f.pop();
+    EXPECT_EQ(a.front(1).idx, i);
+    a.pop(1);
   }
-  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(a.empty(1));
   // Wrap-around.
-  for (std::uint16_t i = 0; i < 3; ++i) f.push(Flit{1, i, 0, 0});
-  f.pop();
-  f.push(Flit{1, 3, 0, 0});
-  EXPECT_EQ(f.size(), 3u);
-  EXPECT_EQ(f.pop().idx, 1);
+  for (std::uint16_t i = 0; i < 3; ++i) a.push(1, Flit{1, i, 0, 0});
+  a.pop(1);
+  a.push(1, Flit{1, 3, 0, 0});
+  EXPECT_EQ(a.size(1), 3u);
+  EXPECT_EQ(a.pop(1).idx, 1);
+}
+
+TEST(SimCore, FifoArenaNonPowerOfTwoCapacity) {
+  // Logical capacity stays exactly as configured; only the storage stride
+  // is rounded up to a power of two.
+  FlitFifoArena a;
+  a.init(2, 6, /*meta_init=*/0x1234u);
+  EXPECT_EQ(a.meta(0), 0x1234u);
+  EXPECT_EQ(a.capacity(), 6u);
+  EXPECT_EQ(a.stride(), 8u);
+  for (std::uint16_t i = 0; i < 6; ++i) a.push(0, Flit{0, i, 0, 0});
+  EXPECT_TRUE(a.full(0));
+  // Many push/pop rounds to exercise wrap at the (rounded) stride while
+  // full() still triggers at the logical capacity.
+  for (std::uint16_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(a.pop(0).idx % 6, i % 6);
+    a.push(0, Flit{0, static_cast<std::uint16_t>((i + 6) % 6), 0, 0});
+    EXPECT_TRUE(a.full(0));
+  }
+  // Metadata rides in the same control word but is independent of the ring.
+  a.set_meta(0, 0xdeadbeefu);
+  EXPECT_EQ(a.meta(0), 0xdeadbeefu);
+  EXPECT_TRUE(a.full(0));
+  a.reset(/*meta_init=*/0x1234u);
+  EXPECT_TRUE(a.empty(0));
+  EXPECT_EQ(a.meta(0), 0x1234u);
+}
+
+namespace {
+
+/// Field-by-field exact comparison of two SimResults (doubles compared
+/// bit-for-bit: the engine must be deterministic to the last bit).
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.p50_latency, b.p50_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.generated_measured, b.generated_measured);
+  EXPECT_EQ(a.delivered_measured, b.delivered_measured);
+  EXPECT_EQ(a.delivered_total, b.delivered_total);
+  EXPECT_EQ(a.suppressed, b.suppressed);
+  EXPECT_EQ(a.drained, b.drained);
+  for (int h = 0; h < kNumLinkTypes; ++h)
+    EXPECT_EQ(a.avg_hops[h], b.avg_hops[h]);
+  EXPECT_EQ(a.avg_hops_total, b.avg_hops_total);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.flit_hops, b.flit_hops);
+}
+
+SimConfig determinism_cfg() {
+  SimConfig cfg;
+  cfg.inj_rate_per_chip = 0.6;  // busy enough for real contention
+  cfg.warmup = 300;
+  cfg.measure = 1500;
+  cfg.drain = 800;
+  cfg.seed = 42;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SimCore, SameSeedBitIdenticalAcrossRepeatedRuns) {
+  Network net;
+  build_pair(net, 4, 1, 1, /*nvcs=*/2, /*buf=*/6);
+  const SimConfig cfg = determinism_cfg();
+  FixedTraffic tr(1);
+  const auto r1 = run_sim(net, cfg, tr);
+  const auto r2 = run_sim(net, cfg, tr);
+  ASSERT_GT(r1.delivered_measured, 0u);
+  expect_identical(r1, r2);
+}
+
+TEST(SimCore, ReusedContextBitIdenticalToFreshContext) {
+  Network net;
+  build_pair(net, 4, 1, 1, /*nvcs=*/2, /*buf=*/6);
+  const SimConfig cfg = determinism_cfg();
+  FixedTraffic tr(1);
+  SimContext ctx;
+  // First run warms the context; the second reuses its arenas. Both must
+  // match a one-shot-context run exactly, including after
+  // reset_dynamic_state() cleared a dirty network.
+  const auto warm = run_sim(ctx, net, cfg, tr);
+  const auto reused = run_sim(ctx, net, cfg, tr);
+  const auto fresh = run_sim(net, cfg, tr);
+  expect_identical(warm, reused);
+  expect_identical(warm, fresh);
+}
+
+TEST(SimCore, SerialAndParallelSweepsBitIdentical) {
+  auto make_net = [](Network& net) {
+    build_pair(net, 4, 1, 1, /*nvcs=*/2, /*buf=*/8);
+  };
+  auto make_traffic = [](const Network&) {
+    return std::unique_ptr<TrafficSource>(new FixedTraffic(1));
+  };
+  core::SweepConfig cfg;
+  cfg.rates = {0.1, 0.4, 0.8};
+  cfg.base = determinism_cfg();
+  cfg.stop_latency_factor = 0.0;  // keep every point in both runs
+  cfg.threads = 1;
+  const auto serial = core::run_sweep("s", make_net, make_traffic, cfg);
+  cfg.threads = 4;
+  const auto parallel = core::run_sweep("p", make_net, make_traffic, cfg);
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i].rate, parallel.points[i].rate);
+    expect_identical(serial.points[i].res, parallel.points[i].res);
+  }
 }

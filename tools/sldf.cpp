@@ -45,7 +45,11 @@ void print_usage() {
       "scenario keys (also valid in config files):\n"
       "  label topology traffic mode scheme rates max_rate points\n"
       "  stop_factor threads warmup measure drain pkt_len seed\n"
-      "  max_src_queue topo.<param> traffic.<option>\n");
+      "  max_src_queue topo.<param> traffic.<option>\n"
+      "\n"
+      "  --threads=N runs N sweep points of every series concurrently\n"
+      "  (N=auto or 0 picks the hardware thread count); it overrides the\n"
+      "  config file's threads key, like any scenario key.\n");
 }
 
 void print_registries() {

@@ -1,0 +1,53 @@
+// sldf-bench — cycle-engine throughput benchmark.
+//
+// Runs the perf preset suite (bench/perf_engine.*) and writes
+// BENCH_sim.json with simulated cycles/sec, flit-hops/sec, and peak RSS
+// per preset. Use it to record the simulator's perf trajectory and to
+// guard against engine regressions:
+//
+//   sldf-bench                  # full suite (radix-16/32 + fig11a sweep)
+//   sldf-bench --quick          # radix-16 point presets only (CI smoke)
+//   sldf-bench --out results/BENCH_sim.json --seed 7
+#include <cstdio>
+#include <exception>
+
+#include "bench/perf_engine.hpp"
+#include "common/cli.hpp"
+
+using namespace sldf;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    if (cli.has("help")) {
+      std::printf(
+          "usage: sldf-bench [--quick] [--out FILE] [--seed N]\n"
+          "\n"
+          "  --quick     radix-16 point presets with short windows (CI)\n"
+          "  --out FILE  output path (default BENCH_sim.json)\n"
+          "  --seed N    RNG seed for every preset (default 1)\n");
+      return 0;
+    }
+    const bool quick = cli.has("quick");
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const std::string out = cli.get("out", "BENCH_sim.json");
+
+    const auto results = bench::run_perf_suite(quick, seed);
+
+    std::printf("%-14s %7s %12s %14s %16s %10s\n", "preset", "points",
+                "cycles", "cycles/sec", "flit-hops/sec", "rss(MB)");
+    for (const auto& r : results) {
+      std::printf("%-14s %7d %12llu %14.0f %16.0f %10.1f\n",
+                  r.preset.c_str(), r.points,
+                  static_cast<unsigned long long>(r.cycles),
+                  r.cycles_per_sec, r.flit_hops_per_sec, r.peak_rss_mb);
+    }
+
+    bench::write_bench_json(out, results, quick);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sldf-bench: error: %s\n", e.what());
+    return 1;
+  }
+}
