@@ -1,9 +1,16 @@
-// Fig 14(a-b): ring-based AllReduce traffic. (a) within a C-group: the
-// wafer mesh has multiple injection points per chip, so unidirectional /
-// bidirectional rings reach ~2 / ~4 flits/cycle/chip versus the switch's
-// 1.0 cap. (b) within a W-group: inter-C-group links bound both networks
-// at ~1 for unidirectional rings; bidirectional rings + 2B on-wafer
-// bandwidth push the switch-less group to ~2x.
+// Fig 14(a-b), closed-loop: ring-AllReduce time-to-completion. The
+// message-level workload engine executes the actual 2(N-1)-step dependency
+// graph (reduce-scatter + allgather) and reports completion cycles and
+// achieved GB/s per chip — the paper's time-to-completion story — instead
+// of the open-loop saturation sweep (which lives on as the
+// `traffic = ring-allreduce` pattern).
+//
+// (a) intra-C-group: the wafer mesh's parallel injection points let the
+//     switch-less C-group finish well ahead of the ideal single switch.
+// (b) intra-W-group: unidirectional rings are bound by the width-1
+//     long-reach links in both fabrics; the switch-based network's direct
+//     switch-to-switch hops give it the edge until the 2B on-wafer
+//     variant narrows the gap.
 #include "bench_common.hpp"
 
 using namespace sldf;
@@ -13,67 +20,72 @@ namespace {
 
 core::ScenarioSpec ring_spec(const BenchEnv& env, const char* label,
                              const char* topology, const char* scope,
-                             bool bidir) {
-  auto s = env.spec(label, topology, "ring-allreduce");
-  s.traffic_opts["scope"] = scope;
-  if (bidir) s.traffic_opts["bidir"] = "1";
+                             double kib) {
+  auto s = env.spec(label, topology, "uniform");
+  s.workload = "ring-allreduce";
+  s.workload_opts["scope"] = scope;
+  s.workload_opts["kib"] = CsvWriter::format_num(kib);
+  s.workload_opts["chunks"] = "4";
   return s;
 }
 
-}  // namespace
+void run_ttc(CsvWriter& csv, const core::ScenarioSpec& spec, double kib) {
+  const core::WorkloadRun run = core::run_workload_scenario(spec);
+  core::print_workload(run);
+  const auto& r = run.result;
+  csv.row(std::vector<std::string>{
+      run.label, CsvWriter::format_num(kib), std::to_string(r.chips),
+      std::to_string(r.messages), std::to_string(r.cycles),
+      CsvWriter::format_num(r.gbps_per_chip),
+      CsvWriter::format_num(r.avg_msg_cycles), r.completed ? "1" : "0"});
+}
 
-namespace {
+CsvWriter ttc_csv(const BenchEnv& env, const std::string& name) {
+  return CsvWriter(env.out_dir + "/" + name,
+                   {"series", "kib", "chips", "messages", "cycles",
+                    "gbps_per_chip", "avg_msg_cycles", "completed"});
+}
 
 int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchEnv env(cli);
-  banner("Fig 14(a-b): ring AllReduce within C-group and W-group");
+  banner("Fig 14(a-b): ring-AllReduce time-to-completion (closed loop)");
 
-  // --- (a) intra-C-group ---
+  const std::vector<double> sizes =
+      env.quick ? std::vector<double>{16} : std::vector<double>{16, 64, 256};
+
+  // --- (a) intra-C-group: ideal switch vs wafer mesh ---
   {
-    auto csv = env.csv("fig14a.csv");
-    std::printf("--- fig14a (intra-C-group AllReduce) ---\n");
-    struct Series {
-      const char* label;
-      const char* topology;
-      bool bidir;
-    };
-    const Series series[] = {{"SW-based-Uni", "crossbar", false},
-                             {"SW-less-Uni", "cgroup-mesh", false},
-                             {"SW-based-Bi", "crossbar", true},
-                             {"SW-less-Bi", "cgroup-mesh", true}};
-    for (const auto& ser : series) {
-      auto s = ring_spec(env, ser.label, ser.topology, "cgroup", ser.bidir);
-      s.max_rate = 4.2;
-      s.points = env.points(7);
-      run_spec(csv, s);
+    auto csv = ttc_csv(env, "fig14a_ttc.csv");
+    std::printf("--- fig14a (intra-C-group AllReduce, completion time) ---\n");
+    for (const double kib : sizes) {
+      run_ttc(csv, ring_spec(env, "SW-based", "crossbar", "cgroup", kib),
+              kib);
+      run_ttc(csv, ring_spec(env, "SW-less", "cgroup-mesh", "cgroup", kib),
+              kib);
     }
   }
 
-  // --- (b) intra-W-group ---
+  // --- (b) intra-W-group: both radix-16 fabrics, one W-group ---
   {
-    auto csv = env.csv("fig14b.csv");
-    std::printf("--- fig14b (intra-W-group AllReduce) ---\n");
+    auto csv = ttc_csv(env, "fig14b_ttc.csv");
+    std::printf("--- fig14b (intra-W-group AllReduce, completion time) ---\n");
     struct Series {
       const char* label;
       const char* topology;
-      bool bidir;
       int mesh_width;
     };
-    const Series series[] = {
-        {"SW-based-Uni", "radix16-swdf", false, 0},
-        {"SW-less-Uni", "radix16-swless", false, 1},
-        {"SW-based-Bi", "radix16-swdf", true, 0},
-        {"SW-less-Bi", "radix16-swless", true, 1},
-        {"SW-less-Bi-2B", "radix16-swless", true, 2}};
-    for (const auto& ser : series) {
-      auto s = ring_spec(env, ser.label, ser.topology, "wgroup", ser.bidir);
-      s.topo["g"] = "1";
-      if (ser.mesh_width > 1)
-        s.topo["mesh_width"] = std::to_string(ser.mesh_width);
-      s.max_rate = 2.2;
-      s.points = env.points(7);
-      run_spec(csv, s);
+    const Series series[] = {{"SW-based", "radix16-swdf", 0},
+                             {"SW-less", "radix16-swless", 1},
+                             {"SW-less-2B", "radix16-swless", 2}};
+    for (const double kib : sizes) {
+      for (const auto& ser : series) {
+        auto s = ring_spec(env, ser.label, ser.topology, "wgroup", kib);
+        s.topo["g"] = "1";
+        if (ser.mesh_width > 1)
+          s.topo["mesh_width"] = std::to_string(ser.mesh_width);
+        run_ttc(csv, s, kib);
+      }
     }
   }
   return 0;

@@ -78,6 +78,42 @@ std::vector<core::ScenarioSpec> fig11a_specs(std::uint64_t seed) {
   return specs;
 }
 
+/// Closed-loop workload preset: the fig14 ring-AllReduce TTC run on the
+/// radix-16 switch-less W-group (configs/fig14.conf's SW-less series).
+/// `cycles` is the completion time, so the preset records the workload
+/// engine's trajectory alongside the rate-sweep presets.
+core::ScenarioSpec allreduce_spec(bool quick, std::uint64_t seed) {
+  core::ScenarioSpec s;
+  s.topology = "radix16-swless";
+  s.topo["g"] = "1";
+  s.workload = "ring-allreduce";
+  s.workload_opts["scope"] = "wgroup";
+  s.workload_opts["kib"] = quick ? "16" : "64";
+  s.workload_opts["chunks"] = "4";
+  s.sim.seed = seed;
+  return s;
+}
+
+PerfResult run_workload_preset(const std::string& preset,
+                               const core::ScenarioSpec& spec) {
+  PerfResult r;
+  r.preset = preset;
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::WorkloadRun run = core::run_workload_scenario(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.points = 1;
+  r.cycles = run.result.cycles;
+  r.flit_hops = run.result.flit_hops;
+  r.delivered = run.result.packets_delivered;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  if (r.wall_s > 0.0) {
+    r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_s;
+    r.flit_hops_per_sec = static_cast<double>(r.flit_hops) / r.wall_s;
+  }
+  r.peak_rss_mb = peak_rss_mb();
+  return r;
+}
+
 PerfResult run_specs(const std::string& preset,
                      const std::vector<core::ScenarioSpec>& specs) {
   PerfResult r;
@@ -116,6 +152,9 @@ std::vector<PerfResult> run_perf_suite(bool quick, std::uint64_t seed) {
   // (throughput regime) on the paper's switch-less networks.
   one("radix16-low", "radix16-swless", 0.1);
   one("radix16-sat", "radix16-swless", 0.9);
+  std::fprintf(stderr, "sldf-bench: running allreduce-ttc ...\n");
+  out.push_back(
+      run_workload_preset("allreduce-ttc", allreduce_spec(quick, seed)));
   if (!quick) {
     one("radix32-low", "radix32-swless", 0.1);
     one("radix32-sat", "radix32-swless", 0.9);

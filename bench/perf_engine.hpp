@@ -1,10 +1,13 @@
 // Engine-throughput measurement harness behind the `sldf-bench` tool.
 //
 // Runs a fixed set of presets (radix-16 / radix-32 switch-less networks at
-// low and near-saturation load, plus the full fig11a three-series sweep)
-// and reports wall time, simulated cycles/sec, flit-hops/sec, and peak RSS
-// per preset. Results serialize to BENCH_sim.json so the perf trajectory
-// of the simulator is recorded run over run (see README "Performance").
+// low and near-saturation load, the closed-loop ring-AllReduce completion
+// run, plus the full fig11a three-series sweep) and reports wall time,
+// simulated cycles/sec, flit-hops/sec, and peak RSS per preset. For the
+// workload preset (`allreduce-ttc`) `cycles` is the collective's
+// completion time, recording the workload engine's trajectory too.
+// Results serialize to BENCH_sim.json so the perf trajectory of the
+// simulator is recorded run over run (see README "Performance").
 #pragma once
 
 #include <cstdint>

@@ -13,6 +13,7 @@
 
 #if defined(__linux__)
 #include <sys/mman.h>
+#include <unistd.h>
 #endif
 
 namespace sldf {
@@ -35,9 +36,14 @@ inline void* huge_alloc(std::size_t bytes) {
     const std::uintptr_t aligned =
         (base + kHugePageSize - 1) & ~(kHugePageSize - 1);
     if (aligned > base) ::munmap(raw, aligned - base);
-    const std::size_t tail = (base + len) - (aligned + bytes);
-    if (tail > 0)
-      ::munmap(reinterpret_cast<void*>(aligned + bytes), tail);
+    // munmap needs a page-aligned address, so the tail trim starts at the
+    // next page boundary past the usable region (an unaligned trim would
+    // fail with EINVAL and leak the tail as a stray VMA per allocation).
+    static const auto page =
+        static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    const std::uintptr_t trim_from = (aligned + bytes + page - 1) & ~(page - 1);
+    if (base + len > trim_from)
+      ::munmap(reinterpret_cast<void*>(trim_from), (base + len) - trim_from);
     ::madvise(reinterpret_cast<void*>(aligned), bytes, MADV_HUGEPAGE);
     return reinterpret_cast<void*>(aligned);
   }

@@ -1,0 +1,15 @@
+// Generated scenario reference: renders the scenario-key table and the
+// topology/traffic/workload registries (with every entry's option docs) as
+// the Markdown fragment `sldf --doc-keys` prints and README.md embeds
+// between the `<!-- BEGIN/END GENERATED: sldf --doc-keys -->` markers. The
+// registries are the single source of truth — CI diffs the README block
+// against this output, so a stale reference fails the build.
+#pragma once
+
+#include <string>
+
+namespace sldf::core {
+
+std::string render_scenario_reference();
+
+}  // namespace sldf::core

@@ -50,6 +50,17 @@ bool KvReader::get_bool(const char* key, bool def) {
   return def;
 }
 
+double KvReader::get_double(const char* key, double def) {
+  if (const std::string* v = take(key)) {
+    double parsed = 0.0;
+    if (!Cli::parse_double(*v, parsed))
+      throw std::invalid_argument(context_ + ": option '" + std::string(key) +
+                                  "' expects a number, got '" + *v + "'");
+    return parsed;
+  }
+  return def;
+}
+
 std::string KvReader::get_str(const char* key, const char* def) {
   if (const std::string* v = take(key)) return *v;
   return def;
@@ -162,6 +173,121 @@ TopologyBuilder swdf_preset(topo::SwDragonflyParams (*base)(),
   };
 }
 
+// ---- option docs (defaults rendered from each preset's param struct or
+// ---- the builder's shared constants, so the generated reference can
+// ---- never drift from the code) -----------------------------------------
+
+// Defaults shared by the cgroup-mesh / crossbar builders and their docs.
+constexpr int kCgroupMeshNumVcs = 1;
+constexpr int kCgroupMeshVcBuf = 32;
+constexpr int kCrossbarTerminals = 4;
+constexpr int kCrossbarTermLatency = 1;
+
+std::string istr(int v) { return std::to_string(v); }
+std::string bstr(bool v) { return v ? "1" : "0"; }
+
+const char* labeling_str(topo::Labeling l) {
+  switch (l) {
+    case topo::Labeling::Snake: return "snake";
+    case topo::Labeling::RowMajor: return "row-major";
+    case topo::Labeling::PerimeterArc: return "perimeter-arc";
+  }
+  return "?";
+}
+
+std::vector<OptionDoc> swless_docs(const topo::SwlessParams& p) {
+  return {
+      {"a", "int", istr(p.a), "C-groups per wafer"},
+      {"b", "int", istr(p.b),
+       "wafers per W-group (a*b C-groups fully connected)"},
+      {"chip_gx", "int", istr(p.chip_gx), "chiplet-grid columns per C-group"},
+      {"chip_gy", "int", istr(p.chip_gy), "chiplet-grid rows per C-group"},
+      {"noc_x", "int", istr(p.noc_x), "NoC routers per chiplet, x"},
+      {"noc_y", "int", istr(p.noc_y), "NoC routers per chiplet, y"},
+      {"ports_per_chiplet", "int", istr(p.ports_per_chiplet),
+       "paper's n; n/4 links per chiplet edge"},
+      {"local_ports", "int", istr(p.local_ports),
+       "external ports toward sibling C-groups (a*b-1 for a full mesh)"},
+      {"global_ports", "int", istr(p.global_ports),
+       "paper's h: global ports per C-group"},
+      {"g", "int", istr(p.g),
+       "W-groups; 0 selects the maximum a*b*h+1"},
+      {"onchip_latency", "int", istr(p.onchip_latency),
+       "NoC link delay, cycles"},
+      {"sr_latency", "int", istr(p.sr_latency),
+       "on-wafer short-reach link delay, cycles"},
+      {"lr_latency", "int", istr(p.lr_latency),
+       "long-reach (cable/optics) link delay, cycles"},
+      {"mesh_width", "int", istr(p.mesh_width),
+       "intra-C-group bandwidth multiplier (2B/4B on-wafer links)"},
+      {"io_converters", "bool", bstr(p.io_converters),
+       "model SR-LR converters as forwarding nodes"},
+      {"labeling", "snake|row-major|perimeter-arc",
+       labeling_str(p.labeling),
+       "chiplet-grid labeling scheme for the Hamiltonian ring"},
+      {"vc_buf", "int", istr(p.vc_buf), "per-VC input buffer depth, flits"},
+  };
+}
+
+std::vector<OptionDoc> swdf_docs(const topo::SwDragonflyParams& p) {
+  return {
+      {"switches_per_group", "int", istr(p.switches_per_group),
+       "switches per group (paper a)"},
+      {"terminals_per_switch", "int", istr(p.terminals_per_switch),
+       "terminals per switch (paper t)"},
+      {"globals_per_switch", "int", istr(p.globals_per_switch),
+       "global ports per switch (paper h)"},
+      {"groups", "int", istr(p.groups),
+       "groups; 0 selects the maximum S*h+1"},
+      {"g", "int", istr(p.groups),
+       "alias of groups, matching the switch-less spelling"},
+      {"term_latency", "int", istr(p.term_latency),
+       "processor-to-switch link delay, cycles"},
+      {"local_latency", "int", istr(p.local_latency),
+       "intra-group link delay, cycles"},
+      {"global_latency", "int", istr(p.global_latency),
+       "inter-group link delay, cycles"},
+      {"vc_buf", "int", istr(p.vc_buf), "per-VC input buffer depth, flits"},
+      {"vcs_per_class", "int", istr(p.vcs_per_class),
+       "destination-hashed VCs per class (ideal-switch approximation)"},
+  };
+}
+
+std::vector<OptionDoc> cgroup_mesh_docs() {
+  const topo::CGroupShape s;
+  return {
+      {"chip_gx", "int", istr(s.chip_gx), "chiplet columns"},
+      {"chip_gy", "int", istr(s.chip_gy), "chiplet rows"},
+      {"noc_x", "int", istr(s.noc_x), "NoC routers per chiplet, x"},
+      {"noc_y", "int", istr(s.noc_y), "NoC routers per chiplet, y"},
+      {"ports_per_chiplet", "int", istr(s.ports_per_chiplet),
+       "paper's n; n/4 links per chiplet edge"},
+      {"labeling", "snake|row-major|perimeter-arc",
+       labeling_str(s.labeling), "chiplet-grid labeling scheme"},
+      {"onchip_latency", "int", istr(s.onchip_latency),
+       "NoC link delay, cycles"},
+      {"sr_latency", "int", istr(s.sr_latency),
+       "on-wafer short-reach link delay, cycles"},
+      {"mesh_width", "int", istr(s.mesh_width),
+       "bandwidth multiplier of the wafer mesh links"},
+      {"io_converters", "bool", bstr(s.io_converters),
+       "model SR-LR converters as forwarding nodes"},
+      {"num_vcs", "int", istr(kCgroupMeshNumVcs),
+       "virtual channels (XY routing needs one)"},
+      {"vc_buf", "int", istr(kCgroupMeshVcBuf),
+       "per-VC input buffer depth, flits"},
+  };
+}
+
+std::vector<OptionDoc> crossbar_docs() {
+  return {
+      {"terminals", "int", istr(kCrossbarTerminals),
+       "endpoints on the single switch"},
+      {"term_latency", "int", istr(kCrossbarTermLatency),
+       "terminal link delay, cycles"},
+  };
+}
+
 topo::SwlessParams default_swless() { return topo::SwlessParams{}; }
 topo::SwDragonflyParams default_swdf() { return topo::SwDragonflyParams{}; }
 
@@ -182,8 +308,8 @@ topo::SwlessParams tiny_swless() {
 
 void build_cgroup_mesh(sim::Network& net, const TopoConfig& cfg) {
   topo::CGroupShape s;
-  int num_vcs = 1;
-  int vc_buf = 32;
+  int num_vcs = kCgroupMeshNumVcs;
+  int vc_buf = kCgroupMeshVcBuf;
   KvReader o(cfg.params, "topology 'cgroup-mesh'");
   o.apply_int("chip_gx", s.chip_gx);
   o.apply_int("chip_gy", s.chip_gy);
@@ -204,8 +330,8 @@ void build_cgroup_mesh(sim::Network& net, const TopoConfig& cfg) {
 }
 
 void build_crossbar_net(sim::Network& net, const TopoConfig& cfg) {
-  int terminals = 4;
-  int term_latency = 1;
+  int terminals = kCrossbarTerminals;
+  int term_latency = kCrossbarTermLatency;
   KvReader o(cfg.params, "topology 'crossbar'");
   o.apply_int("terminals", terminals);
   o.apply_int("term_latency", term_latency);
@@ -218,26 +344,39 @@ void build_crossbar_net(sim::Network& net, const TopoConfig& cfg) {
 }  // namespace
 
 TopologyRegistry::TopologyRegistry() {
-  add("radix16-swless",
-      "paper SS V-B1: 2x2 chiplets of 2x2 NoC, 8 C-groups/W-group, g=41",
-      swless_preset(&radix16_swless, "radix16-swless"));
-  add("radix32-swless",
-      "paper SS V-B3: 4x2 chiplets (8x4 mesh), 16 C-groups/W-group, g=145",
-      swless_preset(&radix32_swless, "radix32-swless"));
-  add("swless", "switch-less Dragonfly with raw SwlessParams defaults",
-      swless_preset(&default_swless, "swless"));
-  add("tiny-swless", "small deadlock-audit instance (a=1, b=3, h=2, g=5)",
-      swless_preset(&tiny_swless, "tiny-swless"));
-  add("radix16-swdf", "switch-based baseline: 8 switches/group, 4:7:5, g=41",
-      swdf_preset(&radix16_swdf, "radix16-swdf"));
-  add("radix32-swdf",
-      "switch-based baseline: 16 switches/group, 8:15:9, g=145",
-      swdf_preset(&radix32_swdf, "radix32-swdf"));
-  add("swdf", "switch-based Dragonfly with raw SwDragonflyParams defaults",
-      swdf_preset(&default_swdf, "swdf"));
-  add("cgroup-mesh", "one standalone C-group wafer mesh with XY routing",
+  const auto swless = [this](const char* name, const char* summary,
+                             topo::SwlessParams (*base)()) {
+    add(name, RegistryDoc{summary, swless_docs(base())},
+        swless_preset(base, name));
+  };
+  const auto swdf = [this](const char* name, const char* summary,
+                           topo::SwDragonflyParams (*base)()) {
+    add(name, RegistryDoc{summary, swdf_docs(base())},
+        swdf_preset(base, name));
+  };
+  swless("radix16-swless",
+         "paper SS V-B1: 2x2 chiplets of 2x2 NoC, 8 C-groups/W-group, g=41",
+         &radix16_swless);
+  swless("radix32-swless",
+         "paper SS V-B3: 4x2 chiplets (8x4 mesh), 16 C-groups/W-group, g=145",
+         &radix32_swless);
+  swless("swless", "switch-less Dragonfly with raw SwlessParams defaults",
+         &default_swless);
+  swless("tiny-swless", "small deadlock-audit instance (a=1, b=3, h=2, g=5)",
+         &tiny_swless);
+  swdf("radix16-swdf", "switch-based baseline: 8 switches/group, 4:7:5, g=41",
+       &radix16_swdf);
+  swdf("radix32-swdf",
+       "switch-based baseline: 16 switches/group, 8:15:9, g=145",
+       &radix32_swdf);
+  swdf("swdf", "switch-based Dragonfly with raw SwDragonflyParams defaults",
+       &default_swdf);
+  add("cgroup-mesh",
+      RegistryDoc{"one standalone C-group wafer mesh with XY routing",
+                  cgroup_mesh_docs()},
       &build_cgroup_mesh);
-  add("crossbar", "ideal single-switch crossbar (params: terminals)",
+  add("crossbar",
+      RegistryDoc{"ideal single-switch crossbar", crossbar_docs()},
       &build_crossbar_net);
 }
 

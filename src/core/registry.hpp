@@ -21,13 +21,33 @@ namespace sldf::core {
 /// String key/value map used for topology overrides and traffic options.
 using KvMap = std::map<std::string, std::string>;
 
-/// Generic string-keyed factory registry with help text. Lookup failures
-/// throw std::invalid_argument listing the known names.
+/// Documentation of one accepted option/override key of a registry entry.
+struct OptionDoc {
+  std::string key;   ///< Option name as written in configs, e.g. "g".
+  std::string type;  ///< "int", "bool", "double", or an enum value list.
+  std::string def;   ///< Rendered default value.
+  std::string help;  ///< One-line meaning.
+};
+
+/// Per-entry documentation: the one-line summary plus every accepted
+/// option with its default — the source the `sldf --list` output and the
+/// README scenario reference (`sldf --doc-keys`) are generated from, so
+/// registering an entry with its docs *is* documenting it.
+struct RegistryDoc {
+  std::string summary;
+  std::vector<OptionDoc> options;
+};
+
+/// Generic string-keyed factory registry with per-entry docs. Lookup
+/// failures throw std::invalid_argument listing the known names.
 template <typename Factory>
 class NamedRegistry {
  public:
   void add(const std::string& name, std::string help, Factory make) {
-    entries_[name] = Entry{std::move(help), std::move(make)};
+    entries_[name] = Entry{RegistryDoc{std::move(help), {}}, std::move(make)};
+  }
+  void add(const std::string& name, RegistryDoc doc, Factory make) {
+    entries_[name] = Entry{std::move(doc), std::move(make)};
   }
   [[nodiscard]] bool contains(const std::string& name) const {
     return entries_.count(name) > 0;
@@ -39,7 +59,10 @@ class NamedRegistry {
     return out;
   }
   [[nodiscard]] const std::string& help(const std::string& name) const {
-    return find(name, "registry entry").help;
+    return find(name, "registry entry").doc.summary;
+  }
+  [[nodiscard]] const RegistryDoc& doc(const std::string& name) const {
+    return find(name, "registry entry").doc;
   }
   [[nodiscard]] const Factory& at(const std::string& name,
                                   const char* what) const {
@@ -48,7 +71,7 @@ class NamedRegistry {
 
  private:
   struct Entry {
-    std::string help;
+    RegistryDoc doc;
     Factory make;
   };
 
@@ -83,6 +106,7 @@ class KvReader {
   /// Value of `key`, or the default when absent.
   [[nodiscard]] int get_int(const char* key, int def);
   [[nodiscard]] bool get_bool(const char* key, bool def);
+  [[nodiscard]] double get_double(const char* key, double def);
   [[nodiscard]] std::string get_str(const char* key, const char* def);
 
   /// Raw access (marks the key consumed); nullptr when absent.
@@ -119,12 +143,18 @@ class TopologyRegistry {
   void add(const std::string& name, std::string help, TopologyBuilder make) {
     reg_.add(name, std::move(help), std::move(make));
   }
+  void add(const std::string& name, RegistryDoc doc, TopologyBuilder make) {
+    reg_.add(name, std::move(doc), std::move(make));
+  }
   [[nodiscard]] bool contains(const std::string& name) const {
     return reg_.contains(name);
   }
   [[nodiscard]] std::vector<std::string> names() const { return reg_.names(); }
   [[nodiscard]] const std::string& help(const std::string& name) const {
     return reg_.help(name);
+  }
+  [[nodiscard]] const RegistryDoc& doc(const std::string& name) const {
+    return reg_.doc(name);
   }
   /// Builds the named preset into `net`, applying overrides/mode/scheme.
   void build(const std::string& name, sim::Network& net,

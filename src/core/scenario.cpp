@@ -9,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "sim/network.hpp"
 #include "traffic/pattern.hpp"
+#include "workload/registry.hpp"
 
 namespace sldf::core {
 
@@ -59,12 +60,18 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     traffic_opts[key.substr(8)] = value;
     return;
   }
+  if (key.rfind("workload.", 0) == 0) {
+    workload_opts[key.substr(9)] = value;
+    return;
+  }
   if (key == "label") {
     label = value;
   } else if (key == "topology") {
     topology = value;
   } else if (key == "traffic") {
     traffic = value;
+  } else if (key == "workload") {
+    workload = value;
   } else if (key == "mode") {
     mode = route::parse_route_mode(value);
   } else if (key == "scheme") {
@@ -110,6 +117,7 @@ KvMap ScenarioSpec::to_kv() const {
   kv["label"] = label;
   kv["topology"] = topology;
   kv["traffic"] = traffic;
+  if (!workload.empty()) kv["workload"] = workload;
   kv["mode"] = route::to_string(mode);
   kv["scheme"] = route::to_string(scheme);
   if (!rates.empty()) {
@@ -133,6 +141,7 @@ KvMap ScenarioSpec::to_kv() const {
   kv["max_src_queue"] = std::to_string(sim.max_src_queue);
   for (const auto& [k, v] : topo) kv["topo." + k] = v;
   for (const auto& [k, v] : traffic_opts) kv["traffic." + k] = v;
+  for (const auto& [k, v] : workload_opts) kv["workload." + k] = v;
   return kv;
 }
 
@@ -153,12 +162,72 @@ std::vector<double> ScenarioSpec::effective_rates() const {
   return linspace_rates(max_rate, points);
 }
 
+const std::vector<ScenarioKeyDoc>& scenario_key_docs() {
+  // The one table every rendering of the key vocabulary derives from:
+  // scenario_keys() (flag recognition) and the generated README reference
+  // (core::render_scenario_reference). Prefix families carry a '<' in the
+  // key and are excluded from scenario_keys(). Defaults are rendered from
+  // a default-constructed spec so they cannot drift from the code.
+  static const std::vector<ScenarioKeyDoc> docs = [] {
+    const ScenarioSpec d;
+    const auto num = [](double v) { return format_num(v); };
+    const auto integer = [](auto v) { return std::to_string(v); };
+    return std::vector<ScenarioKeyDoc>{
+        {"label", "Series label in tables/CSV", d.label},
+        {"topology", "Topology registry name (see Topologies)", d.topology},
+        {"topo.<param>",
+         "Topology parameter override, e.g. `topo.g = 15` (see Topologies)",
+         "preset values"},
+        {"mode", "Routing: `minimal` \\| `valiant` \\| `adaptive`",
+         std::string(route::to_string(d.mode))},
+        {"scheme", "VC scheme: `baseline` \\| `reduced` \\| `reduced-safe`",
+         std::string(route::to_string(d.scheme))},
+        {"traffic", "Traffic registry name (see Traffic patterns)",
+         d.traffic},
+        {"traffic.<opt>",
+         "Traffic pattern option, e.g. `traffic.scope = wgroup` (see "
+         "Traffic patterns)",
+         "pattern defaults"},
+        {"workload",
+         "Workload registry name; switches to one closed-loop "
+         "message-level run (see Workloads)",
+         "unset (rate sweep)"},
+        {"workload.<opt>",
+         "Workload generator/runner option, e.g. `workload.kib = 64` (see "
+         "Workloads)",
+         "workload defaults"},
+        {"rates", "Explicit offered loads, comma-separated (rate sweeps)",
+         "unset"},
+        {"max_rate", "With `points`, linspace(0, max] when `rates` is unset",
+         num(d.max_rate)},
+        {"points", "Sweep points when `rates` is unset", integer(d.points)},
+        {"stop_factor",
+         "Early-stop when latency exceeds this x zero-load latency",
+         num(d.stop_latency_factor)},
+        {"threads",
+         "Sweep-point parallelism within one series (`auto`/0 = hardware)",
+         integer(d.threads)},
+        {"warmup", "Warmup cycles (Table IV: 5000)", integer(d.sim.warmup)},
+        {"measure", "Measured cycles (Table IV: 10000)",
+         integer(d.sim.measure)},
+        {"drain", "Extra cycles to let measured packets land",
+         integer(d.sim.drain)},
+        {"pkt_len", "Flits per packet", integer(d.sim.pkt_len)},
+        {"seed", "Base RNG seed", integer(d.sim.seed)},
+        {"max_src_queue", "Per-node source-queue cap (packets)",
+         integer(d.sim.max_src_queue)},
+    };
+  }();
+  return docs;
+}
+
 const std::vector<std::string>& scenario_keys() {
-  static const std::vector<std::string> keys = {
-      "label",   "topology", "traffic",     "mode",    "scheme",
-      "rates",   "max_rate", "points",      "stop_factor", "threads",
-      "warmup",  "measure",  "drain",       "pkt_len", "seed",
-      "max_src_queue"};
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> out;
+    for (const auto& d : scenario_key_docs())
+      if (d.key.find('<') == std::string::npos) out.push_back(d.key);
+    return out;
+  }();
   return keys;
 }
 
@@ -166,8 +235,9 @@ ScenarioSpec spec_from_cli(const Cli& cli, const ScenarioSpec& defaults,
                            std::vector<std::string>* unused) {
   ScenarioSpec s = defaults;
   for (const auto& [key, value] : cli.entries()) {
-    const bool prefixed =
-        key.rfind("topo.", 0) == 0 || key.rfind("traffic.", 0) == 0;
+    const bool prefixed = key.rfind("topo.", 0) == 0 ||
+                          key.rfind("traffic.", 0) == 0 ||
+                          key.rfind("workload.", 0) == 0;
     const auto& keys = scenario_keys();
     const bool known =
         prefixed || std::find(keys.begin(), keys.end(), key) != keys.end();
@@ -258,12 +328,116 @@ TrafficFactory traffic_factory(const ScenarioSpec& spec) {
 }
 
 SweepSeries run_scenario(const ScenarioSpec& spec) {
+  if (!spec.workload.empty())
+    throw std::invalid_argument(
+        "run_scenario: spec selects workload '" + spec.workload +
+        "' — use run_workload_scenario()");
   SweepConfig cfg;
   cfg.rates = spec.effective_rates();
   cfg.base = spec.sim;
   cfg.stop_latency_factor = spec.stop_latency_factor;
   cfg.threads = spec.threads;
   return run_sweep(spec.label, net_factory(spec), traffic_factory(spec), cfg);
+}
+
+WorkloadRun run_workload_scenario(const ScenarioSpec& spec) {
+  if (spec.workload.empty())
+    throw std::invalid_argument(
+        "run_workload_scenario: spec has no workload key");
+
+  // Split the option map: runner/reporting keys are consumed here, the
+  // rest goes to the generator (which rejects leftovers itself).
+  workload::WorkloadRunConfig rc;
+  rc.sim = spec.sim;
+  KvMap gen_opts = spec.workload_opts;
+  {
+    KvReader o(spec.workload_opts,
+               "workload '" + spec.workload + "'");
+    rc.flit_bytes = o.get_double("flit_bytes", rc.flit_bytes);
+    if (!(rc.flit_bytes > 0.0))
+      throw std::invalid_argument("workload '" + spec.workload +
+                                  "': flit_bytes must be > 0");
+    rc.freq_ghz = o.get_double("freq_ghz", rc.freq_ghz);
+    if (!(rc.freq_ghz > 0.0))
+      throw std::invalid_argument("workload '" + spec.workload +
+                                  "': freq_ghz must be > 0");
+    if (const std::string* v = o.take("max_cycles")) {
+      long mc = 0;
+      if (!Cli::parse_long(*v, mc) || mc <= 0)
+        throw std::invalid_argument("workload '" + spec.workload +
+                                    "': option 'max_cycles' expects a "
+                                    "positive cycle count, got '" +
+                                    *v + "'");
+      rc.max_cycles = static_cast<Cycle>(mc);
+    }
+    for (const auto& d : workload::runner_option_docs())
+      gen_opts.erase(d.key);
+  }
+
+  sim::Network net;
+  build_network(net, spec);
+  workload::WorkloadEnv env;
+  env.flit_bytes = rc.flit_bytes;
+  const workload::WorkloadGraph graph =
+      workload::make_workload(spec.workload, net, gen_opts, env);
+
+  WorkloadRun run;
+  run.label = spec.label;
+  run.workload = spec.workload;
+  run.result = workload::run_workload(net, graph, rc);
+  return run;
+}
+
+void print_workload(const WorkloadRun& run) {
+  const auto& r = run.result;
+  std::printf("# %s (workload=%s)\n", run.label.c_str(),
+              run.workload.c_str());
+  std::printf("%-7s %-9s %-9s %-10s %-10s %-10s %-9s %-9s\n", "chips",
+              "messages", "packets", "flits", "cycles", "GB/s/chip",
+              "avg_msg", "completed");
+  std::printf("%-7d %-9llu %-9llu %-10llu %-10llu %-10.4f %-9.1f %-9s\n",
+              r.chips, static_cast<unsigned long long>(r.messages),
+              static_cast<unsigned long long>(r.packets),
+              static_cast<unsigned long long>(r.flits),
+              static_cast<unsigned long long>(r.cycles), r.gbps_per_chip,
+              r.avg_msg_cycles, r.completed ? "yes" : "no");
+  // Phase table, elided in the middle when a collective has many steps.
+  const std::size_t n = r.phases.size();
+  if (n > 1) {
+    std::printf("  %-7s %-10s %-9s %-10s\n", "phase", "complete", "msgs",
+                "flits");
+    constexpr std::size_t kHead = 6, kTail = 3;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (n > kHead + kTail + 1 && i == kHead)
+        std::printf("  ... %zu more phases ...\n", n - kHead - kTail);
+      if (n > kHead + kTail + 1 && i >= kHead && i < n - kTail) continue;
+      const auto& ph = r.phases[i];
+      std::printf("  %-7zu %-10llu %-9llu %-10llu\n", i,
+                  static_cast<unsigned long long>(ph.completed),
+                  static_cast<unsigned long long>(ph.messages),
+                  static_cast<unsigned long long>(ph.flits));
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+const std::vector<std::string>& workload_csv_header() {
+  static const std::vector<std::string> header = {
+      "series", "workload",      "chips",          "messages", "packets",
+      "flits",  "cycles",        "gbps_per_chip",  "avg_msg_cycles",
+      "completed"};
+  return header;
+}
+
+void append_workload_csv(CsvWriter& csv, const WorkloadRun& run) {
+  const auto& r = run.result;
+  csv.row(std::vector<std::string>{
+      run.label, run.workload, std::to_string(r.chips),
+      std::to_string(r.messages), std::to_string(r.packets),
+      std::to_string(r.flits), std::to_string(r.cycles),
+      CsvWriter::format_num(r.gbps_per_chip),
+      CsvWriter::format_num(r.avg_msg_cycles), r.completed ? "1" : "0"});
 }
 
 std::vector<SweepSeries> run_scenarios(const std::vector<ScenarioSpec>& specs,

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/csv.hpp"
 #include "core/experiment.hpp"
 #include "core/registry.hpp"
 #include "route/routing_modes.hpp"
+#include "workload/workload.hpp"
 
 namespace sldf::core {
 
@@ -25,6 +27,11 @@ struct ScenarioSpec {
   route::VcScheme scheme = route::VcScheme::Baseline;
   std::string traffic = "uniform";  ///< TrafficRegistry key.
   KvMap traffic_opts;  ///< Pattern options, config keys `traffic.<opt>`.
+  /// WorkloadRegistry key; non-empty switches the scenario from open-loop
+  /// rate sweeps to one closed-loop message-level run (rates/max_rate/
+  /// points/stop_factor/threads are then ignored).
+  std::string workload;
+  KvMap workload_opts;  ///< Generator + runner options, keys `workload.<opt>`.
 
   /// Explicit offered loads; when empty, linspace(max_rate, points) is used.
   std::vector<double> rates;
@@ -35,10 +42,10 @@ struct ScenarioSpec {
   sim::SimConfig sim;                ///< Cycle counts, packet length, seed.
 
   /// Applies one `key = value` setting (the config/CLI vocabulary: label,
-  /// topology, traffic, mode, scheme, rates, max_rate, points, stop_factor,
-  /// threads, warmup, measure, drain, pkt_len, seed, max_src_queue, plus
-  /// prefixed topo.* / traffic.* entries). Throws std::invalid_argument on
-  /// unknown keys or malformed values.
+  /// topology, traffic, workload, mode, scheme, rates, max_rate, points,
+  /// stop_factor, threads, warmup, measure, drain, pkt_len, seed,
+  /// max_src_queue, plus prefixed topo.* / traffic.* / workload.* entries).
+  /// Throws std::invalid_argument on unknown keys or malformed values.
   void set(const std::string& key, const std::string& value);
 
   /// Serializes every setting back to the config vocabulary; a spec
@@ -56,6 +63,17 @@ struct ScenarioSpec {
 
 /// The non-prefixed keys ScenarioSpec::set understands (for flag warnings).
 const std::vector<std::string>& scenario_keys();
+
+/// Documentation row of one scenario key (or one prefix family like
+/// `topo.<param>`), the source of the generated key reference. Defaults
+/// are rendered from ScenarioSpec{}/SimConfig{} so the reference cannot
+/// drift from the code.
+struct ScenarioKeyDoc {
+  std::string key;
+  std::string meaning;
+  std::string def;
+};
+const std::vector<ScenarioKeyDoc>& scenario_key_docs();
 
 /// Builds a spec from parsed CLI flags. Keys that are not scenario keys are
 /// appended to `unused` (when given) instead of throwing, so drivers can
@@ -80,8 +98,29 @@ NetFactory net_factory(const ScenarioSpec& spec);
 TrafficFactory traffic_factory(const ScenarioSpec& spec);
 
 /// Runs the spec's sweep through the registries (label, net, traffic,
-/// rates, sim config all from the spec).
+/// rates, sim config all from the spec). Requires a rate-sweep spec
+/// (workload empty).
 SweepSeries run_scenario(const ScenarioSpec& spec);
+
+/// One labelled closed-loop workload run (see workload::WorkloadResult).
+struct WorkloadRun {
+  std::string label;
+  std::string workload;
+  workload::WorkloadResult result;
+};
+
+/// Runs the spec's closed-loop workload (workload must be non-empty): the
+/// generator is a WorkloadRegistry lookup on spec.workload; the runner
+/// keys `workload.flit_bytes` / `workload.freq_ghz` / `workload.max_cycles`
+/// are consumed here and the rest of workload_opts goes to the generator.
+WorkloadRun run_workload_scenario(const ScenarioSpec& spec);
+
+/// Prints a workload run (summary line + per-phase completion table) and
+/// appends its CSV row ("series,workload,chips,messages,packets,flits,
+/// cycles,gbps_per_chip,avg_msg_cycles,completed").
+void print_workload(const WorkloadRun& run);
+void append_workload_csv(CsvWriter& csv, const WorkloadRun& run);
+const std::vector<std::string>& workload_csv_header();
 
 /// Runs several specs as one experiment, `threads` series in flight at a
 /// time on a thread pool (each series runs its own sweep serially, keeping

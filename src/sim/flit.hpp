@@ -11,6 +11,9 @@
 
 namespace sldf::sim {
 
+/// Packet::tag value meaning "not labelled" (rate-driven traffic).
+inline constexpr std::uint32_t kNoTag = 0xffffffffu;
+
 struct Flit {
   PacketId pkt = kInvalidPacket;
   std::uint16_t idx = 0;  ///< Position within the packet (0 == head).
@@ -49,6 +52,11 @@ struct alignas(64) Packet {
   NodeId src = kInvalidNode;      ///< Source router (terminal host).
   ChipId src_chip = kInvalidChip;
   ChipId dst_chip = kInvalidChip;
+  /// Caller-owned label carried end to end (fills the alignment hole before
+  /// t_gen). The closed-loop workload engine stores the message id here so
+  /// tail-flit ejection can be mapped back to the owning message; rate-driven
+  /// traffic leaves it at kNoTag.
+  std::uint32_t tag = kNoTag;
 
   // --- measurement ---
   Cycle t_gen = 0;     ///< Cycle the packet was created (enters source queue).

@@ -87,9 +87,12 @@ void Simulator::init() {
   wheel_mask_ = prepare_context(*ctx_, net_);
 
   ctx_->terms.resize(net_.terminals().size());
+  ctx_->term_of_node.assign(net_.num_routers(), -1);
   for (std::size_t i = 0; i < ctx_->terms.size(); ++i) {
     TerminalState& t = ctx_->terms[i];
     t.node = net_.terminals()[i];
+    ctx_->term_of_node[static_cast<std::size_t>(t.node)] =
+        static_cast<std::int32_t>(i);
     t.next_gen = per_node_pkt_rate_ > 0.0
                      ? rng_.geometric_skip(per_node_pkt_rate_)
                      : ~0ULL;
@@ -160,6 +163,29 @@ void Simulator::generate_and_inject() {
       }
     }
   }
+}
+
+bool Simulator::inject_packet(NodeId src, NodeId dst, int len,
+                              std::uint32_t tag) {
+  const std::int32_t ti = ctx_->term_of_node[static_cast<std::size_t>(src)];
+  if (ti < 0)
+    throw std::invalid_argument("inject_packet: source is not a terminal");
+  TerminalState& t = ctx_->terms[static_cast<std::size_t>(ti)];
+  if (static_cast<int>(t.queue.size()) >= cfg_.max_src_queue) return false;
+  const PacketId pid = ctx_->pool.acquire();
+  Packet& p = ctx_->pool[pid];
+  p.src = src;
+  p.dst = dst;
+  p.src_chip = net_.chip_of(src);
+  p.dst_chip = net_.chip_of(dst);
+  p.len = static_cast<std::uint16_t>(len);
+  p.t_gen = now_;
+  p.tag = tag;
+  p.measured = 1;
+  ++generated_measured_;
+  net_.routing()->init_packet(net_, p, rng_);
+  t.queue.push_back(pid);
+  return true;
 }
 
 void Simulator::deliver_channels() {
@@ -240,6 +266,7 @@ void Simulator::handle_eject(const Flit& f) {
       for (int h = 0; h < kNumLinkTypes; ++h)
         hop_sum_[h] += static_cast<double>(p.hops[h]);
     }
+    if (listener_) listener_->on_packet_delivered(p, now_);
     ctx_->pool.release(f.pkt);
   }
 }

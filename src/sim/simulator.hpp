@@ -34,6 +34,17 @@ class TrafficSource {
   [[nodiscard]] virtual const char* name() const = 0;
 };
 
+/// Packet-completion hook for closed-loop (message-level) traffic. The
+/// callback fires when the tail flit of a packet is consumed at its
+/// destination, before the packet returns to the pool — `p` is only valid
+/// for the duration of the call. Callbacks fire in deterministic engine
+/// order (ejection processing order within the cycle).
+class PacketListener {
+ public:
+  virtual ~PacketListener() = default;
+  virtual void on_packet_delivered(const Packet& p, Cycle now) = 0;
+};
+
 struct SimConfig {
   double inj_rate_per_chip = 0.1;  ///< Offered load, flits/cycle/chip.
   int pkt_len = 4;                 ///< Flits per packet (Table IV).
@@ -112,6 +123,9 @@ struct SimContext {
   /// would have succeeded. kNoWaiter marks an empty link.
   std::vector<std::uint32_t> ovc_waiters;
   std::vector<std::uint32_t> ivc_wait_next;
+  /// Node -> index into `terms` (-1 for non-terminal nodes); the lookup
+  /// behind the closed-loop inject_packet() path.
+  std::vector<std::int32_t> term_of_node;
 };
 
 inline constexpr std::uint32_t kNoWaiter = 0xffffffffu;
@@ -127,9 +141,28 @@ class Simulator {
   /// Runs warmup + measurement + drain and returns the aggregated result.
   SimResult run();
 
-  /// Advances exactly one cycle (exposed for white-box tests).
+  /// Advances exactly one cycle (exposed for white-box tests and for
+  /// closed-loop drivers, which interleave inject_packet() with step()).
   void step();
   [[nodiscard]] Cycle now() const { return now_; }
+
+  // ---- closed-loop (message-level) interface ----
+  /// Registers the packet-completion hook (nullptr disables it).
+  void set_listener(PacketListener* listener) { listener_ = listener; }
+
+  /// Creates a `len`-flit packet src -> dst carrying `tag` and appends it to
+  /// the source terminal's queue, bypassing rate-driven generation (use
+  /// inj_rate_per_chip = 0 for purely closed-loop runs). Returns false —
+  /// and creates nothing — when the queue is at max_src_queue, so callers
+  /// can retry next cycle; the refusal is the closed-loop backpressure
+  /// signal, not an error. `src` must be a terminal node.
+  bool inject_packet(NodeId src, NodeId dst, int len, std::uint32_t tag);
+
+  /// Running engine counters (valid mid-run; run() also reports them).
+  [[nodiscard]] std::uint64_t flit_hops() const { return flit_hops_; }
+  [[nodiscard]] std::uint64_t delivered_total() const {
+    return delivered_total_;
+  }
 
  private:
   void init();
@@ -163,6 +196,7 @@ class Simulator {
   Network& net_;
   SimConfig cfg_;
   TrafficSource& traffic_;
+  PacketListener* listener_ = nullptr;
   Rng rng_;
   std::unique_ptr<SimContext> owned_ctx_;
   SimContext* ctx_ = nullptr;

@@ -1,10 +1,6 @@
 #include "traffic/allreduce.hpp"
 
-#include <algorithm>
-#include <map>
 #include <stdexcept>
-
-#include "topo/hier.hpp"
 
 namespace sldf::traffic {
 
@@ -12,40 +8,13 @@ RingAllReduceTraffic::RingAllReduceTraffic(const sim::Network& net,
                                            RingScope scope,
                                            bool bidirectional)
     : bidirectional_(bidirectional) {
-  const auto& hier = net.topo<topo::HierTopo>();
   const auto nchips = static_cast<ChipId>(net.num_chips());
   succ_.assign(static_cast<std::size_t>(nchips), kInvalidChip);
   pred_.assign(static_cast<std::size_t>(nchips), kInvalidChip);
 
-  // Group chips by ring scope; within a ring, order by (C-group,
-  // Hamiltonian ring rank) so consecutive ring neighbours are physically
-  // adjacent chiplets on the wafer.
-  std::map<std::int32_t, std::vector<ChipId>> rings;
-  for (ChipId c = 0; c < nchips; ++c) {
-    std::int32_t key = 0;
-    switch (scope) {
-      case RingScope::CGroup:
-        key = hier.chip_cgroup[static_cast<std::size_t>(c)];
-        break;
-      case RingScope::WGroup:
-        key = hier.chip_wgroup[static_cast<std::size_t>(c)];
-        break;
-      case RingScope::System: key = 0; break;
-    }
-    rings[key].push_back(c);
-  }
-  for (auto& [key, chips] : rings) {
-    (void)key;
-    std::sort(chips.begin(), chips.end(), [&](ChipId a, ChipId b) {
-      const auto ca = hier.chip_cgroup[static_cast<std::size_t>(a)];
-      const auto cb = hier.chip_cgroup[static_cast<std::size_t>(b)];
-      if (ca != cb) return ca < cb;
-      return hier.chip_ring_rank[static_cast<std::size_t>(a)] <
-             hier.chip_ring_rank[static_cast<std::size_t>(b)];
-    });
-  }
-  for (const auto& [key, chips] : rings) {
-    (void)key;
+  // One ring per scope group, in the shared (C-group, Hamiltonian ring
+  // rank) order — the same schedule the ring-allreduce workload executes.
+  for (const auto& chips : workload::chip_groups(net, scope)) {
     if (chips.size() < 2)
       throw std::invalid_argument("RingAllReduce: ring with < 2 chips");
     for (std::size_t i = 0; i < chips.size(); ++i) {

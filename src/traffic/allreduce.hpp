@@ -1,19 +1,24 @@
 // Ring-based AllReduce steady-state traffic (paper §V-A3(c), Fig 14):
 // each chip streams segments to its ring successor (unidirectional) or to
-// both neighbours (bidirectional). Rings are formed per scope: within each
-// C-group, within each W-group, or over the whole system. Node j of a chip
-// pairs with node j of the neighbouring chip, exercising the parallel
-// chip-boundary links of the wafer mesh.
+// both neighbours (bidirectional). Rings are formed per scope — within each
+// C-group, within each W-group, or over the whole system — using the same
+// workload::chip_groups() schedule the closed-loop ring-allreduce workload
+// executes, so the open-loop saturation probe and the time-to-completion
+// run stress identical link sequences. Node j of a chip pairs with node j
+// of the neighbouring chip, exercising the parallel chip-boundary links of
+// the wafer mesh.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "workload/collectives.hpp"
 
 namespace sldf::traffic {
 
-enum class RingScope : std::uint8_t { CGroup, WGroup, System };
+/// Ring scope, shared with the closed-loop collective generators.
+using RingScope = workload::Scope;
 
 class RingAllReduceTraffic final : public sim::TrafficSource {
  public:

@@ -119,6 +119,12 @@ NodeId WorstCaseTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
 
 namespace {
 
+// Pattern option defaults, shared by each factory's reader and its doc
+// entry so the generated reference cannot drift from the code.
+constexpr int kHotGroups = 4;
+constexpr const char* kRingScope = "wgroup";
+constexpr bool kRingBidir = false;
+
 TrafficRegistry::Factory permutation(const char* name, Permutation kind) {
   return [name, kind](const sim::Network& net, const core::KvMap& opts) {
     core::KvReader(opts, std::string("traffic '") + name + "'").finish();
@@ -141,10 +147,13 @@ TrafficRegistry::TrafficRegistry() {
   add("bit-transpose", "bit-transpose permutation over terminal indices",
       permutation("bit-transpose", Permutation::BitTranspose));
   add("hotspot",
-      "traffic confined to the first hot_groups W-groups (default 4)",
+      core::RegistryDoc{
+          "traffic confined to the first hot_groups W-groups",
+          {{"hot_groups", "int", std::to_string(kHotGroups),
+            "W-groups that exchange traffic"}}},
       [](const sim::Network& net, const core::KvMap& opts) {
         core::KvReader o(opts, "traffic 'hotspot'");
-        const int hot_groups = o.get_int("hot_groups", 4);
+        const int hot_groups = o.get_int("hot_groups", kHotGroups);
         o.finish();
         return std::make_unique<HotspotTraffic>(net, hot_groups);
       });
@@ -154,24 +163,20 @@ TrafficRegistry::TrafficRegistry() {
         return std::make_unique<WorstCaseTraffic>(net);
       });
   add("ring-allreduce",
-      "ring AllReduce streams (options: scope=cgroup|wgroup|system, bidir)",
+      core::RegistryDoc{
+          "steady-state ring AllReduce streams (open-loop saturation "
+          "probe; the `ring-allreduce` *workload* runs it closed-loop)",
+          {{"scope", "cgroup|wgroup|system", kRingScope,
+            "chips forming one ring"},
+           {"bidir", "bool", kRingBidir ? "1" : "0",
+            "stream to both ring neighbours"}}},
       [](const sim::Network& net, const core::KvMap& opts) {
         core::KvReader o(opts, "traffic 'ring-allreduce'");
-        const std::string scope_s = o.get_str("scope", "wgroup");
-        const bool bidir = o.get_bool("bidir", false);
+        const std::string scope_s = o.get_str("scope", kRingScope);
+        const bool bidir = o.get_bool("bidir", kRingBidir);
         o.finish();
-        RingScope scope;
-        if (scope_s == "cgroup")
-          scope = RingScope::CGroup;
-        else if (scope_s == "wgroup")
-          scope = RingScope::WGroup;
-        else if (scope_s == "system")
-          scope = RingScope::System;
-        else
-          throw std::invalid_argument(
-              "traffic 'ring-allreduce': option 'scope' expects "
-              "cgroup|wgroup|system, got '" +
-              scope_s + "'");
+        const RingScope scope =
+            workload::parse_scope(scope_s, "traffic 'ring-allreduce'");
         return std::make_unique<RingAllReduceTraffic>(net, scope, bidir);
       });
 }

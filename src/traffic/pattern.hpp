@@ -88,12 +88,18 @@ class TrafficRegistry {
   void add(const std::string& name, std::string help, Factory make) {
     reg_.add(name, std::move(help), std::move(make));
   }
+  void add(const std::string& name, core::RegistryDoc doc, Factory make) {
+    reg_.add(name, std::move(doc), std::move(make));
+  }
   [[nodiscard]] bool contains(const std::string& name) const {
     return reg_.contains(name);
   }
   [[nodiscard]] std::vector<std::string> names() const { return reg_.names(); }
   [[nodiscard]] const std::string& help(const std::string& name) const {
     return reg_.help(name);
+  }
+  [[nodiscard]] const core::RegistryDoc& doc(const std::string& name) const {
+    return reg_.doc(name);
   }
   [[nodiscard]] std::unique_ptr<sim::TrafficSource> make(
       const std::string& kind, const sim::Network& net,

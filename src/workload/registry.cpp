@@ -1,0 +1,181 @@
+#include "workload/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "workload/collectives.hpp"
+
+namespace sldf::workload {
+
+namespace {
+
+std::uint64_t kib_to_flits(double kib, const WorkloadEnv& env,
+                           const char* name) {
+  if (!(kib > 0.0))
+    throw std::invalid_argument(std::string("workload '") + name +
+                                "': option 'kib' expects a size > 0");
+  const double flits = std::ceil(kib * 1024.0 / env.flit_bytes);
+  return flits < 1.0 ? 1 : static_cast<std::uint64_t>(flits);
+}
+
+Scope read_scope(core::KvReader& o, const char* name, const char* def) {
+  return parse_scope(o.get_str("scope", def),
+                     std::string("workload '") + name + "'");
+}
+
+// Per-generator option defaults, shared by each factory's reader and its
+// doc entry so the generated reference cannot drift from the code.
+constexpr double kAllreduceKib = 256.0;  ///< AllReduce vector per chip.
+constexpr double kA2aKib = 16.0;         ///< All-to-all payload per pair.
+constexpr double kStencilKib = 64.0;     ///< Halo per face neighbour.
+constexpr const char* kAllreduceScope = "wgroup";
+constexpr const char* kA2aScope = "wgroup";
+constexpr const char* kStencilScope = "system";
+constexpr int kDefaultIters = 1;
+constexpr int kRingChunks = 1;
+constexpr int kA2aWindow = 1;
+constexpr bool kStencilPeriodic = true;
+
+std::string num_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+core::OptionDoc scope_doc(const char* def) {
+  return {"scope", "cgroup|wgroup|system", def,
+          "chips forming one collective instance"};
+}
+core::OptionDoc iters_doc() {
+  return {"iters", "int", std::to_string(kDefaultIters),
+          "back-to-back repetitions of the collective"};
+}
+core::OptionDoc kib_doc(double def, const char* what) {
+  return {"kib", "double", num_str(def), what};
+}
+
+}  // namespace
+
+WorkloadRegistry::WorkloadRegistry() {
+  add("ring-allreduce",
+      core::RegistryDoc{
+          "ring AllReduce: reduce-scatter + allgather, 2(N-1) pipelined "
+          "steps around each scope ring",
+          {kib_doc(kAllreduceKib, "AllReduce vector size per chip, KiB"),
+           scope_doc(kAllreduceScope), iters_doc(),
+           {"chunks", "int", std::to_string(kRingChunks),
+            "pipelined chunk-messages per ring step"}}},
+      [](const sim::Network& net, const core::KvMap& opts,
+         const WorkloadEnv& env) {
+        core::KvReader o(opts, "workload 'ring-allreduce'");
+        const double kib = o.get_double("kib", kAllreduceKib);
+        const Scope scope = read_scope(o, "ring-allreduce", kAllreduceScope);
+        const int chunks = o.get_int("chunks", kRingChunks);
+        const int iters = o.get_int("iters", kDefaultIters);
+        o.finish();
+        return ring_allreduce(net, scope,
+                              kib_to_flits(kib, env, "ring-allreduce"),
+                              chunks, iters);
+      });
+  add("halving-doubling-allreduce",
+      core::RegistryDoc{
+          "recursive halving-doubling AllReduce (2*log2 N steps, "
+          "non-power-of-two ranks fold in/out)",
+          {kib_doc(kAllreduceKib, "AllReduce vector size per chip, KiB"),
+           scope_doc(kAllreduceScope), iters_doc()}},
+      [](const sim::Network& net, const core::KvMap& opts,
+         const WorkloadEnv& env) {
+        core::KvReader o(opts, "workload 'halving-doubling-allreduce'");
+        const double kib = o.get_double("kib", kAllreduceKib);
+        const Scope scope =
+            read_scope(o, "halving-doubling-allreduce", kAllreduceScope);
+        const int iters = o.get_int("iters", kDefaultIters);
+        o.finish();
+        return halving_doubling_allreduce(
+            net, scope,
+            kib_to_flits(kib, env, "halving-doubling-allreduce"), iters);
+      });
+  add("tree-allreduce",
+      core::RegistryDoc{
+          "binomial-tree AllReduce: reduce to rank 0, broadcast back "
+          "(full vector per hop)",
+          {kib_doc(kAllreduceKib, "AllReduce vector size per chip, KiB"),
+           scope_doc(kAllreduceScope), iters_doc()}},
+      [](const sim::Network& net, const core::KvMap& opts,
+         const WorkloadEnv& env) {
+        core::KvReader o(opts, "workload 'tree-allreduce'");
+        const double kib = o.get_double("kib", kAllreduceKib);
+        const Scope scope = read_scope(o, "tree-allreduce", kAllreduceScope);
+        const int iters = o.get_int("iters", kDefaultIters);
+        o.finish();
+        return tree_allreduce(net, scope,
+                              kib_to_flits(kib, env, "tree-allreduce"),
+                              iters);
+      });
+  add("all-to-all",
+      core::RegistryDoc{
+          "personalized all-to-all: N-1 shifted rounds per scope group",
+          {kib_doc(kA2aKib, "payload per chip pair, KiB"), scope_doc(kA2aScope),
+           iters_doc(),
+           {"window", "int", std::to_string(kA2aWindow),
+            "rounds in flight per chip (0 = unlimited)"}}},
+      [](const sim::Network& net, const core::KvMap& opts,
+         const WorkloadEnv& env) {
+        core::KvReader o(opts, "workload 'all-to-all'");
+        const double kib = o.get_double("kib", kA2aKib);
+        const Scope scope = read_scope(o, "all-to-all", kA2aScope);
+        const int window = o.get_int("window", kA2aWindow);
+        const int iters = o.get_int("iters", kDefaultIters);
+        o.finish();
+        return all_to_all(net, scope, kib_to_flits(kib, env, "all-to-all"),
+                          window, iters);
+      });
+  add("stencil-3d",
+      core::RegistryDoc{
+          "3D nearest-neighbour halo exchange on the most cubic grid of "
+          "each scope group",
+          {kib_doc(kStencilKib, "halo payload per face neighbour, KiB"),
+           scope_doc(kStencilScope), iters_doc(),
+           {"periodic", "bool", kStencilPeriodic ? "1" : "0",
+            "wrap the grid into a torus"}}},
+      [](const sim::Network& net, const core::KvMap& opts,
+         const WorkloadEnv& env) {
+        core::KvReader o(opts, "workload 'stencil-3d'");
+        const double kib = o.get_double("kib", kStencilKib);
+        const Scope scope = read_scope(o, "stencil-3d", kStencilScope);
+        const int iters = o.get_int("iters", kDefaultIters);
+        const bool periodic = o.get_bool("periodic", kStencilPeriodic);
+        o.finish();
+        return stencil3d(net, scope, kib_to_flits(kib, env, "stencil-3d"),
+                         iters, periodic);
+      });
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry reg;
+  return reg;
+}
+
+WorkloadGraph make_workload(const std::string& kind, const sim::Network& net,
+                            const core::KvMap& opts, const WorkloadEnv& env) {
+  return WorkloadRegistry::instance().make(kind, net, opts, env);
+}
+
+const std::vector<core::OptionDoc>& runner_option_docs() {
+  // Defaults rendered from WorkloadRunConfig{} so they cannot drift.
+  static const std::vector<core::OptionDoc> docs = [] {
+    const WorkloadRunConfig d;
+    return std::vector<core::OptionDoc>{
+        {"flit_bytes", "double", num_str(d.flit_bytes),
+         "payload bytes per flit (sizes KiB -> flits; GB/s reporting)"},
+        {"freq_ghz", "double", num_str(d.freq_ghz),
+         "clock used to convert cycles to seconds"},
+        {"max_cycles", "int", std::to_string(d.max_cycles),
+         "abort horizon; hitting it reports completed = no"},
+    };
+  }();
+  return docs;
+}
+
+}  // namespace sldf::workload

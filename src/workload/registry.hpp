@@ -1,0 +1,69 @@
+// Named closed-loop workload generators, mirroring the topology/traffic
+// registries: a workload is selected from `sldf` as `workload = <name>`
+// with `workload.<opt>` options, and a new workload is a registration plus
+// a config file — not a new binary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "workload/workload.hpp"
+
+namespace sldf::workload {
+
+/// Generator-independent context a factory needs to translate option
+/// units into engine units (KiB -> flits). Packet chunking stays in the
+/// runner (WorkloadRunConfig::sim.pkt_len); generators think in flits.
+struct WorkloadEnv {
+  double flit_bytes = 16.0;  ///< Payload bytes per flit.
+};
+
+/// Registry of named workload generators. Built-ins: "ring-allreduce",
+/// "halving-doubling-allreduce", "tree-allreduce", "all-to-all",
+/// "stencil-3d". Factories receive the `workload.<opt>` map (runner keys
+/// already stripped); unknown options throw std::invalid_argument.
+class WorkloadRegistry {
+ public:
+  using Factory = std::function<WorkloadGraph(
+      const sim::Network&, const core::KvMap&, const WorkloadEnv&)>;
+
+  /// The process-wide registry, with the built-in generators registered.
+  static WorkloadRegistry& instance();
+
+  void add(const std::string& name, core::RegistryDoc doc, Factory make) {
+    reg_.add(name, std::move(doc), std::move(make));
+  }
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return reg_.contains(name);
+  }
+  [[nodiscard]] std::vector<std::string> names() const { return reg_.names(); }
+  [[nodiscard]] const std::string& help(const std::string& name) const {
+    return reg_.help(name);
+  }
+  [[nodiscard]] const core::RegistryDoc& doc(const std::string& name) const {
+    return reg_.doc(name);
+  }
+  [[nodiscard]] WorkloadGraph make(const std::string& kind,
+                                   const sim::Network& net,
+                                   const core::KvMap& opts,
+                                   const WorkloadEnv& env) const {
+    return reg_.at(kind, "workload")(net, opts, env);
+  }
+
+ private:
+  WorkloadRegistry();
+  core::NamedRegistry<Factory> reg_;
+};
+
+/// Registry lookup shorthand.
+WorkloadGraph make_workload(const std::string& kind, const sim::Network& net,
+                            const core::KvMap& opts, const WorkloadEnv& env);
+
+/// The runner/reporting keys run_workload_scenario() consumes itself
+/// (`flit_bytes`, `freq_ghz`, `max_cycles`) — documented alongside the
+/// generator options in the generated reference.
+const std::vector<core::OptionDoc>& runner_option_docs();
+
+}  // namespace sldf::workload

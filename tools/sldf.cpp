@@ -1,10 +1,12 @@
 // sldf — the unified scenario driver. Runs any ScenarioSpec: topology
-// preset, routing mode, VC scheme, and traffic pattern are registry
-// lookups, so every experiment in the paper's evaluation grid is a config
-// file (or a handful of flags) instead of a dedicated binary.
+// preset, routing mode, VC scheme, and traffic pattern or closed-loop
+// workload are registry lookups, so every experiment in the paper's
+// evaluation grid is a config file (or a handful of flags) instead of a
+// dedicated binary.
 //
 //   sldf --topology=radix16-swless --traffic=uniform --max_rate=0.8
 //   sldf --config configs/fig11a.conf --out results/fig11a.csv
+//   sldf --workload=ring-allreduce --workload.kib=64 --topo.g=1
 //
 // A config file uses `key = value` lines; `[series NAME]` sections run
 // several labelled series as one experiment, each starting from the shared
@@ -18,16 +20,17 @@
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/thread_pool.hpp"
+#include "core/docgen.hpp"
 #include "core/scenario.hpp"
 #include "traffic/pattern.hpp"
+#include "workload/registry.hpp"
 
 using namespace sldf;
 
 namespace {
 
-const std::vector<std::string> kDriverFlags = {"config", "out",
-                                               "series-threads", "list",
-                                               "print", "help"};
+const std::vector<std::string> kDriverFlags = {
+    "config", "out", "series-threads", "list", "doc-keys", "print", "help"};
 
 void print_usage() {
   std::printf(
@@ -38,29 +41,52 @@ void print_usage() {
       "                       sections; CLI keys override every series)\n"
       "  --out FILE.csv       append all series to a CSV file\n"
       "  --series-threads N   run N series concurrently (default 1)\n"
-      "  --list               list registered topologies/patterns and exit\n"
+      "  --list               list topologies/patterns/workloads with their\n"
+      "                       options and defaults, then exit\n"
+      "  --doc-keys           print the generated Markdown scenario\n"
+      "                       reference (the README embeds it verbatim)\n"
       "  --print              print the resolved spec(s) and exit\n"
       "  --help               this text\n"
       "\n"
       "scenario keys (also valid in config files):\n"
-      "  label topology traffic mode scheme rates max_rate points\n"
+      "  label topology traffic workload mode scheme rates max_rate points\n"
       "  stop_factor threads warmup measure drain pkt_len seed\n"
-      "  max_src_queue topo.<param> traffic.<option>\n"
+      "  max_src_queue topo.<param> traffic.<option> workload.<option>\n"
       "\n"
       "  --threads=N runs N sweep points of every series concurrently\n"
       "  (N=auto or 0 picks the hardware thread count); it overrides the\n"
-      "  config file's threads key, like any scenario key.\n");
+      "  config file's threads key, like any scenario key.\n"
+      "\n"
+      "  workload=NAME switches a series from open-loop rate sweeps to one\n"
+      "  closed-loop message-level run reporting completion cycles and\n"
+      "  GB/s/chip (see --list for workloads and their options).\n");
+}
+
+void print_entry_options(const std::vector<core::OptionDoc>& options) {
+  for (const auto& o : options)
+    std::printf("        %-18s %-28s default %s\n", o.key.c_str(),
+                o.type.c_str(), o.def.c_str());
+}
+
+template <typename Registry>
+void print_registry(const Registry& reg) {
+  for (const auto& name : reg.names()) {
+    const core::RegistryDoc& doc = reg.doc(name);
+    std::printf("  %-28s %s\n", name.c_str(), doc.summary.c_str());
+    print_entry_options(doc.options);
+  }
 }
 
 void print_registries() {
-  std::printf("topologies:\n");
-  const auto& topos = core::TopologyRegistry::instance();
-  for (const auto& name : topos.names())
-    std::printf("  %-16s %s\n", name.c_str(), topos.help(name).c_str());
-  std::printf("\ntraffic patterns:\n");
-  const auto& patterns = traffic::TrafficRegistry::instance();
-  for (const auto& name : patterns.names())
-    std::printf("  %-16s %s\n", name.c_str(), patterns.help(name).c_str());
+  std::printf("topologies (override with topo.<param>=value):\n");
+  print_registry(core::TopologyRegistry::instance());
+  std::printf("\ntraffic patterns (options: traffic.<opt>=value):\n");
+  print_registry(traffic::TrafficRegistry::instance());
+  std::printf(
+      "\nworkloads (closed-loop; options: workload.<opt>=value,\n"
+      "plus runner keys accepted by every workload):\n");
+  print_entry_options(workload::runner_option_docs());
+  print_registry(workload::WorkloadRegistry::instance());
   std::printf(
       "\nroute modes:  minimal | valiant | adaptive\n"
       "VC schemes:   baseline | reduced | reduced-safe\n");
@@ -79,12 +105,17 @@ int main(int argc, char** argv) {
       print_registries();
       return 0;
     }
+    if (cli.has("doc-keys")) {
+      std::fputs(core::render_scenario_reference().c_str(), stdout);
+      return 0;
+    }
 
     // Warn about flags that are neither driver flags nor scenario keys.
     std::vector<std::string> known = kDriverFlags;
     for (const auto& key : core::scenario_keys()) known.push_back(key);
     for (const auto& key : cli.unknown_keys(known)) {
-      if (key.rfind("topo.", 0) == 0 || key.rfind("traffic.", 0) == 0)
+      if (key.rfind("topo.", 0) == 0 || key.rfind("traffic.", 0) == 0 ||
+          key.rfind("workload.", 0) == 0)
         continue;
       std::fprintf(stderr, "sldf: warning: unknown flag --%s (ignored)\n",
                    key.c_str());
@@ -100,18 +131,34 @@ int main(int argc, char** argv) {
       series.push_back(core::spec_from_cli(cli, {}, nullptr));
     }
 
-    // Validate registry names up front so a misspelled topology/traffic
-    // fails before any series starts running. Option-key typos inside
-    // topo.*/traffic.* surface when their series starts; series are
-    // isolated below, so one failure never discards the others' results.
+    // Validate registry names up front so a misspelled topology/traffic/
+    // workload fails before any series starts running. Option-key typos
+    // inside topo.*/traffic.*/workload.* surface when their series starts;
+    // series are isolated below, so one failure never discards the others'
+    // results.
+    std::size_t workload_series = 0;
     for (const auto& spec : series) {
       if (!core::TopologyRegistry::instance().contains(spec.topology))
         throw std::invalid_argument("unknown topology '" + spec.topology +
                                     "' (see sldf --list)");
-      if (!traffic::TrafficRegistry::instance().contains(spec.traffic))
+      if (!spec.workload.empty()) {
+        ++workload_series;
+        if (!workload::WorkloadRegistry::instance().contains(spec.workload))
+          throw std::invalid_argument("unknown workload '" + spec.workload +
+                                      "' (see sldf --list)");
+      } else if (!traffic::TrafficRegistry::instance().contains(
+                     spec.traffic)) {
         throw std::invalid_argument("unknown traffic pattern '" +
                                     spec.traffic + "' (see sldf --list)");
+      }
     }
+    // The two execution modes report different columns; one experiment
+    // mixes them only without CSV output.
+    if (workload_series != 0 && workload_series != series.size() &&
+        cli.has("out"))
+      throw std::invalid_argument(
+          "--out cannot mix rate-sweep and workload series in one CSV; "
+          "split the config");
 
     if (cli.has("print")) {
       for (const auto& spec : series) {
@@ -130,37 +177,56 @@ int main(int argc, char** argv) {
     // only surfaces at build time) is reported but never discards the
     // results of series that completed.
     struct Outcome {
-      core::SweepSeries result;
+      core::SweepSeries result;       ///< Rate-sweep series.
+      core::WorkloadRun workload;     ///< Closed-loop series.
+      bool is_workload = false;
+      std::string label;
       std::string error;
     };
     std::vector<Outcome> outcomes(series.size());
     ThreadPool::parallel_for(series.size(), threads == 0 ? 1 : threads,
                              [&](std::size_t i) {
+                               Outcome& o = outcomes[i];
+                               o.label = series[i].label;
+                               o.is_workload = !series[i].workload.empty();
                                try {
-                                 outcomes[i].result =
-                                     core::run_scenario(series[i]);
+                                 if (o.is_workload)
+                                   o.workload =
+                                       core::run_workload_scenario(series[i]);
+                                 else
+                                   o.result = core::run_scenario(series[i]);
                                } catch (const std::exception& e) {
-                                 outcomes[i].result.label = series[i].label;
-                                 outcomes[i].error = e.what();
+                                 o.error = e.what();
                                }
                              });
 
     int failures = 0;
     for (const auto& o : outcomes) {
-      if (o.error.empty()) {
-        core::print_series(o.result);
-      } else {
+      if (!o.error.empty()) {
         ++failures;
         std::fprintf(stderr, "sldf: series '%s' failed: %s\n",
-                     o.result.label.c_str(), o.error.c_str());
+                     o.label.c_str(), o.error.c_str());
+      } else if (o.is_workload) {
+        core::print_workload(o.workload);
+      } else {
+        core::print_series(o.result);
       }
     }
     if (cli.has("out")) {
+      const bool workload_csv = workload_series == series.size();
       CsvWriter csv(cli.get("out"),
-                    {"series", "offered", "avg_latency", "accepted", "p99",
-                     "delivered", "drained"});
-      for (const auto& o : outcomes)
-        if (o.error.empty()) core::append_series_csv(csv, o.result);
+                    workload_csv
+                        ? core::workload_csv_header()
+                        : std::vector<std::string>{
+                              "series", "offered", "avg_latency", "accepted",
+                              "p99", "delivered", "drained"});
+      for (const auto& o : outcomes) {
+        if (!o.error.empty()) continue;
+        if (o.is_workload)
+          core::append_workload_csv(csv, o.workload);
+        else
+          core::append_series_csv(csv, o.result);
+      }
       std::printf("wrote %s\n", cli.get("out").c_str());
     }
     return failures > 0 ? 1 : 0;
