@@ -94,6 +94,19 @@ core::ScenarioSpec allreduce_spec(bool quick, std::uint64_t seed) {
   return s;
 }
 
+/// Resilience preset: the fig16a throughput point on the radix-16
+/// switch-less network with 10% of the global cables failed (fault-aware
+/// minimal routing, nested seeded fault set — see configs/fig16.conf), so
+/// the degraded-operation engine path is tracked run over run too.
+core::ScenarioSpec resilience_spec(bool quick, std::uint64_t seed) {
+  core::ScenarioSpec s = point_spec("radix16-swless", 0.9, quick, seed);
+  s.topo["g"] = quick ? "5" : "11";
+  s.fault.rate = 0.1;
+  s.fault.kind = topo::FaultKind::Global;
+  s.fault.seed = 7;
+  return s;
+}
+
 PerfResult run_workload_preset(const std::string& preset,
                                const core::ScenarioSpec& spec) {
   PerfResult r;
@@ -155,6 +168,9 @@ std::vector<PerfResult> run_perf_suite(bool quick, std::uint64_t seed) {
   std::fprintf(stderr, "sldf-bench: running allreduce-ttc ...\n");
   out.push_back(
       run_workload_preset("allreduce-ttc", allreduce_spec(quick, seed)));
+  std::fprintf(stderr, "sldf-bench: running resilience-f10 ...\n");
+  out.push_back(
+      run_specs("resilience-f10", {resilience_spec(quick, seed)}));
   if (!quick) {
     one("radix32-low", "radix32-swless", 0.1);
     one("radix32-sat", "radix32-swless", 0.9);

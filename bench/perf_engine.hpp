@@ -2,10 +2,12 @@
 //
 // Runs a fixed set of presets (radix-16 / radix-32 switch-less networks at
 // low and near-saturation load, the closed-loop ring-AllReduce completion
-// run, plus the full fig11a three-series sweep) and reports wall time,
-// simulated cycles/sec, flit-hops/sec, and peak RSS per preset. For the
-// workload preset (`allreduce-ttc`) `cycles` is the collective's
-// completion time, recording the workload engine's trajectory too.
+// run, the degraded-fabric `resilience-f10` point — 10% failed global
+// cables, fault-aware routing — plus the full fig11a three-series sweep)
+// and reports wall time, simulated cycles/sec, flit-hops/sec, and peak RSS
+// per preset. For the workload preset (`allreduce-ttc`) `cycles` is the
+// collective's completion time, recording the workload engine's trajectory
+// too.
 // Results serialize to BENCH_sim.json so the perf trajectory of the
 // simulator is recorded run over run (see README "Performance").
 #pragma once

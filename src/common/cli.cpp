@@ -15,6 +15,24 @@ std::string Cli::trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+void Cli::set_kv(const std::string& key, std::string value) {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) {
+    kv_.emplace(key, std::move(value));
+    return;
+  }
+  // Last value wins, but never silently: warn once per duplicated key.
+  if (std::find(duplicates_.begin(), duplicates_.end(), key) ==
+      duplicates_.end()) {
+    duplicates_.push_back(key);
+    std::fprintf(stderr,
+                 "%s: warning: flag --%s given more than once "
+                 "(last value wins)\n",
+                 program_.empty() ? "cli" : program_.c_str(), key.c_str());
+  }
+  it->second = std::move(value);
+}
+
 Cli::Cli(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
@@ -26,11 +44,11 @@ Cli::Cli(int argc, char** argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      set_kv(arg.substr(0, eq), arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      kv_[arg] = argv[++i];
+      set_kv(arg, argv[++i]);
     } else {
-      kv_[arg] = "";
+      set_kv(arg, "");
     }
   }
 }

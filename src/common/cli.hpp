@@ -2,6 +2,8 @@
 // Supports `--flag`, `--key=value`, and `--key value` forms. Numeric
 // getters reject malformed values with std::invalid_argument instead of
 // silently truncating (bare strtol/strtod would accept "12abc" as 12).
+// Repeated keys keep the last value but warn once per key on stderr (a
+// silent last-wins hid typos like `--seed=1 ... --seed=2`).
 #pragma once
 
 #include <map>
@@ -32,6 +34,11 @@ class Cli {
   /// unknown-flag warnings in drivers).
   [[nodiscard]] std::vector<std::string> unknown_keys(
       const std::vector<std::string>& known) const;
+  /// Keys that appeared more than once (each was warned about once on
+  /// stderr at parse time; the last value wins), in first-duplicate order.
+  [[nodiscard]] const std::vector<std::string>& duplicate_keys() const {
+    return duplicates_;
+  }
 
   /// Strict whole-string numeric parses (leading/trailing spaces allowed,
   /// trailing garbage rejected). Return false on failure.
@@ -42,9 +49,12 @@ class Cli {
   static std::string trim(const std::string& s);
 
  private:
+  void set_kv(const std::string& key, std::string value);
+
   std::string program_;
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
+  std::vector<std::string> duplicates_;
 };
 
 }  // namespace sldf

@@ -95,6 +95,13 @@ void require_default_scheme(const TopoConfig& cfg, const char* name,
                                 route::to_string(cfg.scheme) + "' (" + why +
                                 ")");
 }
+void require_no_faults(const TopoConfig& cfg, const char* name) {
+  if (cfg.fault_tolerant)
+    throw std::invalid_argument(
+        std::string("topology '") + name +
+        "' does not support fault injection (its routing is not "
+        "fault-aware)");
+}
 
 void apply_labeling(KvReader& o, const char* key, topo::Labeling& field) {
   if (const std::string* v = o.take(key)) {
@@ -131,9 +138,15 @@ void apply(topo::SwlessParams& p, const TopoConfig& cfg,
   o.apply_bool("io_converters", p.io_converters);
   apply_labeling(o, "labeling", p.labeling);
   o.apply_int("vc_buf", p.vc_buf);
+  // Explicit override so a zero-fault baseline can be built with the same
+  // fault-detour VC budget as the faulted points of a resilience sweep
+  // (the budget changes buffering, which would otherwise confound the
+  // sweep's first step).
+  o.apply_bool("fault_tolerant", p.fault_tolerant);
   o.finish();
   p.mode = cfg.mode;
   p.scheme = cfg.scheme;
+  p.fault_tolerant = p.fault_tolerant || cfg.fault_tolerant;
 }
 
 void apply(topo::SwDragonflyParams& p, const TopoConfig& cfg,
@@ -149,10 +162,12 @@ void apply(topo::SwDragonflyParams& p, const TopoConfig& cfg,
   o.apply_int("global_latency", p.global_latency);
   o.apply_int("vc_buf", p.vc_buf);
   o.apply_int("vcs_per_class", p.vcs_per_class);
+  o.apply_bool("fault_tolerant", p.fault_tolerant);
   o.finish();
   require_default_scheme(cfg, name.c_str(),
                          "switch-based Dragonfly uses its own VC classes");
   p.mode = cfg.mode;
+  p.fault_tolerant = p.fault_tolerant || cfg.fault_tolerant;
 }
 
 TopologyBuilder swless_preset(topo::SwlessParams (*base)(),
@@ -226,6 +241,9 @@ std::vector<OptionDoc> swless_docs(const topo::SwlessParams& p) {
        labeling_str(p.labeling),
        "chiplet-grid labeling scheme for the Hamiltonian ring"},
       {"vc_buf", "int", istr(p.vc_buf), "per-VC input buffer depth, flits"},
+      {"fault_tolerant", "bool", bstr(p.fault_tolerant),
+       "reserve the fault-detour VC budget even without faults (resilience "
+       "baselines; implied by active fault.* keys)"},
   };
 }
 
@@ -250,6 +268,9 @@ std::vector<OptionDoc> swdf_docs(const topo::SwDragonflyParams& p) {
       {"vc_buf", "int", istr(p.vc_buf), "per-VC input buffer depth, flits"},
       {"vcs_per_class", "int", istr(p.vcs_per_class),
        "destination-hashed VCs per class (ideal-switch approximation)"},
+      {"fault_tolerant", "bool", bstr(p.fault_tolerant),
+       "reserve the fault-detour VC budget even without faults (resilience "
+       "baselines; implied by active fault.* keys)"},
   };
 }
 
@@ -326,6 +347,7 @@ void build_cgroup_mesh(sim::Network& net, const TopoConfig& cfg) {
   o.finish();
   require_default_mode(cfg, "cgroup-mesh");
   require_default_scheme(cfg, "cgroup-mesh", "XY routing needs no scheme");
+  require_no_faults(cfg, "cgroup-mesh");
   topo::build_mesh_network(net, s, num_vcs, vc_buf);
 }
 
@@ -338,6 +360,7 @@ void build_crossbar_net(sim::Network& net, const TopoConfig& cfg) {
   o.finish();
   require_default_mode(cfg, "crossbar");
   require_default_scheme(cfg, "crossbar", "a single switch has no scheme");
+  require_no_faults(cfg, "crossbar");
   topo::build_crossbar(net, terminals, term_latency);
 }
 

@@ -128,6 +128,10 @@ struct TopoConfig {
   KvMap params;  ///< Preset overrides in string form, e.g. {"g", "15"}.
   route::RouteMode mode = route::RouteMode::Minimal;
   route::VcScheme scheme = route::VcScheme::Baseline;
+  /// Faults will be injected after the build (scenario `fault.*` keys):
+  /// builders reserve the fault-detour VC budget. Builders whose routing is
+  /// not fault-aware must reject this instead of silently degrading.
+  bool fault_tolerant = false;
 };
 
 using TopologyBuilder = std::function<void(sim::Network&, const TopoConfig&)>;

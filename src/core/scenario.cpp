@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/network.hpp"
 #include "traffic/pattern.hpp"
@@ -49,6 +51,22 @@ std::vector<double> to_rates(const std::string& value) {
   return out;
 }
 
+std::vector<ChipId> to_chips(const std::string& value) {
+  std::vector<ChipId> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = Cli::trim(item);
+    if (item.empty()) continue;
+    const long v = to_long("fault.chips", item);
+    if (v < 0)
+      throw std::invalid_argument(
+          "scenario key 'fault.chips' expects non-negative chip ids");
+    out.push_back(static_cast<ChipId>(v));
+  }
+  return out;
+}
+
 }  // namespace
 
 void ScenarioSpec::set(const std::string& key, const std::string& value) {
@@ -62,6 +80,28 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   }
   if (key.rfind("workload.", 0) == 0) {
     workload_opts[key.substr(9)] = value;
+    return;
+  }
+  // The fault.* family is typed here (not a pass-through map): the keys are
+  // few and validation should fail at parse time, not at build time.
+  if (key == "fault.rate") {
+    const double r = to_double(key, value);
+    if (r < 0.0 || r > 1.0)
+      throw std::invalid_argument(
+          "scenario key 'fault.rate' expects a fraction in [0, 1]");
+    fault.rate = r;
+    return;
+  }
+  if (key == "fault.kind") {
+    fault.kind = topo::parse_fault_kind(value);
+    return;
+  }
+  if (key == "fault.seed") {
+    fault.seed = static_cast<std::uint64_t>(to_long(key, value));
+    return;
+  }
+  if (key == "fault.chips") {
+    fault.chips = to_chips(value);
     return;
   }
   if (key == "label") {
@@ -139,6 +179,21 @@ KvMap ScenarioSpec::to_kv() const {
   kv["pkt_len"] = std::to_string(sim.pkt_len);
   kv["seed"] = std::to_string(sim.seed);
   kv["max_src_queue"] = std::to_string(sim.max_src_queue);
+  // Fault keys serialize only when set, so fault-free specs round-trip to
+  // fault-free configs.
+  if (fault.rate > 0.0) kv["fault.rate"] = format_num(fault.rate);
+  if (fault.kind != topo::FaultKind::Any)
+    kv["fault.kind"] = topo::to_string(fault.kind);
+  if (fault.seed != topo::FaultSpec{}.seed)
+    kv["fault.seed"] = std::to_string(fault.seed);
+  if (!fault.chips.empty()) {
+    std::string joined;
+    for (const ChipId c : fault.chips) {
+      if (!joined.empty()) joined += ",";
+      joined += std::to_string(c);
+    }
+    kv["fault.chips"] = joined;
+  }
   for (const auto& [k, v] : topo) kv["topo." + k] = v;
   for (const auto& [k, v] : traffic_opts) kv["traffic." + k] = v;
   for (const auto& [k, v] : workload_opts) kv["workload." + k] = v;
@@ -216,6 +271,17 @@ const std::vector<ScenarioKeyDoc>& scenario_key_docs() {
         {"seed", "Base RNG seed", integer(d.sim.seed)},
         {"max_src_queue", "Per-node source-queue cap (packets)",
          integer(d.sim.max_src_queue)},
+        {"fault.rate",
+         "Fraction of candidate cables to fail (deterministic, seeded; see "
+         "Resilience)",
+         num(d.fault.rate)},
+        {"fault.kind",
+         "Failed-link class: `any` \\| `intra` \\| `local` \\| `global`",
+         std::string(topo::to_string(d.fault.kind))},
+        {"fault.seed", "Fault-set RNG seed (independent of `seed`)",
+         integer(d.fault.seed)},
+        {"fault.chips", "Chips to fail entirely, comma-separated ids",
+         "unset"},
     };
   }();
   return docs;
@@ -237,7 +303,8 @@ ScenarioSpec spec_from_cli(const Cli& cli, const ScenarioSpec& defaults,
   for (const auto& [key, value] : cli.entries()) {
     const bool prefixed = key.rfind("topo.", 0) == 0 ||
                           key.rfind("traffic.", 0) == 0 ||
-                          key.rfind("workload.", 0) == 0;
+                          key.rfind("workload.", 0) == 0 ||
+                          key.rfind("fault.", 0) == 0;
     const auto& keys = scenario_keys();
     const bool known =
         prefixed || std::find(keys.begin(), keys.end(), key) != keys.end();
@@ -255,6 +322,12 @@ std::vector<ScenarioSpec> parse_scenario_text(const std::string& text,
   ScenarioSpec base = defaults;
   std::vector<ScenarioSpec> series;
   ScenarioSpec* current = &base;
+  // Keys already set in the current section (base or one [series]): a
+  // repeat within one section is almost always a typo, so it warns (once
+  // per key) instead of silently letting the last value win. A series key
+  // overriding a base key is the intended layering and stays silent.
+  std::set<std::string> seen;
+  std::set<std::string> warned;
 
   std::stringstream ss(text);
   std::string raw;
@@ -277,6 +350,7 @@ std::vector<ScenarioSpec> parse_scenario_text(const std::string& text,
       series.push_back(base);
       series.back().label = name;
       current = &series.back();
+      seen.clear();
       continue;
     }
     const auto eq = line.find('=');
@@ -290,6 +364,10 @@ std::vector<ScenarioSpec> parse_scenario_text(const std::string& text,
     if (key.empty())
       throw std::invalid_argument("scenario file line " +
                                   std::to_string(lineno) + ": empty key");
+    if (!seen.insert(key).second && warned.insert(key).second)
+      log_warn("scenario file line %d: key '%s' repeated in this section "
+               "(last value wins)",
+               lineno, key.c_str());
     try {
       current->set(key, value);
     } catch (const std::invalid_argument& e) {
@@ -313,6 +391,10 @@ std::vector<ScenarioSpec> load_scenario_file(const std::string& path,
 
 void build_network(sim::Network& net, const ScenarioSpec& spec) {
   TopologyRegistry::instance().build(spec.topology, net, spec.topo_config());
+  if (spec.fault.active()) {
+    const topo::FaultReport rep = topo::inject_faults(net, spec.fault);
+    log_debug("%s", rep.to_string().c_str());
+  }
 }
 
 NetFactory net_factory(const ScenarioSpec& spec) {

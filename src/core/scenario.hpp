@@ -15,6 +15,7 @@
 #include "core/experiment.hpp"
 #include "core/registry.hpp"
 #include "route/routing_modes.hpp"
+#include "topo/faults.hpp"
 #include "workload/workload.hpp"
 
 namespace sldf::core {
@@ -32,6 +33,11 @@ struct ScenarioSpec {
   /// points/stop_factor/threads are then ignored).
   std::string workload;
   KvMap workload_opts;  ///< Generator + runner options, keys `workload.<opt>`.
+  /// Fault injection (config keys `fault.rate` / `fault.kind` /
+  /// `fault.seed` / `fault.chips`). When active(), the topology is built
+  /// fault-tolerant and build_network() injects the faults after the build;
+  /// an inactive spec leaves the network bit-identical to a fault-free one.
+  topo::FaultSpec fault;
 
   /// Explicit offered loads; when empty, linspace(max_rate, points) is used.
   std::vector<double> rates;
@@ -44,8 +50,9 @@ struct ScenarioSpec {
   /// Applies one `key = value` setting (the config/CLI vocabulary: label,
   /// topology, traffic, workload, mode, scheme, rates, max_rate, points,
   /// stop_factor, threads, warmup, measure, drain, pkt_len, seed,
-  /// max_src_queue, plus prefixed topo.* / traffic.* / workload.* entries).
-  /// Throws std::invalid_argument on unknown keys or malformed values.
+  /// max_src_queue, the fault.* keys, plus prefixed topo.* / traffic.* /
+  /// workload.* entries). Throws std::invalid_argument on unknown keys or
+  /// malformed values.
   void set(const std::string& key, const std::string& value);
 
   /// Serializes every setting back to the config vocabulary; a spec
@@ -57,7 +64,7 @@ struct ScenarioSpec {
 
   [[nodiscard]] std::vector<double> effective_rates() const;
   [[nodiscard]] TopoConfig topo_config() const {
-    return TopoConfig{topo, mode, scheme};
+    return TopoConfig{topo, mode, scheme, fault.active()};
   }
 };
 
@@ -92,6 +99,8 @@ std::vector<ScenarioSpec> load_scenario_file(
     const std::string& path, const ScenarioSpec& defaults = {});
 
 /// One-shot build of the spec's network (registry lookup + overrides).
+/// When spec.fault is active, the build is fault-tolerant and the faults
+/// are injected (deterministically, spec.fault.seed) before returning.
 void build_network(sim::Network& net, const ScenarioSpec& spec);
 /// The spec's two factories, for composing with run_sweep directly.
 NetFactory net_factory(const ScenarioSpec& spec);

@@ -21,6 +21,7 @@ struct Walker {
   std::vector<std::vector<std::int32_t>> adj;
   std::size_t paths = 0;
   std::size_t max_hops_seen = 0;
+  std::size_t undeliverable = 0;
   bool failed = false;
 
   std::int32_t resource(ChanId c, VcIx v) {
@@ -72,6 +73,14 @@ struct Walker {
       const auto id = resource(c, d.out_vc);
       if (prev >= 0) edge(prev, id);
       prev = id;
+      if (!net.chan_live(c)) {
+        // Fault mask: the packet stalls requesting the dead channel. Its
+        // resource chain so far is recorded (held forever); the pair is
+        // counted unreachable rather than failing the audit.
+        ++undeliverable;
+        max_hops_seen = std::max(max_hops_seen, hops);
+        return true;
+      }
       const auto& ch = net.chan(c);
       cur = ch.dst;
       in_port = ch.dst_port;
@@ -121,7 +130,7 @@ bool find_cycle(const std::vector<std::vector<std::int32_t>>& adj,
 
 CdgReport audit_cdg(const sim::Network& net, const CdgOptions& opt) {
   CdgReport rep;
-  Walker w{net, opt, {}, {}, {}, {}, 0, 0, false};
+  Walker w{net, opt, {}, {}, {}, {}};
   Rng rng(42);
 
   // Determine whether routing is non-minimal and which groups exist.
@@ -141,21 +150,30 @@ CdgReport audit_cdg(const sim::Network& net, const CdgOptions& opt) {
     return hier->chip_wgroup[static_cast<std::size_t>(net.chip_of(n))];
   };
 
+  // Faulted networks: dead terminals are skipped, and init_packet's own
+  // (fault-aware, deterministically sampled) intermediate choice is
+  // audited instead of enumerating/overriding intermediates — an override
+  // would walk detours the fault-aware planner specifically avoids. An
+  // armed-but-empty mask routes exactly like a pristine network and is
+  // audited as one.
+  const bool fault_aware = net.has_faults();
   bool all_ok = true;
   for (NodeId src : net.terminals()) {
     for (NodeId dst : net.terminals()) {
       if (src == dst) continue;
+      if (fault_aware && (!net.node_live(src) || !net.node_live(dst)))
+        continue;
       const auto gs = group_of(src);
       const auto gd = group_of(dst);
-      if (valiant && opt.enumerate_intermediates && gs != gd &&
-          num_groups > 2) {
+      if (valiant && opt.enumerate_intermediates && !fault_aware &&
+          gs != gd && num_groups > 2) {
         for (std::int32_t mid = 0; mid < num_groups; ++mid) {
           if (mid == gs || mid == gd) continue;
           all_ok &= w.walk(src, dst, mid, rng);
           ++w.paths;
         }
       } else {
-        all_ok &= w.walk(src, dst, -1, rng);
+        all_ok &= w.walk(src, dst, fault_aware ? -2 : -1, rng);
         ++w.paths;
       }
     }
@@ -165,6 +183,7 @@ CdgReport audit_cdg(const sim::Network& net, const CdgOptions& opt) {
   rep.resources = w.res_info.size();
   rep.max_path_hops = w.max_hops_seen;
   rep.edges = w.edge_keys.size();
+  rep.undeliverable = w.undeliverable;
   std::vector<std::int32_t> cyc;
   const bool has_cycle = find_cycle(w.adj, cyc);
   rep.acyclic = all_ok && !has_cycle;
@@ -178,6 +197,8 @@ std::string CdgReport::to_string(const sim::Network& net) const {
       strf("CDG audit: %s | paths=%zu resources=%zu edges=%zu max-hops=%zu",
            acyclic ? "ACYCLIC (deadlock-free)" : "CYCLE FOUND", paths_walked,
            resources, edges, max_path_hops);
+  if (undeliverable > 0)
+    s += strf(" undeliverable=%zu (fault mask)", undeliverable);
   if (!cycle.empty()) {
     s += "\n  witness cycle:";
     for (const auto& [c, v] : cycle) {

@@ -21,6 +21,11 @@ struct CdgReport {
   std::size_t edges = 0;      ///< Distinct dependency edges.
   std::size_t paths_walked = 0;
   std::size_t max_path_hops = 0;
+  /// Fault-masked networks only: walks that reached a dead channel. The
+  /// stalled packet's resource chain up to the dead link is recorded (it
+  /// holds those buffers forever), but an unreachable pair is a degraded-
+  /// operation result, not a routing failure — it does not clear `acyclic`.
+  std::size_t undeliverable = 0;
   /// One witness cycle as (channel, vc) pairs, empty when acyclic.
   std::vector<std::pair<ChanId, VcIx>> cycle;
   std::string to_string(const sim::Network& net) const;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "route/fault_detour.hpp"
 #include "topo/dragonfly.hpp"
 
 namespace sldf::route {
@@ -10,15 +11,51 @@ using topo::SwDfTopo;
 
 namespace {
 
+/// The global channel leaving `group` toward `peer`.
+ChanId global_chan_of(const SwDfTopo& T, std::int32_t group,
+                      std::int32_t peer) {
+  const int H = T.p.globals_per_switch;
+  const int link = SwDfTopo::global_link(group, peer);
+  return T.global_chan[static_cast<std::size_t>(
+      (group * T.p.switches_per_group + link / H) * H + link % H)];
+}
+
+/// The local channel from switch `sa` to switch `sb` within `group`.
+ChanId local_chan_of(const SwDfTopo& T, std::int32_t group, int sa, int sb) {
+  return T.local_chan[static_cast<std::size_t>(
+      (group * T.p.switches_per_group + sa) * (T.p.switches_per_group - 1) +
+      SwDfTopo::local_index(sa, sb))];
+}
+
+bool global_usable(const sim::Network& net, const SwDfTopo& T,
+                   std::int32_t ga, std::int32_t gb) {
+  return net.chan_live(global_chan_of(T, ga, gb));
+}
+
+/// A detour group for src -> dst whose two global legs are both live
+/// (shared policy: route/fault_detour.hpp).
+std::int32_t pick_mid_group(const sim::Network& net, const SwDfTopo& T,
+                            std::int32_t sg, std::int32_t dg, Rng& rng) {
+  return pick_detour_group(T.p.effective_groups(), sg, dg, rng,
+                           [&](std::int32_t a, std::int32_t b) {
+                             return global_usable(net, T, a, b);
+                           });
+}
+
+/// Intermediate switch detouring a dead local link `from` -> `to` within
+/// `group` (both detour legs live); -1 when none exists.
+int pick_local_via(const sim::Network& net, const SwDfTopo& T,
+                   std::int32_t group, int from, int to) {
+  return pick_detour_via(T.p.switches_per_group, from, to, [&](int a, int b) {
+    return net.chan_live(local_chan_of(T, group, a, b));
+  });
+}
+
 /// Buffered-flit occupancy of the global channel leaving `group` toward
 /// `peer` (UGAL-L congestion signal, read from upstream credits).
 int gateway_occupancy(const sim::Network& net, const SwDfTopo& T,
                       std::int32_t group, std::int32_t peer) {
-  const int H = T.p.globals_per_switch;
-  const int link = SwDfTopo::global_link(group, peer);
-  const ChanId c = T.global_chan[static_cast<std::size_t>(
-      (group * T.p.switches_per_group + link / H) * H + link % H)];
-  return net.channel_occupancy(c);
+  return net.channel_occupancy(global_chan_of(T, group, peer));
 }
 
 }  // namespace
@@ -32,6 +69,41 @@ void DragonflyRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
   const auto& sloc = T.loc[static_cast<std::size_t>(pkt.src)];
   const auto& dloc = T.loc[static_cast<std::size_t>(pkt.dst)];
   const int G = T.p.effective_groups();
+
+  if (net.has_faults() && sloc.group != dloc.group) {
+    // Fault-aware planning: a dead global cable on the minimal path is
+    // detoured through an intermediate group with two live global legs
+    // (Valiant-style bounce); local-link faults detour per hop in route().
+    const bool direct_ok = global_usable(net, T, sloc.group, dloc.group);
+    if (G <= 2) return;  // no intermediate exists; stall if direct is dead
+    switch (mode_) {
+      case RouteMode::Minimal:
+        if (!direct_ok)
+          pkt.mid_wgroup = pick_mid_group(net, T, sloc.group, dloc.group, rng);
+        return;
+      case RouteMode::Valiant: {
+        const std::int32_t mid =
+            pick_mid_group(net, T, sloc.group, dloc.group, rng);
+        pkt.mid_wgroup = (mid < 0 && direct_ok) ? -1 : mid;
+        return;
+      }
+      case RouteMode::Adaptive: {
+        const std::int32_t mid =
+            pick_mid_group(net, T, sloc.group, dloc.group, rng);
+        if (!direct_ok || mid < 0) {
+          pkt.mid_wgroup = mid;  // forced detour (or stall when mid < 0)
+          return;
+        }
+        const int q_min = gateway_occupancy(net, T, sloc.group, dloc.group);
+        const int q_val = gateway_occupancy(net, T, sloc.group, mid);
+        constexpr int kThreshold = 4;
+        if (q_min > 2 * q_val + kThreshold) pkt.mid_wgroup = mid;
+        return;
+      }
+    }
+    return;
+  }
+
   if (mode_ == RouteMode::Minimal || sloc.group == dloc.group || G <= 2)
     return;
   // Random intermediate group distinct from source and destination.
@@ -56,6 +128,7 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
                                            sim::Packet& pkt) {
   if (topo_ == nullptr) topo_ = &net.topo<SwDfTopo>();
   const auto& T = *topo_;
+  const bool faulty = net.has_faults();
   // VC = class * vcs_per_class + destination hash: spreads head-of-line
   // queues per destination (ideal-switch approximation).
   const auto vcix = [&] {
@@ -79,16 +152,26 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
 
   if (pkt.mid_wgroup == loc.group) pkt.mid_wgroup = -1;  // bounce reached
 
+  // One local hop to switch `sw`, detouring a dead link through an
+  // intermediate switch (full local mesh; VC class unchanged). A switch
+  // with no usable detour keeps the dead channel and stalls (reported by
+  // the fault audit).
+  const auto local_hop = [&](int sw) -> sim::RouteDecision {
+    if (faulty && !net.chan_live(local_chan_of(T, loc.group, loc.sw, sw))) {
+      const int via = pick_local_via(net, T, loc.group, loc.sw, sw);
+      if (via >= 0) sw = via;
+    }
+    return {net.out_port_of(local_chan_of(T, loc.group, loc.sw, sw)),
+            vcix()};
+  };
+
   if (loc.group == dloc.group && pkt.mid_wgroup < 0) {
     if (loc.sw == dloc.sw) {
       const ChanId down = T.down_chan[static_cast<std::size_t>(
           (loc.group * S + loc.sw) * T.p.terminals_per_switch + dloc.term)];
       return {net.out_port_of(down), vcix()};
     }
-    const ChanId l = T.local_chan[static_cast<std::size_t>(
-        (loc.group * S + loc.sw) * (S - 1) +
-        SwDfTopo::local_index(loc.sw, dloc.sw))];
-    return {net.out_port_of(l), vcix()};
+    return local_hop(dloc.sw);
   }
 
   // Heading to another group (the Valiant bounce group first, if any).
@@ -102,10 +185,7 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
     ++pkt.vc_class;  // new group => next VC class
     return {net.out_port_of(gchan), vcix()};
   }
-  const ChanId l = T.local_chan[static_cast<std::size_t>(
-      (loc.group * S + loc.sw) * (S - 1) +
-      SwDfTopo::local_index(loc.sw, owner))];
-  return {net.out_port_of(l), vcix()};
+  return local_hop(owner);
 }
 
 }  // namespace sldf::route

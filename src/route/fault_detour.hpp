@@ -1,0 +1,45 @@
+// Shared fault-detour selection used by both fabrics' routing algorithms
+// (route/swless_routing.cpp, route/dragonfly_routing.cpp). The policies are
+// deliberately identical — a fix to the selection applies to both — and
+// only the "is the leg between a and b usable?" predicate differs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace sldf::route {
+
+/// A Valiant-style detour group for src -> dst among `groups` candidates
+/// whose two legs `usable(src, mid)` and `usable(mid, dst)` both hold,
+/// chosen uniformly (seeded rng) among the usable candidates; -1 when none
+/// exists. Two passes (count, then rescan to the drawn index) so the draw
+/// is one rng value regardless of the candidate pattern.
+template <typename Usable>
+std::int32_t pick_detour_group(int groups, std::int32_t src,
+                               std::int32_t dst, Rng& rng, Usable&& usable) {
+  int count = 0;
+  for (int mid = 0; mid < groups; ++mid)
+    if (mid != src && mid != dst && usable(src, mid) && usable(mid, dst))
+      ++count;
+  if (count == 0) return -1;
+  auto pick = static_cast<int>(rng.below(static_cast<std::uint64_t>(count)));
+  for (int mid = 0; mid < groups; ++mid)
+    if (mid != src && mid != dst && usable(src, mid) && usable(mid, dst) &&
+        pick-- == 0)
+      return mid;
+  return -1;
+}
+
+/// An intermediate member detouring a dead direct leg `from` -> `to` within
+/// one fully-connected group of `members` (both detour legs usable); -1
+/// when none exists. Deterministic lowest index, so the detour is stable
+/// across packets and runs.
+template <typename Usable>
+int pick_detour_via(int members, int from, int to, Usable&& usable) {
+  for (int m = 0; m < members; ++m)
+    if (m != from && m != to && usable(from, m) && usable(m, to)) return m;
+  return -1;
+}
+
+}  // namespace sldf::route

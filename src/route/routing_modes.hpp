@@ -77,4 +77,23 @@ constexpr int swdf_num_vcs(RouteMode m) {
   return m == RouteMode::Minimal ? 2 : 3;
 }
 
+/// VC budget for fault-tolerant switch-less builds. Fault detours can
+/// upgrade a minimal path to a Valiant-style bounce (a dead global link is
+/// routed around through an intermediate W-group), and each of the up to
+/// three intra-W local legs may pay one extra C-group crossing to detour a
+/// dead local link. The Baseline scheme burns one class per crossing, so it
+/// needs +3 over its Valiant budget (5 crossings -> up to 8); the phase-
+/// based Reduced/ReducedSafe schemes absorb detour legs in their existing
+/// classes.
+constexpr int swless_fault_num_vcs(VcScheme s, RouteMode m) {
+  const RouteMode eff = m == RouteMode::Minimal ? RouteMode::Valiant : m;
+  const int base = swless_num_vcs(s, eff);
+  return s == VcScheme::Baseline ? base + 3 : base;
+}
+
+/// Fault-tolerant switch-based builds always need the Valiant budget: a
+/// dead global link is detoured through an intermediate group (local-link
+/// detours reuse the current class).
+constexpr int swdf_fault_num_vcs(RouteMode) { return 3; }
+
 }  // namespace sldf::route

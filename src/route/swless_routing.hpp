@@ -36,10 +36,19 @@ class SwlessRouting final : public sim::RoutingAlgorithm {
  private:
   [[nodiscard]] std::uint8_t class_for(sim::RoutePhase next_phase,
                                        std::uint8_t cur) const;
-  void plan_leg(const topo::SwlessTopo& T, NodeId router,
-                sim::Packet& pkt) const;
+  void plan_leg(const sim::Network& net, const topo::SwlessTopo& T,
+                NodeId router, sim::Packet& pkt) const;
   [[nodiscard]] int mesh_dir(const topo::SwlessTopo& T, const sim::Packet& pkt,
                              int cur_pos, int tgt_pos) const;
+  /// Fault detour inside the C-group mesh: an alternate live direction when
+  /// the chosen channel is dead (productive directions first, then any live
+  /// direction except straight back). Returns the dead channel itself when
+  /// the router is fully cut off (the packet stalls; reported by the fault
+  /// audit, never a crash).
+  [[nodiscard]] ChanId mesh_detour(const sim::Network& net,
+                                   const topo::SwlessTopo& T, NodeId router,
+                                   PortIx in_port, int cur_pos, int tgt_pos,
+                                   ChanId dead) const;
 
   VcScheme scheme_;
   RouteMode mode_;

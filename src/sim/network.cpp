@@ -187,7 +187,9 @@ void Network::init_port_dynamic_state() {
     const std::uint32_t meta = rec[kLinkMeta];
     const std::uint32_t wnum = (meta >> 16) & 0xff;
     const std::uint32_t wden = meta >> 24;
-    rec[kTokens] = wnum + wden;  // full bucket (token_cap); 0 for ejection
+    // Full bucket (token_cap); 0 for ejection ports and disabled channels
+    // (wnum == 0: the bucket must stay empty across resets).
+    rec[kTokens] = wnum == 0 ? 0 : wnum + wden;
     rec[kTokenCycle] = 0;
     for (int v = 0; v < num_vcs_; ++v)
       rec[kOvc0 + static_cast<std::uint32_t>(v)] =
@@ -203,5 +205,45 @@ void Network::reset_dynamic_state() {
   init_port_dynamic_state();
   for (auto& c : channels_) c.reset_tokens();
 }
+
+void Network::enable_fault_mask() {
+  if (!finalized())
+    throw std::logic_error("enable_fault_mask: network not finalized");
+  if (chan_alive_.empty()) chan_alive_.assign(channels_.size(), 1);
+  if (node_alive_.empty()) node_alive_.assign(routers_.size(), 1);
+}
+
+void Network::disable_channel(ChanId c) {
+  if (!has_fault_mask())
+    throw std::logic_error("disable_channel: fault mask not enabled");
+  auto& alive = chan_alive_[static_cast<std::size_t>(c)];
+  if (alive == 0) return;
+  alive = 0;
+  ++dead_channels_;
+  // Rewrite the source output-port record: token width -> 0, bucket -> 0.
+  // The bucket never refills (refresh adds elapsed * 0), so even a routing
+  // decision that targets this port can never move a flit over the link.
+  const Channel& ch = chan(c);
+  std::uint32_t* rec = port_rec(out_port_index(ch.src, ch.src_port));
+  rec[kLinkMeta] &= ~(0xffu << 16);  // width_num = 0
+  rec[kTokens] = 0;
+}
+
+void Network::disable_node(NodeId n) {
+  if (!has_fault_mask())
+    throw std::logic_error("disable_node: fault mask not enabled");
+  auto& alive = node_alive_[static_cast<std::size_t>(n)];
+  if (alive != 0) {
+    alive = 0;
+    ++dead_nodes_;
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i)
+    if (channels_[i].src == n || channels_[i].dst == n)
+      disable_channel(static_cast<ChanId>(i));
+}
+
+std::size_t Network::num_dead_channels() const { return dead_channels_; }
+
+std::size_t Network::num_dead_nodes() const { return dead_nodes_; }
 
 }  // namespace sldf::sim

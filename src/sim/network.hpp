@@ -65,7 +65,38 @@ class Network {
 
   /// Clears all dynamic state (buffers, pipelines, allocations) so a network
   /// can be re-simulated without rebuilding the topology. Allocation-free.
+  /// Disabled channels/nodes (fault mask) survive the reset.
   void reset_dynamic_state();
+
+  // ---- fault mask (degraded operation; see topo/faults.hpp) --------------
+  /// Arms the per-channel/per-node liveness masks (all live). Must be
+  /// called after finalize(); idempotent. Networks without an armed mask
+  /// pay nothing: the accessors below short-circuit on the empty vectors.
+  void enable_fault_mask();
+  [[nodiscard]] bool has_fault_mask() const { return !chan_alive_.empty(); }
+  /// True when anything is actually dead. Routing gates its detour
+  /// planning on this, not on has_fault_mask(), so an armed-but-empty mask
+  /// (e.g. a fault rate that rounds to zero failures) makes bit-identical
+  /// decisions to an unfaulted network of the same build.
+  [[nodiscard]] bool has_faults() const { return dead_channels_ != 0; }
+  [[nodiscard]] bool chan_live(ChanId c) const {
+    return chan_alive_.empty() ||
+           chan_alive_[static_cast<std::size_t>(c)] != 0;
+  }
+  [[nodiscard]] bool node_live(NodeId n) const {
+    return node_alive_.empty() ||
+           node_alive_[static_cast<std::size_t>(n)] != 0;
+  }
+  /// Marks channel `c` dead and rewrites its source output-port record so
+  /// the engine cannot move flits over it (token width zeroed: the bucket
+  /// never refills), independent of what routing decides.
+  void disable_channel(ChanId c);
+  /// Marks node `n` dead and disables every channel incident to it (a
+  /// failed chip takes its links down with it). Terminals of dead nodes
+  /// neither generate nor accept traffic (see Simulator).
+  void disable_node(NodeId n);
+  [[nodiscard]] std::size_t num_dead_channels() const;
+  [[nodiscard]] std::size_t num_dead_nodes() const;
 
  private:
   /// (Re)initializes the dynamic words of every per-port record.
@@ -288,6 +319,11 @@ class Network {
   std::uint32_t port_shift_ = 0;
   std::vector<CreditReturn> credit_return_by_port_;
   std::vector<PortIx> src_port_by_chan_;  ///< Compact chan -> src_port.
+  // Fault mask (empty = all live; see enable_fault_mask()).
+  std::vector<std::uint8_t> chan_alive_;
+  std::vector<std::uint8_t> node_alive_;
+  std::size_t dead_channels_ = 0;
+  std::size_t dead_nodes_ = 0;
 };
 
 }  // namespace sldf::sim

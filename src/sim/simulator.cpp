@@ -96,6 +96,10 @@ void Simulator::init() {
     t.next_gen = per_node_pkt_rate_ > 0.0
                      ? rng_.geometric_skip(per_node_pkt_rate_)
                      : ~0ULL;
+    // Dead terminals (fault mask) never generate. The skip above still
+    // draws from the RNG so live terminals see the same stream whether or
+    // not faults are present elsewhere.
+    if (!net_.node_live(t.node)) t.next_gen = ~0ULL;
     t.queue.clear();
     t.inj_base = net_.in_vc_index(t.node, net_.router(t.node).inj_port, 0);
     t.inj_vc = 0;
@@ -119,7 +123,9 @@ void Simulator::generate_and_inject() {
         continue;
       }
       const NodeId dst = traffic_.dest(net_, t.node, rng_);
-      if (dst == kInvalidNode) continue;
+      // Dead destinations (fault mask) suppress generation like a pattern
+      // returning kInvalidNode; traffic sources stay fault-oblivious.
+      if (dst == kInvalidNode || !net_.node_live(dst)) continue;
       const PacketId pid = pool.acquire();
       Packet& p = pool[pid];
       p.src = t.node;

@@ -120,7 +120,10 @@ void build_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p) {
   const int vpc = std::max(1, p.vcs_per_class);
   net.set_topo_info(std::move(info));
   net.set_routing(std::make_unique<route::DragonflyRouting>(mode, vpc));
-  net.finalize(route::swdf_num_vcs(mode) * vpc, p.vc_buf);
+  net.finalize((p.fault_tolerant ? route::swdf_fault_num_vcs(mode)
+                                 : route::swdf_num_vcs(mode)) *
+                   vpc,
+               p.vc_buf);
 }
 
 void build_crossbar(sim::Network& net, int terminals, int term_latency) {

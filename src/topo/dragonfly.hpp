@@ -23,6 +23,9 @@ struct SwDragonflyParams {
   int global_latency = 8;         ///< Inter-group link delay (H_g).
   route::RouteMode mode = route::RouteMode::Minimal;
   int vc_buf = 32;
+  /// Reserve the fault-detour VC budget (route::swdf_fault_num_vcs) so
+  /// topo::inject_faults() can be applied after the build.
+  bool fault_tolerant = false;
   /// VCs per class, destination-hashed (VOQ-style) to approximate the
   /// paper's ideal non-blocking switches (input-queued switches with one
   /// VC per class cap near ~72% uniform throughput from HOL blocking).

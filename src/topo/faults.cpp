@@ -1,0 +1,178 @@
+#include "topo/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/strfmt.hpp"
+
+namespace sldf::topo {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::Any: return "any";
+    case FaultKind::Intra: return "intra";
+    case FaultKind::Local: return "local";
+    case FaultKind::Global: return "global";
+  }
+  return "?";
+}
+
+FaultKind parse_fault_kind(const std::string& s) {
+  if (s == "any") return FaultKind::Any;
+  if (s == "intra") return FaultKind::Intra;
+  if (s == "local") return FaultKind::Local;
+  if (s == "global") return FaultKind::Global;
+  throw std::invalid_argument("unknown fault kind '" + s +
+                              "' (expected any|intra|local|global)");
+}
+
+namespace {
+
+/// True when a channel of this type/endpoints belongs to the kind's
+/// candidate class. Converter attach links and terminal links are never
+/// random-fault candidates: they fail only as part of a chip fault.
+bool is_candidate(const sim::Network& net, const sim::Channel& ch,
+                  FaultKind kind) {
+  const bool mesh =
+      (ch.type == LinkType::OnChip || ch.type == LinkType::ShortReach) &&
+      net.router(ch.src).kind == NodeKind::Core &&
+      net.router(ch.dst).kind == NodeKind::Core;
+  switch (kind) {
+    case FaultKind::Intra: return mesh;
+    case FaultKind::Local: return ch.type == LinkType::LongReachLocal;
+    case FaultKind::Global: return ch.type == LinkType::LongReachGlobal;
+    case FaultKind::Any:
+      return mesh || ch.type == LinkType::LongReachLocal ||
+             ch.type == LinkType::LongReachGlobal;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultReport inject_faults(sim::Network& net, const FaultSpec& spec) {
+  if (!spec.active())
+    throw std::invalid_argument("inject_faults: spec has no faults");
+  if (spec.rate < 0.0 || spec.rate > 1.0)
+    throw std::invalid_argument("inject_faults: rate must be in [0, 1]");
+  net.enable_fault_mask();
+
+  FaultReport rep;
+
+  // Group directed channels into duplex cables (a failed cable takes both
+  // directions down) keyed by the unordered endpoint pair.
+  std::map<std::pair<NodeId, NodeId>, std::vector<ChanId>> cables;
+  for (std::size_t i = 0; i < net.num_channels(); ++i) {
+    const auto c = static_cast<ChanId>(i);
+    const sim::Channel& ch = net.chan(c);
+    if (!is_candidate(net, ch, spec.kind)) continue;
+    cables[{std::min(ch.src, ch.dst), std::max(ch.src, ch.dst)}].push_back(c);
+  }
+  std::vector<const std::vector<ChanId>*> candidates;
+  candidates.reserve(cables.size());
+  for (const auto& [key, chans] : cables) candidates.push_back(&chans);
+  rep.candidate_cables = candidates.size();
+
+  // Seeded partial Fisher-Yates: the first n_fail slots of the permutation
+  // are the failure set, so a higher rate's set contains a lower rate's.
+  const auto n_fail = static_cast<std::size_t>(
+      std::llround(spec.rate * static_cast<double>(candidates.size())));
+  Rng rng(spec.seed);
+  for (std::size_t i = 0; i < n_fail; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    for (const ChanId c : *candidates[i]) net.disable_channel(c);
+  }
+  rep.failed_cables = n_fail;
+
+  for (const ChipId chip : spec.chips) {
+    if (chip < 0 || chip >= static_cast<ChipId>(net.num_chips()))
+      throw std::invalid_argument(
+          strf("inject_faults: chip %d out of range (network has %zu chips)",
+               chip, net.num_chips()));
+    for (const NodeId n : net.chip_nodes(chip)) net.disable_node(n);
+  }
+  rep.failed_chips = spec.chips.size();
+
+  rep.dead_channels = net.num_dead_channels();
+  rep.dead_nodes = net.num_dead_nodes();
+  return rep;
+}
+
+std::string FaultReport::to_string() const {
+  return strf(
+      "faults: %zu/%zu cables failed, %zu chips failed "
+      "(%zu channels, %zu nodes dead)",
+      failed_cables, candidate_cables, failed_chips, dead_channels,
+      dead_nodes);
+}
+
+FaultAudit audit_fault_routing(const sim::Network& net,
+                               std::size_t max_hops) {
+  FaultAudit audit;
+  Rng rng(12345);  // Fixed: the audit itself is deterministic.
+  for (const NodeId src : net.terminals()) {
+    for (const NodeId dst : net.terminals()) {
+      if (src == dst) continue;
+      if (!net.node_live(src) || !net.node_live(dst)) {
+        ++audit.skipped_dead;
+        continue;
+      }
+      ++audit.pairs;
+      sim::Packet pkt;
+      pkt.src = src;
+      pkt.dst = dst;
+      pkt.src_chip = net.chip_of(src);
+      pkt.dst_chip = net.chip_of(dst);
+      pkt.len = 1;
+      net.routing()->init_packet(net, pkt, rng);
+      NodeId cur = src;
+      PortIx in_port = net.router(src).inj_port;
+      std::size_t hops = 0;
+      for (;;) {
+        const auto d = net.routing()->route(net, cur, in_port, pkt);
+        const auto& r = net.router(cur);
+        if (d.out_port < 0 ||
+            d.out_port >= static_cast<PortIx>(r.out.size())) {
+          ++audit.unreachable;
+          break;
+        }
+        const ChanId c =
+            r.out[static_cast<std::size_t>(d.out_port)].out_chan;
+        if (c == kInvalidChan) {  // ejection
+          if (cur != dst) ++audit.unreachable;
+          audit.max_hops_seen = std::max(audit.max_hops_seen, hops);
+          break;
+        }
+        if (!net.chan_live(c)) {
+          ++audit.dead_link_uses;
+          ++audit.unreachable;
+          break;
+        }
+        const auto& ch = net.chan(c);
+        cur = ch.dst;
+        in_port = ch.dst_port;
+        if (++hops > max_hops) {  // livelocked walk
+          ++audit.unreachable;
+          break;
+        }
+      }
+    }
+  }
+  return audit;
+}
+
+std::string FaultAudit::to_string() const {
+  return strf(
+      "fault audit: %zu pairs walked, %zu unreachable "
+      "(%zu dead-link uses), %zu pairs skipped (dead endpoint), "
+      "max hops %zu",
+      pairs, unreachable, dead_link_uses, skipped_dead, max_hops_seen);
+}
+
+}  // namespace sldf::topo

@@ -1,0 +1,84 @@
+// Fault model for degraded-operation studies (wafer-scale yield/defect
+// tolerance): deterministically disables duplex cables by kind — on-wafer
+// intra-C-group mesh links, long-reach local (intra-W-group) cables,
+// long-reach global (inter-W-group) cables — and/or whole chips, rewriting
+// the finalized Network's channel/port tables so dead links can never move
+// flits. Fault-aware routing (route/swless_routing, route/dragonfly_routing)
+// consults the resulting mask and detours around dead resources; the audit
+// below re-validates all-pairs reachability after injection, reporting (not
+// crashing on) unreachable pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sldf::topo {
+
+/// Which candidate link class random faults are drawn from.
+enum class FaultKind : std::uint8_t {
+  Any,     ///< Union of the three classes below.
+  Intra,   ///< Intra-C-group mesh links (OnChip/ShortReach between cores).
+  Local,   ///< Long-reach local cables (intra-W-group, C-group to C-group).
+  Global,  ///< Long-reach global cables (W-group to W-group).
+};
+
+const char* to_string(FaultKind k);
+/// Accepted names match to_string(): any|intra|local|global. Throws
+/// std::invalid_argument on unknown names.
+FaultKind parse_fault_kind(const std::string& s);
+
+struct FaultSpec {
+  double rate = 0.0;  ///< Fraction of candidate cables to fail, [0, 1].
+  FaultKind kind = FaultKind::Any;
+  std::uint64_t seed = 1;  ///< Fault-set RNG seed (independent of sim seed).
+  std::vector<ChipId> chips;  ///< Chips to fail entirely (all their nodes).
+
+  /// An inactive spec injects nothing and leaves the network untouched
+  /// (bit-identical to a build that never heard of faults).
+  [[nodiscard]] bool active() const { return rate > 0.0 || !chips.empty(); }
+};
+
+struct FaultReport {
+  std::size_t candidate_cables = 0;  ///< Duplex pairs eligible under kind.
+  std::size_t failed_cables = 0;
+  std::size_t failed_chips = 0;
+  std::size_t dead_channels = 0;  ///< Directed channels disabled in total.
+  std::size_t dead_nodes = 0;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Injects the spec's faults into a finalized network: arms the fault mask,
+/// disables round(rate * candidates) cables chosen by a seeded partial
+/// shuffle, and kills every node of the listed chips. Deterministic: the
+/// same seed always fails the same set, and for a fixed seed the set failed
+/// at a higher rate is a superset of the set at any lower rate (shuffle
+/// prefix) — resilience sweeps therefore degrade monotonically instead of
+/// jumping between unrelated fault sets. Throws on an inactive spec, an
+/// out-of-range rate, or bad chip ids.
+FaultReport inject_faults(sim::Network& net, const FaultSpec& spec);
+
+/// Post-injection reachability audit of the installed routing function.
+struct FaultAudit {
+  std::size_t pairs = 0;         ///< Live terminal pairs walked.
+  std::size_t skipped_dead = 0;  ///< Pairs with a dead endpoint (not walked).
+  std::size_t unreachable = 0;   ///< Walks that stalled, looped, or misdelivered.
+  std::size_t dead_link_uses = 0;  ///< Walks that tried to cross a dead link.
+  std::size_t max_hops_seen = 0;
+  [[nodiscard]] bool all_reachable() const {
+    return unreachable == 0 && dead_link_uses == 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Walks every live terminal pair through the routing algorithm (in
+/// non-minimal modes the intermediate-group choice is the deterministic
+/// seeded sample init_packet makes) and verifies delivery over live links
+/// only. Unreachable pairs are counted in the report, never fatal: degraded
+/// operation with a partitioned fabric is a result, not a crash.
+FaultAudit audit_fault_routing(const sim::Network& net,
+                               std::size_t max_hops = 4096);
+
+}  // namespace sldf::topo

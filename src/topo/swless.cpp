@@ -150,7 +150,10 @@ void build_swless_dragonfly(sim::Network& net, const SwlessParams& p) {
   const auto mode = p.mode;
   net.set_topo_info(std::move(info));
   net.set_routing(std::make_unique<route::SwlessRouting>(scheme, mode));
-  net.finalize(route::swless_num_vcs(scheme, mode), p.vc_buf);
+  net.finalize(p.fault_tolerant
+                   ? route::swless_fault_num_vcs(scheme, mode)
+                   : route::swless_num_vcs(scheme, mode),
+               p.vc_buf);
 }
 
 }  // namespace sldf::topo

@@ -39,6 +39,10 @@ struct SwlessParams {
   route::VcScheme scheme = route::VcScheme::Baseline;
   route::RouteMode mode = route::RouteMode::Minimal;
   int vc_buf = 32;
+  /// Reserve the fault-detour VC budget (route::swless_fault_num_vcs) so
+  /// topo::inject_faults() can be applied after the build. Off by default:
+  /// pristine-fabric builds stay bit-identical to pre-fault-model ones.
+  bool fault_tolerant = false;
 
   [[nodiscard]] int ab() const { return a * b; }
   [[nodiscard]] int max_wgroups() const { return ab() * global_ports + 1; }

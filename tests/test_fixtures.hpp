@@ -1,0 +1,109 @@
+// Shared topology-construction fixtures for the test suites: the tiny
+// switch-less instance (a=1, b=3, 2x2 single-router chiplets, h=2) and the
+// small switch-based Dragonfly (3 switches/group, 2:2, max 7 groups) that
+// the topology/routing/fault suites all build, plus a generic routing walk
+// used wherever a suite needs to follow the routing function hop by hop.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/network.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/swless.hpp"
+
+namespace sldf::testing {
+
+/// The tiny switch-less instance (max g = 7; chip == router).
+inline topo::SwlessParams tiny_swless_params(
+    route::VcScheme scheme = route::VcScheme::Baseline,
+    route::RouteMode mode = route::RouteMode::Minimal, int g = 0) {
+  topo::SwlessParams p;
+  p.a = 1;
+  p.b = 3;  // ab = 3 C-groups per W-group
+  p.chip_gx = 2;
+  p.chip_gy = 2;
+  p.noc_x = 1;
+  p.noc_y = 1;  // 2x2 router mesh, chip == router
+  p.ports_per_chiplet = 4;
+  p.local_ports = 2;
+  p.global_ports = 2;  // g max = 7
+  p.g = g;
+  p.scheme = scheme;
+  p.mode = mode;
+  return p;
+}
+
+/// The small switch-based Dragonfly (max 7 groups).
+inline topo::SwDragonflyParams small_swdf_params(
+    int groups = 0, route::RouteMode mode = route::RouteMode::Minimal) {
+  topo::SwDragonflyParams p;
+  p.switches_per_group = 3;
+  p.terminals_per_switch = 2;
+  p.globals_per_switch = 2;  // max groups = 7
+  p.groups = groups;
+  p.mode = mode;
+  return p;
+}
+
+/// One walk of the routing function src -> dst.
+struct RouteWalk {
+  bool delivered = false;
+  int channel_hops = 0;
+  int lr_hops = 0;  ///< Long-reach (local + global) hops.
+  int global_hops = 0;
+  int max_vc = 0;
+  bool vc_monotone = true;        ///< VC never decreases across any hop.
+  bool vc_monotone_on_lr = true;  ///< VC never decreases across LR hops.
+  bool used_dead_link = false;    ///< Crossed a fault-masked channel.
+};
+
+/// Follows the routing function from `s` to `d`. `mid` >= -1 overrides the
+/// packet's intermediate group after init_packet (pass -2 to keep the
+/// choice init_packet made). Stops after `max_hops` channel hops (the walk
+/// is then reported undelivered) or on the first dead-link crossing.
+inline RouteWalk walk_route(const sim::Network& net, NodeId s, NodeId d,
+                            std::int32_t mid, std::uint64_t rng_seed = 9,
+                            int max_hops = 256) {
+  RouteWalk w;
+  sim::Packet pkt;
+  pkt.src = s;
+  pkt.dst = d;
+  pkt.src_chip = net.chip_of(s);
+  pkt.dst_chip = net.chip_of(d);
+  Rng rng(rng_seed);
+  net.routing()->init_packet(net, pkt, rng);
+  if (mid >= -1) pkt.mid_wgroup = mid;
+  NodeId cur = s;
+  PortIx in_port = net.router(s).inj_port;
+  int last_vc = -1;
+  int last_lr_vc = -1;
+  for (;;) {
+    const auto dec = net.routing()->route(net, cur, in_port, pkt);
+    if (dec.out_vc < last_vc) w.vc_monotone = false;
+    last_vc = dec.out_vc;
+    const auto& r = net.router(cur);
+    const ChanId c = r.out[static_cast<std::size_t>(dec.out_port)].out_chan;
+    if (c == kInvalidChan) {
+      w.delivered = (cur == d);
+      return w;
+    }
+    if (!net.chan_live(c)) {
+      w.used_dead_link = true;
+      return w;
+    }
+    const auto& ch = net.chan(c);
+    w.max_vc = std::max(w.max_vc, static_cast<int>(dec.out_vc));
+    if (ch.type == LinkType::LongReachLocal ||
+        ch.type == LinkType::LongReachGlobal) {
+      ++w.lr_hops;
+      if (ch.type == LinkType::LongReachGlobal) ++w.global_hops;
+      if (dec.out_vc <= last_lr_vc) w.vc_monotone_on_lr = false;
+      last_lr_vc = dec.out_vc;
+    }
+    cur = ch.dst;
+    in_port = ch.dst_port;
+    if (++w.channel_hops > max_hops) return w;  // loop guard
+  }
+}
+
+}  // namespace sldf::testing

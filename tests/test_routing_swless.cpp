@@ -4,77 +4,25 @@
 #include <gtest/gtest.h>
 
 #include "route/swless_routing.hpp"
+#include "test_fixtures.hpp"
 #include "topo/swless.hpp"
 
 using namespace sldf;
 using namespace sldf::topo;
 using route::RouteMode;
 using route::VcScheme;
+using sldf::testing::tiny_swless_params;
+using sldf::testing::walk_route;
 
 namespace {
 
 SwlessParams tiny(VcScheme scheme, RouteMode mode, int g = 0) {
-  SwlessParams p;
-  p.a = 1;
-  p.b = 3;
-  p.chip_gx = 2;
-  p.chip_gy = 2;
-  p.noc_x = 1;
-  p.noc_y = 1;
-  p.ports_per_chiplet = 4;
-  p.local_ports = 2;
-  p.global_ports = 2;
-  p.g = g;
-  p.scheme = scheme;
-  p.mode = mode;
-  return p;
+  return tiny_swless_params(scheme, mode, g);
 }
 
-struct WalkResult {
-  bool delivered = false;
-  int channel_hops = 0;
-  int lr_hops = 0;        // long-reach (local+global) hops
-  int global_hops = 0;
-  int max_vc = 0;
-  bool vc_monotone_on_lr = true;
-};
-
-WalkResult walk(const sim::Network& net, NodeId s, NodeId d,
-                std::int32_t mid) {
-  WalkResult w;
-  sim::Packet pkt;
-  pkt.src = s;
-  pkt.dst = d;
-  pkt.src_chip = net.chip_of(s);
-  pkt.dst_chip = net.chip_of(d);
-  Rng rng(9);
-  net.routing()->init_packet(net, pkt, rng);
-  if (mid >= -1) pkt.mid_wgroup = mid;
-  NodeId cur = s;
-  PortIx in_port = net.router(s).inj_port;
-  int last_lr_vc = -1;
-  for (;;) {
-    const auto dec = net.routing()->route(net, cur, in_port, pkt);
-    const auto& r = net.router(cur);
-    const ChanId c = r.out[static_cast<std::size_t>(dec.out_port)].out_chan;
-    if (c == kInvalidChan) {
-      w.delivered = (cur == d);
-      return w;
-    }
-    const auto& ch = net.chan(c);
-    w.max_vc = std::max(w.max_vc, static_cast<int>(dec.out_vc));
-    if (ch.type == LinkType::LongReachLocal ||
-        ch.type == LinkType::LongReachGlobal) {
-      ++w.lr_hops;
-      if (ch.type == LinkType::LongReachGlobal) ++w.global_hops;
-      // Baseline discipline: VC strictly increases per C-group crossing.
-      if (dec.out_vc <= last_lr_vc) w.vc_monotone_on_lr = false;
-      last_lr_vc = dec.out_vc;
-    }
-    cur = ch.dst;
-    in_port = ch.dst_port;
-    if (++w.channel_hops > 256) return w;  // loop guard
-  }
+sldf::testing::RouteWalk walk(const sim::Network& net, NodeId s, NodeId d,
+                              std::int32_t mid) {
+  return walk_route(net, s, d, mid);
 }
 
 }  // namespace

@@ -378,6 +378,35 @@ TEST(CliHardening, StrictParsersAcceptWholeStringsOnly) {
   EXPECT_FALSE(Cli::parse_bool("", b));  // a forgotten value is an error
 }
 
+TEST(CliHardening, WarnsOncePerDuplicatedKeyLastValueWins) {
+  const char* argv[] = {"prog",      "--seed=1", "--seed=2", "--seed",
+                        "3",         "--x=1",    "--x=2",    "--once=9"};
+  const Cli cli(8, const_cast<char**>(argv));
+  // Last value wins (the pre-existing behavior) ...
+  EXPECT_EQ(cli.get_int("seed", 0), 3);
+  EXPECT_EQ(cli.get_int("x", 0), 2);
+  EXPECT_EQ(cli.get_int("once", 0), 9);
+  // ... but each duplicated key is recorded (and warned about) once.
+  ASSERT_EQ(cli.duplicate_keys().size(), 2u);
+  EXPECT_EQ(cli.duplicate_keys()[0], "seed");
+  EXPECT_EQ(cli.duplicate_keys()[1], "x");
+}
+
+TEST(CliHardening, UniqueKeysReportNoDuplicates) {
+  const char* argv[] = {"prog", "--a=1", "--b=2"};
+  const Cli cli(3, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.duplicate_keys().empty());
+}
+
+TEST(ScenarioParse, DuplicateKeyInOneSectionKeepsLastValue) {
+  // The duplicate warns on stderr (once per key); the parse itself must
+  // stay last-wins, and a series overriding a base key is not a duplicate.
+  const auto series = core::parse_scenario_text(
+      "points = 3\npoints = 5\n\n[series a]\npoints = 7\n");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].points, 7);
+}
+
 TEST(CliHardening, ReportsUnknownFlags) {
   const char* argv[] = {"prog", "--known=1", "--mystery", "--also-odd=2"};
   const Cli cli(4, const_cast<char**>(argv));

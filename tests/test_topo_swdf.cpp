@@ -6,60 +6,27 @@
 #include "core/builder.hpp"
 #include "core/params.hpp"
 #include "route/dragonfly_routing.hpp"
+#include "test_fixtures.hpp"
 #include "topo/dragonfly.hpp"
 
 using namespace sldf;
 using namespace sldf::topo;
+using sldf::testing::small_swdf_params;
 
 namespace {
-SwDragonflyParams small_df(int groups = 0, route::RouteMode mode =
-                                               route::RouteMode::Minimal) {
-  SwDragonflyParams p;
-  p.switches_per_group = 3;
-  p.terminals_per_switch = 2;
-  p.globals_per_switch = 2;  // max groups = 7
-  p.groups = groups;
-  p.mode = mode;
-  return p;
-}
-
 /// Walks a packet through the routing function; returns hop count and
-/// verifies VC classes never decrease.
+/// verifies delivery with non-decreasing VC classes.
 int walk(const sim::Network& net, NodeId s, NodeId d, std::int32_t mid) {
-  sim::Packet pkt;
-  pkt.src = s;
-  pkt.dst = d;
-  pkt.src_chip = net.chip_of(s);
-  pkt.dst_chip = net.chip_of(d);
-  Rng rng(5);
-  net.routing()->init_packet(net, pkt, rng);
-  if (mid >= 0) pkt.mid_wgroup = mid;
-  NodeId cur = s;
-  PortIx in_port = net.router(s).inj_port;
-  int hops = 0;
-  int last_vc = -1;
-  for (;;) {
-    const auto dec = net.routing()->route(net, cur, in_port, pkt);
-    EXPECT_GE(dec.out_vc, last_vc) << "VC class went backwards";
-    last_vc = dec.out_vc;
-    const auto& r = net.router(cur);
-    const ChanId c = r.out[static_cast<std::size_t>(dec.out_port)].out_chan;
-    if (c == kInvalidChan) {
-      EXPECT_EQ(cur, d) << "ejected at wrong node";
-      return hops;
-    }
-    cur = net.chan(c).dst;
-    in_port = net.chan(c).dst_port;
-    if (++hops > 64) {
-      ADD_FAILURE() << "routing loop";
-      return hops;
-    }
-  }
+  const auto w = sldf::testing::walk_route(net, s, d, mid >= 0 ? mid : -1,
+                                           /*rng_seed=*/5, /*max_hops=*/64);
+  EXPECT_TRUE(w.delivered) << "not delivered " << s << "->" << d;
+  EXPECT_TRUE(w.vc_monotone) << "VC class went backwards";
+  return w.channel_hops;
 }
 }  // namespace
 
 TEST(SwDragonfly, MaxScaleCounts) {
-  const auto p = small_df();
+  const auto p = small_swdf_params();
   EXPECT_EQ(p.max_groups(), 7);
   EXPECT_EQ(p.num_chips(), 7 * 3 * 2);
   sim::Network net;
@@ -81,7 +48,7 @@ TEST(SwDragonfly, Radix16PresetMatchesPaper) {
 
 TEST(SwDragonfly, GlobalLinksBijective) {
   sim::Network net;
-  build_sw_dragonfly(net, small_df());
+  build_sw_dragonfly(net, small_swdf_params());
   const auto& T = net.topo<SwDfTopo>();
   const int G = 7, S = 3, H = 2;
   // Every group pair has exactly one global link and the endpoints agree.
@@ -101,7 +68,7 @@ TEST(SwDragonfly, GlobalLinksBijective) {
 
 TEST(SwDragonfly, MinimalPathsDeliverWithinDiameter) {
   sim::Network net;
-  build_sw_dragonfly(net, small_df());
+  build_sw_dragonfly(net, small_swdf_params());
   // Diameter: term + local + global + local + term = 5 channel hops.
   for (NodeId s : net.terminals())
     for (NodeId d : net.terminals())
@@ -110,7 +77,7 @@ TEST(SwDragonfly, MinimalPathsDeliverWithinDiameter) {
 
 TEST(SwDragonfly, ValiantPathsDeliverThroughMid) {
   sim::Network net;
-  build_sw_dragonfly(net, small_df(0, route::RouteMode::Valiant));
+  build_sw_dragonfly(net, small_swdf_params(0, route::RouteMode::Valiant));
   const auto& T = net.topo<SwDfTopo>();
   for (NodeId s : net.terminals()) {
     for (NodeId d : net.terminals()) {
@@ -139,7 +106,7 @@ TEST(SwDragonfly, CrossbarDegenerateCase) {
 
 TEST(SwDragonfly, TrimmedGroupCount) {
   sim::Network net;
-  build_sw_dragonfly(net, small_df(4));
+  build_sw_dragonfly(net, small_swdf_params(4));
   const auto& T = net.topo<SwDfTopo>();
   EXPECT_EQ(T.num_wgroups, 4);
   for (NodeId s : net.terminals())
@@ -148,7 +115,7 @@ TEST(SwDragonfly, TrimmedGroupCount) {
 }
 
 TEST(SwDragonfly, InvalidParamsThrow) {
-  auto p = small_df();
+  auto p = small_swdf_params();
   p.groups = 100;  // exceeds S*h+1
   sim::Network net;
   EXPECT_THROW(build_sw_dragonfly(net, p), std::invalid_argument);

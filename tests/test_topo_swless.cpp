@@ -5,6 +5,7 @@
 
 #include "core/builder.hpp"
 #include "core/params.hpp"
+#include "test_fixtures.hpp"
 #include "topo/swless.hpp"
 
 using namespace sldf;
@@ -12,18 +13,8 @@ using namespace sldf::topo;
 
 namespace {
 SwlessParams tiny(int g = 0) {
-  SwlessParams p;
-  p.a = 1;
-  p.b = 3;  // ab = 3 C-groups per W-group
-  p.chip_gx = 2;
-  p.chip_gy = 2;
-  p.noc_x = 1;
-  p.noc_y = 1;  // 2x2 router mesh, chip == router
-  p.ports_per_chiplet = 4;
-  p.local_ports = 2;
-  p.global_ports = 2;  // g max = 7
-  p.g = g;
-  return p;
+  return sldf::testing::tiny_swless_params(route::VcScheme::Baseline,
+                                           route::RouteMode::Minimal, g);
 }
 }  // namespace
 

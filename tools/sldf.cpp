@@ -51,7 +51,12 @@ void print_usage() {
       "scenario keys (also valid in config files):\n"
       "  label topology traffic workload mode scheme rates max_rate points\n"
       "  stop_factor threads warmup measure drain pkt_len seed\n"
-      "  max_src_queue topo.<param> traffic.<option> workload.<option>\n"
+      "  max_src_queue fault.rate fault.kind fault.seed fault.chips\n"
+      "  topo.<param> traffic.<option> workload.<option>\n"
+      "\n"
+      "  fault.rate=F deterministically fails F of the fault.kind\n"
+      "  (any|intra|local|global) cables (seeded by fault.seed) and routes\n"
+      "  around them; fault.chips=I,J,... fails whole chips.\n"
       "\n"
       "  --threads=N runs N sweep points of every series concurrently\n"
       "  (N=auto or 0 picks the hardware thread count); it overrides the\n"
