@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -36,6 +37,9 @@ core::ScenarioSpec point_spec(const std::string& topology, double rate,
   s.traffic = "uniform";
   s.rates = {rate};
   s.sim.seed = seed;
+  // Presets pin shards so the serial/sharded pairs measure exactly what
+  // their names say, independent of a stray SLDF_SHARDS in the env.
+  s.sim.shards = 1;
   if (quick) {
     s.sim.warmup = 200;
     s.sim.measure = 500;
@@ -60,6 +64,7 @@ std::vector<core::ScenarioSpec> fig11a_specs(std::uint64_t seed) {
   base.sim.measure = 2200;
   base.sim.drain = 1200;
   base.sim.seed = seed;
+  base.sim.shards = 1;
 
   std::vector<core::ScenarioSpec> specs;
   core::ScenarioSpec s = base;
@@ -91,6 +96,7 @@ core::ScenarioSpec allreduce_spec(bool quick, std::uint64_t seed) {
   s.workload_opts["kib"] = quick ? "16" : "64";
   s.workload_opts["chunks"] = "4";
   s.sim.seed = seed;
+  s.sim.shards = 1;
   return s;
 }
 
@@ -151,31 +157,114 @@ PerfResult run_specs(const std::string& preset,
   return r;
 }
 
+/// One preset: its docs row, whether --quick includes it, and its runner.
+/// The execution order of run_perf_suite is the order of this table, and
+/// the docs table renders from it — one definition, no drift.
+struct PresetDef {
+  PresetInfo info;
+  bool in_quick;
+  std::function<PerfResult(bool quick, std::uint64_t seed)> run;
+};
+
+const std::vector<PresetDef>& preset_defs() {
+  static const std::vector<PresetDef> defs = [] {
+    std::vector<PresetDef> d;
+    const auto point = [](const char* name, const char* topology,
+                          double rate, int shards) {
+      return [name, topology, rate, shards](bool quick, std::uint64_t seed) {
+        core::ScenarioSpec s = point_spec(topology, rate, quick, seed);
+        s.sim.shards = shards;
+        return run_specs(name, {s});
+      };
+    };
+    d.push_back({{"radix16-low", "quick+full",
+                  "latency-regime engine throughput: radix-16 switch-less, "
+                  "uniform, offered load 0.1, serial engine"},
+                 true,
+                 point("radix16-low", "radix16-swless", 0.1, 1)});
+    d.push_back({{"radix16-sat", "quick+full",
+                  "saturation-regime engine throughput: radix-16 "
+                  "switch-less, uniform, offered load 0.9, serial engine"},
+                 true,
+                 point("radix16-sat", "radix16-swless", 0.9, 1)});
+    d.push_back({{"radix16-sat-sh2", "quick+full",
+                  "the radix16-sat point on the sharded engine (shards=2): "
+                  "same simulation bit-for-bit, two-thread two-phase "
+                  "execution — cycles/sec vs radix16-sat is the intra-sim "
+                  "speedup"},
+                 true,
+                 point("radix16-sat-sh2", "radix16-swless", 0.9, 2)});
+    d.push_back({{"allreduce-ttc", "quick+full",
+                  "closed-loop workload engine: fig14 ring-AllReduce "
+                  "time-to-completion on one radix-16 W-group (`cycles` is "
+                  "the completion time)"},
+                 true,
+                 [](bool quick, std::uint64_t seed) {
+                   return run_workload_preset("allreduce-ttc",
+                                              allreduce_spec(quick, seed));
+                 }});
+    d.push_back({{"resilience-f10", "quick+full",
+                  "degraded-fabric engine path: fig16a saturation point "
+                  "with 10% of global cables failed, fault-aware routing"},
+                 true,
+                 [](bool quick, std::uint64_t seed) {
+                   return run_specs("resilience-f10",
+                                    {resilience_spec(quick, seed)});
+                 }});
+    d.push_back({{"radix32-low", "full",
+                  "latency-regime throughput at the paper's radix-32 scale, "
+                  "serial engine"},
+                 false,
+                 point("radix32-low", "radix32-swless", 0.1, 1)});
+    d.push_back({{"radix32-sat", "full",
+                  "saturation-regime throughput at the radix-32 scale, "
+                  "serial engine"},
+                 false,
+                 point("radix32-sat", "radix32-swless", 0.9, 1)});
+    d.push_back({{"radix32-sat-sh4", "full",
+                  "the radix32-sat point on the sharded engine (shards=4): "
+                  "the single-large-point scaling lever at the paper's "
+                  "full-wafer scale"},
+                 false,
+                 point("radix32-sat-sh4", "radix32-swless", 0.9, 4)});
+    d.push_back({{"fig11a-sweep", "full",
+                  "end-to-end figure reproduction: the three-series "
+                  "radix-16 fig11a sweep (the repo's headline perf number)"},
+                 false,
+                 [](bool, std::uint64_t seed) {
+                   return run_specs("fig11a-sweep", fig11a_specs(seed));
+                 }});
+    return d;
+  }();
+  return defs;
+}
+
 }  // namespace
+
+const std::vector<PresetInfo>& preset_infos() {
+  static const std::vector<PresetInfo> infos = [] {
+    std::vector<PresetInfo> out;
+    for (const auto& d : preset_defs()) out.push_back(d.info);
+    return out;
+  }();
+  return infos;
+}
+
+std::string render_preset_table() {
+  std::string out;
+  out += "| Preset | Modes | Measures |\n| --- | --- | --- |\n";
+  for (const auto& p : preset_infos())
+    out += "| `" + p.name + "` | " + p.modes + " | " + p.what + " |\n";
+  return out;
+}
 
 std::vector<PerfResult> run_perf_suite(bool quick, std::uint64_t seed) {
   std::vector<PerfResult> out;
-  const auto one = [&](const std::string& name, const std::string& topology,
-                       double rate) {
-    std::fprintf(stderr, "sldf-bench: running %s ...\n", name.c_str());
-    out.push_back(
-        run_specs(name, {point_spec(topology, rate, quick, seed)}));
-  };
-  // Point presets: low load (latency regime) and near saturation
-  // (throughput regime) on the paper's switch-less networks.
-  one("radix16-low", "radix16-swless", 0.1);
-  one("radix16-sat", "radix16-swless", 0.9);
-  std::fprintf(stderr, "sldf-bench: running allreduce-ttc ...\n");
-  out.push_back(
-      run_workload_preset("allreduce-ttc", allreduce_spec(quick, seed)));
-  std::fprintf(stderr, "sldf-bench: running resilience-f10 ...\n");
-  out.push_back(
-      run_specs("resilience-f10", {resilience_spec(quick, seed)}));
-  if (!quick) {
-    one("radix32-low", "radix32-swless", 0.1);
-    one("radix32-sat", "radix32-swless", 0.9);
-    std::fprintf(stderr, "sldf-bench: running fig11a-sweep ...\n");
-    out.push_back(run_specs("fig11a-sweep", fig11a_specs(seed)));
+  for (const auto& d : preset_defs()) {
+    if (quick && !d.in_quick) continue;
+    std::fprintf(stderr, "sldf-bench: running %s ...\n",
+                 d.info.name.c_str());
+    out.push_back(d.run(quick, seed));
   }
   return out;
 }

@@ -1,15 +1,18 @@
 // Engine-throughput measurement harness behind the `sldf-bench` tool.
 //
-// Runs a fixed set of presets (radix-16 / radix-32 switch-less networks at
-// low and near-saturation load, the closed-loop ring-AllReduce completion
-// run, the degraded-fabric `resilience-f10` point — 10% failed global
-// cables, fault-aware routing — plus the full fig11a three-series sweep)
-// and reports wall time, simulated cycles/sec, flit-hops/sec, and peak RSS
-// per preset. For the workload preset (`allreduce-ttc`) `cycles` is the
-// collective's completion time, recording the workload engine's trajectory
-// too.
+// Runs a declared table of presets (see preset_infos(): radix-16 / radix-32
+// switch-less networks at low and near-saturation load, the same saturation
+// points on the sharded engine, the closed-loop ring-AllReduce completion
+// run, the degraded-fabric `resilience-f10` point, plus the full fig11a
+// three-series sweep) and reports wall time, simulated cycles/sec,
+// flit-hops/sec, and peak RSS per preset. For the workload preset
+// (`allreduce-ttc`) `cycles` is the collective's completion time, recording
+// the workload engine's trajectory too.
+//
 // Results serialize to BENCH_sim.json so the perf trajectory of the
-// simulator is recorded run over run (see README "Performance").
+// simulator is recorded run over run; the preset table itself renders to
+// Markdown (render_preset_table()) and is embedded in docs/PERFORMANCE.md
+// between GENERATED markers — CI fails when the two drift.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +33,30 @@ struct PerfResult {
   double peak_rss_mb = 0.0;       ///< getrusage high-water mark after the run.
 };
 
+/// Documentation row of one preset — the single source the suite runner,
+/// `sldf-bench --list`, and the docs/PERFORMANCE.md table all derive from.
+struct PresetInfo {
+  std::string name;
+  std::string modes;  ///< "quick+full" or "full".
+  std::string what;   ///< What the preset measures, one line.
+};
+
+/// The preset table, in execution order.
+const std::vector<PresetInfo>& preset_infos();
+
+/// The table as a Markdown block (docs/PERFORMANCE.md embeds it between
+/// `GENERATED: sldf-bench --list` markers; the CI docs job diffs them).
+std::string render_preset_table();
+
 /// Runs the preset suite. `quick` restricts to the radix-16 point presets
 /// with short windows (CI smoke); the full suite adds radix-32 and the
-/// fig11a sweep. Deterministic for a fixed `seed`.
+/// fig11a sweep. Deterministic for a fixed `seed`: the per-preset `cycles`,
+/// `flit_hops`, and `delivered_packets` counters are bit-identical run
+/// over run (and across `shards` — the sharded presets re-run a serial
+/// preset's exact simulation, so any counter divergence is an engine bug).
 std::vector<PerfResult> run_perf_suite(bool quick, std::uint64_t seed);
 
-/// Writes BENCH_sim.json (schema documented in the README).
+/// Writes BENCH_sim.json (schema documented in docs/PERFORMANCE.md).
 void write_bench_json(const std::string& path,
                       const std::vector<PerfResult>& results, bool quick);
 

@@ -135,6 +135,21 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
             "scenario key 'threads' expects a count >= 0 or 'auto'");
       threads = static_cast<unsigned>(n);
     }
+  } else if (key == "shards") {
+    // Intra-simulation engine shards: a count, or "auto"/0 to defer to the
+    // SLDF_SHARDS environment variable (sim::resolve_shards). Orthogonal
+    // to `threads`: threads parallelizes across sweep points, shards
+    // parallelizes inside each simulation — results are bit-identical
+    // either way.
+    if (value == "auto") {
+      sim.shards = 0;
+    } else {
+      const long n = to_long(key, value);
+      if (n < 0)
+        throw std::invalid_argument(
+            "scenario key 'shards' expects a count >= 0 or 'auto'");
+      sim.shards = static_cast<int>(n);
+    }
   } else if (key == "warmup") {
     sim.warmup = to_long(key, value);
   } else if (key == "measure") {
@@ -173,6 +188,7 @@ KvMap ScenarioSpec::to_kv() const {
   }
   kv["stop_factor"] = format_num(stop_latency_factor);
   kv["threads"] = threads == 0 ? "auto" : std::to_string(threads);
+  kv["shards"] = sim.shards == 0 ? "auto" : std::to_string(sim.shards);
   kv["warmup"] = std::to_string(sim.warmup);
   kv["measure"] = std::to_string(sim.measure);
   kv["drain"] = std::to_string(sim.drain);
@@ -262,6 +278,11 @@ const std::vector<ScenarioKeyDoc>& scenario_key_docs() {
         {"threads",
          "Sweep-point parallelism within one series (`auto`/0 = hardware)",
          integer(d.threads)},
+        {"shards",
+         "Intra-simulation engine shards — N threads per simulation, "
+         "bit-identical results for every N (`auto`/0 = `SLDF_SHARDS` env "
+         "or 1)",
+         "auto"},
         {"warmup", "Warmup cycles (Table IV: 5000)", integer(d.sim.warmup)},
         {"measure", "Measured cycles (Table IV: 10000)",
          integer(d.sim.measure)},

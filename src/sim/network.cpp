@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -240,6 +241,37 @@ void Network::disable_node(NodeId n) {
   for (std::size_t i = 0; i < channels_.size(); ++i)
     if (channels_[i].src == n || channels_[i].dst == n)
       disable_channel(static_cast<ChanId>(i));
+}
+
+std::vector<std::uint32_t> Network::shard_bounds(int shards) const {
+  if (!finalized())
+    throw std::logic_error("shard_bounds: network not finalized");
+  if (shards < 1) throw std::invalid_argument("shard_bounds: shards < 1");
+  const auto n = static_cast<std::uint32_t>(routers_.size());
+  std::vector<std::uint32_t> bounds(static_cast<std::size_t>(shards) + 1);
+  bounds[0] = 0;
+  bounds[static_cast<std::size_t>(shards)] = n;
+  for (int k = 1; k < shards; ++k) {
+    // Ideal cut: the router whose flat output-port offset first reaches an
+    // equal share of the total port count (ports ~ per-router work).
+    const std::uint64_t target = static_cast<std::uint64_t>(num_out_ports_) *
+                                 static_cast<std::uint64_t>(k) /
+                                 static_cast<std::uint64_t>(shards);
+    std::uint32_t b = static_cast<std::uint32_t>(
+        std::lower_bound(out_port_base_.begin(),
+                         out_port_base_.begin() + n,
+                         static_cast<std::uint32_t>(target)) -
+        out_port_base_.begin());
+    // Snap forward to the next chip boundary so no chip is split. Nodes
+    // without a chip (converters) are valid boundaries as-is.
+    while (b > 0 && b < n &&
+           node_chip_[b] != kInvalidChip &&
+           node_chip_[b] == node_chip_[b - 1])
+      ++b;
+    bounds[static_cast<std::size_t>(k)] =
+        std::max(b, bounds[static_cast<std::size_t>(k) - 1]);
+  }
+  return bounds;
 }
 
 std::size_t Network::num_dead_channels() const { return dead_channels_; }

@@ -98,6 +98,30 @@ class Network {
   [[nodiscard]] std::size_t num_dead_channels() const;
   [[nodiscard]] std::size_t num_dead_nodes() const;
 
+  // ---- shard partition map (intra-simulation parallelism) ----------------
+  /// Partitions the router id space into `shards` contiguous ranges for the
+  /// sharded cycle engine (see docs/ARCHITECTURE.md, "Threading &
+  /// determinism model"). Returns `shards + 1` ascending boundaries with
+  /// `bounds[0] == 0` and `bounds[shards] == num_routers()`; shard `k` owns
+  /// routers `[bounds[k], bounds[k+1])`.
+  ///
+  /// Invariants the engine relies on:
+  /// - **Chip-aligned**: a boundary never splits a chip, so every terminal
+  ///   and its C-group mesh neighbourhood stay shard-local (converter
+  ///   nodes, which belong to no chip, may land on either side). Since
+  ///   builders lay out each C-group's routers contiguously, shards are
+  ///   C-group-aligned in practice and mesh-local traffic never crosses a
+  ///   shard except through the timing wheel.
+  /// - **Load-balanced by output ports** (the closest static proxy for
+  ///   per-router engine work), via the flat port prefix sums computed in
+  ///   finalize().
+  /// - **Deterministic**: a pure function of the topology and `shards` —
+  ///   never of thread scheduling.
+  ///
+  /// Ranges may be empty when `shards` exceeds the number of chips.
+  /// Requires finalize().
+  [[nodiscard]] std::vector<std::uint32_t> shard_bounds(int shards) const;
+
  private:
   /// (Re)initializes the dynamic words of every per-port record.
   void init_port_dynamic_state();
@@ -108,7 +132,9 @@ class Network {
   [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
   [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
   [[nodiscard]] std::size_t num_chips() const { return chip_nodes_.size(); }
+  /// Virtual channels per port (uniform network-wide; set by finalize()).
   [[nodiscard]] int num_vcs() const { return num_vcs_; }
+  /// Logical per-VC input-buffer depth in flits (what credits enforce).
   [[nodiscard]] int vc_buf() const { return vc_buf_; }
   [[nodiscard]] bool finalized() const { return num_vcs_ > 0; }
 
@@ -205,11 +231,25 @@ class Network {
            static_cast<std::uint32_t>(v);
   }
 
+  /// The input-VC FIFO arena: one power-of-two-stride ring per input VC,
+  /// indexed by in_vc_index(). Each VC's 64-bit control word pairs its
+  /// ring head/size with the packed pipeline metadata below.
   FlitFifoArena& fifos() { return fifos_; }
   [[nodiscard]] const FlitFifoArena& fifos() const { return fifos_; }
 
-  // Packed input-VC word: out_port (high 16) | out_vc (bits 8..15) |
-  // IvcState (low 8). One load covers the whole RC/VA/SA metadata.
+  // ---- packed input-VC metadata word -------------------------------------
+  // The router-pipeline state of one input VC, packed into the high 32 bits
+  // of its FIFO control word (FlitFifoArena::meta/set_meta) so one load
+  // covers the whole RC/VA/SA metadata:
+  //
+  //   bits 16..31: granted output *port* (RC decision)
+  //   bits  8..15: granted output *VC*   (RC decision)
+  //   bits  0..7 : IvcState — Idle (head flit needs RC/VA), Routed (RC done,
+  //                waiting for VA to claim the output VC), Active (output VC
+  //                held; SA streams the packet until the tail flit resets
+  //                the word to Idle).
+
+  /// Packs an input-VC metadata word (see the layout above).
   static constexpr std::uint32_t pack_ivc(PortIx port, VcIx vc,
                                           IvcState st) {
     return (static_cast<std::uint32_t>(static_cast<std::uint16_t>(port))
@@ -217,12 +257,15 @@ class Network {
            (static_cast<std::uint32_t>(static_cast<std::uint8_t>(vc)) << 8) |
            static_cast<std::uint32_t>(st);
   }
+  /// Pipeline FSM state of a packed metadata word.
   static constexpr IvcState ivc_state_of(std::uint32_t meta) {
     return static_cast<IvcState>(meta & 0xff);
   }
+  /// Granted output VC of a packed metadata word (valid unless Idle).
   static constexpr std::uint32_t ivc_vc_of(std::uint32_t meta) {
     return (meta >> 8) & 0xff;
   }
+  /// Granted output port of a packed metadata word (valid unless Idle).
   static constexpr std::uint32_t ivc_port_of(std::uint32_t meta) {
     return meta >> 16;
   }
@@ -232,16 +275,21 @@ class Network {
   // one cache-line-sized record (power-of-two u32 stride) in port_state_:
   //
   //   word 0          : SA requester count (low u16) | round-robin (high)
-  //   word kTokens    : channel token bucket (micro-tokens)
+  //   word kTokens    : channel token bucket (micro-tokens; a grant costs
+  //                     width_den tokens, a cycle refills width_num, so
+  //                     fractional-bandwidth links meter exactly)
   //   word kTokenCycle: cycle of the last token refresh (truncated u32)
   //   word kDstVcBase : flat input-VC base of the downstream port
   //   word kDstNode   : downstream router (kInvalidNode for ejection ports)
   //   word kLinkMeta  : latency | link type | width_num | width_den (u8 each)
   //   words kOvc0..   : one word per output VC: credits << 8 | busy bit
+  //                     (busy = some input VC holds this output VC, wormhole
+  //                     exclusivity; credits = free downstream buffer flits)
   //   then            : SA requesters, u16 each, encoded (in_port << 8) | vc
   //
   // A port never has more than num_vcs requesters (each output VC is held
-  // by at most one input VC), so the record size is static.
+  // by at most one input VC), so the record size is static. In the sharded
+  // engine a record is written only by its owning router's shard.
   static constexpr std::uint32_t kTokens = 1;
   static constexpr std::uint32_t kTokenCycle = 2;
   static constexpr std::uint32_t kDstVcBase = 3;
@@ -249,8 +297,11 @@ class Network {
   static constexpr std::uint32_t kLinkMeta = 5;
   static constexpr std::uint32_t kOvc0 = 6;
 
+  /// log2 of the per-port record stride in u32 words.
   [[nodiscard]] std::uint32_t port_shift() const { return port_shift_; }
+  /// Per-port record stride in u32 words (a power of two).
   [[nodiscard]] std::uint32_t port_stride() const { return 1u << port_shift_; }
+  /// The record of flat output port `pflat` (see the layout above).
   std::uint32_t* port_rec(std::uint32_t pflat) {
     return &port_state_[static_cast<std::size_t>(pflat) << port_shift_];
   }

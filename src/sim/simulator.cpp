@@ -1,26 +1,56 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 namespace sldf::sim {
 
 namespace {
 
+/// Pending-bitmask ops. Shard compute phases touch only their own
+/// routers' bits, but two shards' VC/port index ranges can share one
+/// 64-bit boundary word, so the `Atomic` instantiations use relaxed RMW
+/// (distinct-bit ORs/ANDs commute — the final word value is independent
+/// of interleaving, keeping the engine deterministic). The serial engine
+/// and the serial phases of a sharded cycle use the plain instantiations.
+template <bool Atomic = false>
 inline void set_bit(std::vector<std::uint64_t>& w, std::uint32_t i) {
-  w[i >> 6] |= 1ULL << (i & 63);
+  if constexpr (Atomic) {
+    std::atomic_ref<std::uint64_t>(w[i >> 6])
+        .fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  } else {
+    w[i >> 6] |= 1ULL << (i & 63);
+  }
 }
+template <bool Atomic = false>
 inline void clear_bit(std::vector<std::uint64_t>& w, std::uint32_t i) {
-  w[i >> 6] &= ~(1ULL << (i & 63));
+  if constexpr (Atomic) {
+    std::atomic_ref<std::uint64_t>(w[i >> 6])
+        .fetch_and(~(1ULL << (i & 63)), std::memory_order_relaxed);
+  } else {
+    w[i >> 6] &= ~(1ULL << (i & 63));
+  }
 }
 
 /// Extracts the bits of word `w` of `words` that fall inside [begin, end).
+/// `Atomic` loads tolerate a neighbour shard concurrently flipping *its*
+/// bits of a shared boundary word; the masking below discards them.
+template <bool Atomic = false>
 inline std::uint64_t masked_word(const std::vector<std::uint64_t>& words,
                                  std::uint32_t w, std::uint32_t begin,
                                  std::uint32_t end) {
-  std::uint64_t bits = words[w];
+  std::uint64_t bits;
+  if constexpr (Atomic) {
+    bits = std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(words[w]))
+               .load(std::memory_order_relaxed);
+  } else {
+    bits = words[w];
+  }
   if (w == (begin >> 6)) bits &= ~0ULL << (begin & 63);
   if (w == ((end - 1) >> 6)) bits &= ~0ULL >> (63 - ((end - 1) & 63));
   return bits;
@@ -58,6 +88,85 @@ std::size_t prepare_context(SimContext& ctx, Network& net) {
 
 }  // namespace
 
+int resolve_shards(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("SLDF_SHARDS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 0xffff)
+      return static_cast<int>(v);
+  }
+  return 1;
+}
+
+/// The per-cycle worker team of a sharded engine. One thread per shard
+/// beyond shard 0 (which the driving thread runs itself). Workers park on
+/// a C++20 atomic wait after a short spin, so an oversubscribed host (or
+/// the serial phases of every cycle) is not burned by busy-waiting, while
+/// a multi-core host pays only the spin on the hot hand-off.
+class Simulator::ShardTeam {
+ public:
+  ShardTeam(Simulator& sim, int nshards) : sim_(sim) {
+    workers_.reserve(static_cast<std::size_t>(nshards - 1));
+    for (int k = 1; k < nshards; ++k)
+      workers_.emplace_back([this, k] { worker(k); });
+  }
+
+  ~ShardTeam() {
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  /// Runs one compute phase across all shards and returns when every
+  /// shard is done. The epoch release publishes the serial phases'
+  /// writes to the workers; the done-count acquire publishes the shards'
+  /// writes back to the committing thread.
+  void run_phase() {
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    sim_.run_shard_phase(0);
+    const auto need = static_cast<int>(workers_.size());
+    int spins = 0;
+    while (done_.load(std::memory_order_acquire) != need) {
+      if (++spins > 1024) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+ private:
+  void worker(int k) {
+    // The team is constructed at epoch 0, so that is the last epoch this
+    // worker has (vacuously) processed — reading the counter here instead
+    // would drop a phase signalled before the thread got scheduled.
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t e;
+      int spins = 0;
+      while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+        if (++spins > 4096) {
+          epoch_.wait(seen, std::memory_order_acquire);
+          spins = 0;
+        }
+      }
+      seen = e;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      sim_.run_shard_phase(k);
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  Simulator& sim_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> stop_{false};
+};
+
 Simulator::Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic)
     : net_(net), cfg_(cfg), traffic_(traffic), rng_(cfg.seed),
       owned_ctx_(std::make_unique<SimContext>()), ctx_(owned_ctx_.get()) {
@@ -69,6 +178,8 @@ Simulator::Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic,
     : net_(net), cfg_(cfg), traffic_(traffic), rng_(cfg.seed), ctx_(&ctx) {
   init();
 }
+
+Simulator::~Simulator() = default;
 
 void Simulator::init() {
   if (!net_.finalized())
@@ -104,6 +215,30 @@ void Simulator::init() {
     t.inj_base = net_.in_vc_index(t.node, net_.router(t.node).inj_port, 0);
     t.inj_vc = 0;
     t.pushed = 0;
+  }
+
+  // Sharded engine setup. More shards than chips cannot be chip-aligned
+  // and would only add empty phases, so the resolved count is clamped.
+  shards_ = std::min<int>(resolve_shards(cfg_.shards),
+                          static_cast<int>(net_.num_chips()));
+  if (shards_ > 1) {
+    const std::vector<std::uint32_t> bounds = net_.shard_bounds(shards_);
+    ctx_->shard_of.assign(net_.num_routers(), 0);
+    for (int k = 0; k < shards_; ++k)
+      for (std::uint32_t r = bounds[static_cast<std::size_t>(k)];
+           r < bounds[static_cast<std::size_t>(k) + 1]; ++r)
+        ctx_->shard_of[r] = static_cast<std::uint16_t>(k);
+    if (ctx_->shard_scratch.size() < static_cast<std::size_t>(shards_))
+      ctx_->shard_scratch.resize(static_cast<std::size_t>(shards_));
+    for (auto& sc : ctx_->shard_scratch) {
+      sc.snap.clear();
+      sc.events.clear();
+      sc.tails.clear();
+      sc.runs.clear();
+      sc.flit_hops = 0;
+      sc.accepted_flits = 0;
+    }
+    team_ = std::make_unique<ShardTeam>(*this, shards_);
   }
 }
 
@@ -255,6 +390,22 @@ void Simulator::deliver_channels() {
   slot.clear();
 }
 
+void Simulator::commit_tail(PacketId pid) {
+  Packet& p = ctx_->pool[pid];
+  ++delivered_total_;
+  if (p.measured) {
+    ++delivered_measured_;
+    const auto lat = static_cast<double>(p.latency());
+    lat_.add(lat);
+    lat_hist_.add(lat);
+    for (int h = 0; h < kNumLinkTypes; ++h)
+      hop_sum_[h] += static_cast<double>(p.hops[h]);
+  }
+  // The listener may inject (pool.acquire) — don't touch `p` after it.
+  if (listener_) listener_->on_packet_delivered(p, now_);
+  ctx_->pool.release(pid);
+}
+
 void Simulator::handle_eject(const Flit& f) {
   Packet& p = ctx_->pool[f.pkt];
   ++p.flits_ejected;
@@ -263,21 +414,13 @@ void Simulator::handle_eject(const Flit& f) {
   if (in_window) ++accepted_flits_;
   if (f.tail) {
     p.t_eject = now_;
-    ++delivered_total_;
-    if (p.measured) {
-      ++delivered_measured_;
-      const auto lat = static_cast<double>(p.latency());
-      lat_.add(lat);
-      lat_hist_.add(lat);
-      for (int h = 0; h < kNumLinkTypes; ++h)
-        hop_sum_[h] += static_cast<double>(p.hops[h]);
-    }
-    if (listener_) listener_->on_packet_delivered(p, now_);
-    ctx_->pool.release(f.pkt);
+    commit_tail(f.pkt);
   }
 }
 
-void Simulator::process_router(NodeId rid) {
+template <bool Sharded>
+void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
+  (void)ss;  // unused by the serial instantiation
   // True when this call leaves any pending bit set for this router (so the
   // work flag must stay armed for next cycle).
   bool leftover = false;
@@ -292,7 +435,8 @@ void Simulator::process_router(NodeId rid) {
   const std::uint32_t vend = ibase + net_.num_in_ports_of(rid) * nvc;
   if (vend > ibase) {
     for (std::uint32_t w = ibase >> 6; w <= (vend - 1) >> 6; ++w) {
-      std::uint64_t bits = masked_word(ctx_->ivc_pending, w, ibase, vend);
+      std::uint64_t bits =
+          masked_word<Sharded>(ctx_->ivc_pending, w, ibase, vend);
       while (bits) {
         const std::uint32_t ix =
             (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
@@ -321,14 +465,14 @@ void Simulator::process_router(NodeId rid) {
           ow |= 1;  // busy
           // Always wake the port: a parked (stalled) port may be grantable
           // through this new requester even while the others are blocked.
-          set_bit(ctx_->port_pending, pflat);
+          set_bit<Sharded>(ctx_->port_pending, pflat);
           auto* reqs =
               reinterpret_cast<std::uint16_t*>(rec + Network::kOvc0 + nvc);
           reqs[rec[0] & 0xffff] = static_cast<std::uint16_t>((pi << 8) | vi);
           ++rec[0];  // ++count (low u16; rr lives in the high half)
           fifos.set_meta(ix, (meta & ~0xffu) |
                                  static_cast<std::uint32_t>(IvcState::Active));
-          clear_bit(ctx_->ivc_pending, ix);
+          clear_bit<Sharded>(ctx_->ivc_pending, ix);
         } else {
           // Busy: park on the output VC's waiter chain instead of
           // re-polling every cycle. The tail flit that frees the VC
@@ -338,7 +482,7 @@ void Simulator::process_router(NodeId rid) {
               pflat * nvc + Network::ivc_vc_of(meta);
           ctx_->ivc_wait_next[ix] = ctx_->ovc_waiters[ovcflat];
           ctx_->ovc_waiters[ovcflat] = ix;
-          clear_bit(ctx_->ivc_pending, ix);
+          clear_bit<Sharded>(ctx_->ivc_pending, ix);
         }
       }
     }
@@ -348,7 +492,8 @@ void Simulator::process_router(NodeId rid) {
   const std::uint32_t pend = pbegin + net_.num_out_ports_of(rid);
   for (std::uint32_t w = pbegin >> 6;
        pend > pbegin && w <= (pend - 1) >> 6; ++w) {
-    std::uint64_t pbits = masked_word(ctx_->port_pending, w, pbegin, pend);
+    std::uint64_t pbits =
+        masked_word<Sharded>(ctx_->port_pending, w, pbegin, pend);
     while (pbits) {
       const std::uint32_t pflat =
           (w << 6) + static_cast<std::uint32_t>(std::countr_zero(pbits));
@@ -413,7 +558,7 @@ void Simulator::process_router(NodeId rid) {
           // channels (width < 1) stay live: time alone refills their
           // token bucket.
           if (is_eject || ((link_meta >> 16) & 0xff) >= (link_meta >> 24)) {
-            clear_bit(ctx_->port_pending, pflat);
+            clear_bit<Sharded>(ctx_->port_pending, pflat);
             port_left = false;
           }
           break;
@@ -427,22 +572,49 @@ void Simulator::process_router(NodeId rid) {
         const Network::CreditReturn cr =
             net_.credit_return_by_port()[net_.in_port_index(rid, 0) + pi];
         if (cr.src != kInvalidNode) {
-          ctx_->wheel[(now_ + cr.latency()) & wheel_mask_].push_back(
-              WheelEvent{cr.credit_base() + vi, cr.src,
-                         Flit{}});  // pkt == kInvalidPacket marks a credit
+          // pkt == kInvalidPacket marks a credit event.
+          const auto slot =
+              static_cast<std::uint32_t>((now_ + cr.latency()) & wheel_mask_);
+          const WheelEvent ev{cr.credit_base() + vi, cr.src, Flit{}};
+          if constexpr (Sharded)
+            ss->events.push_back(PendingEvent{slot, ev});
+          else
+            ctx_->wheel[slot].push_back(ev);
         }
         if (is_eject) {
-          handle_eject(f);
+          if constexpr (Sharded) {
+            // Packet-local and order-insensitive parts happen here; the
+            // order-sensitive rest (fp stats, listener, pool release) is
+            // deferred so the commit pass replays it in snapshot order.
+            Packet& p = ctx_->pool[f.pkt];
+            ++p.flits_ejected;
+            if (now_ >= cfg_.warmup && now_ < cfg_.warmup + cfg_.measure)
+              ++ss->accepted_flits;
+            if (f.tail) {
+              p.t_eject = now_;
+              ss->tails.push_back(f.pkt);
+            }
+          } else {
+            handle_eject(f);
+          }
         } else {
-          ++flit_hops_;
+          if constexpr (Sharded)
+            ++ss->flit_hops;
+          else
+            ++flit_hops_;
           rec[Network::kOvc0 + out_vc] -= 0x100;          // --credits
           rec[Network::kTokens] -= link_meta >> 24;       // consume token
           if (f.head) {
             Packet& pkt = ctx_->pool[f.pkt];
             ++pkt.hops[static_cast<int>((link_meta >> 8) & 0xff)];
           }
-          ctx_->wheel[(now_ + (link_meta & 0xff)) & wheel_mask_].push_back(
-              WheelEvent{rec[Network::kDstVcBase] + out_vc, dst, f});
+          const auto slot = static_cast<std::uint32_t>(
+              (now_ + (link_meta & 0xff)) & wheel_mask_);
+          const WheelEvent ev{rec[Network::kDstVcBase] + out_vc, dst, f};
+          if constexpr (Sharded)
+            ss->events.push_back(PendingEvent{slot, ev});
+          else
+            ctx_->wheel[slot].push_back(ev);
         }
         if (f.tail) {
           rec[Network::kOvc0 + out_vc] &= ~1u;  // release the output VC
@@ -452,7 +624,7 @@ void Simulator::process_router(NodeId rid) {
             ctx_->ovc_waiters[pflat * nvc + out_vc] = kNoWaiter;
             leftover = true;
             do {
-              set_bit(ctx_->ivc_pending, wix);
+              set_bit<Sharded>(ctx_->ivc_pending, wix);
               const std::uint32_t nx = ctx_->ivc_wait_next[wix];
               ctx_->ivc_wait_next[wix] = kNoWaiter;
               wix = nx;
@@ -461,7 +633,7 @@ void Simulator::process_router(NodeId rid) {
           fifos.set_meta(
               ix, Network::pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
           if (!fifos.empty(ix)) {
-            set_bit(ctx_->ivc_pending, ix);  // next packet's head is waiting
+            set_bit<Sharded>(ctx_->ivc_pending, ix);  // next head is waiting
             __builtin_prefetch(&ctx_->pool[fifos.front(ix).pkt]);  // for RC
             leftover = true;
           }
@@ -472,7 +644,7 @@ void Simulator::process_router(NodeId rid) {
             rec[0] = left | ((chosen == left ? 0 : chosen) << 16);
           } else {
             rec[0] = 0;
-            clear_bit(ctx_->port_pending, pflat);
+            clear_bit<Sharded>(ctx_->port_pending, pflat);
             port_left = false;
             break;  // no requesters left for the remaining budget
           }
@@ -487,7 +659,126 @@ void Simulator::process_router(NodeId rid) {
   if (!leftover) ctx_->ract[static_cast<std::size_t>(rid)] &= ~2u;
 }
 
+void Simulator::prefetch_snapshot(const std::vector<NodeId>& snap,
+                                  std::size_t i) {
+  const std::size_t n = snap.size();
+  if (i + 8 < n) {
+    const NodeId r8 = snap[i + 8];
+    __builtin_prefetch(&ctx_->ract[static_cast<std::size_t>(r8)]);
+    __builtin_prefetch(net_.in_port_base_addr(r8));
+    __builtin_prefetch(net_.out_port_base_addr(r8));
+  }
+  if (i + 3 < n && (ctx_->ract[static_cast<std::size_t>(snap[i + 3])] & 2)) {
+    const NodeId r3 = snap[i + 3];
+    const FlitFifoArena& fifos = net_.fifos();
+    const std::uint32_t ib = net_.in_vc_index(r3, 0, 0);
+    const std::uint32_t pb = net_.out_port_index(r3, 0);
+    __builtin_prefetch(&ctx_->ivc_pending[ib >> 6]);
+    __builtin_prefetch(&ctx_->port_pending[pb >> 6]);
+    // Input-VC words (head/size + meta) span a couple of lines each; the
+    // per-port records are one line per port.
+    __builtin_prefetch(fifos.word_addr(ib));
+    if (ib + 8 < fifos.num_fifos())
+      __builtin_prefetch(fifos.word_addr(ib + 8));
+    if (ib + 16 < fifos.num_fifos())
+      __builtin_prefetch(fifos.word_addr(ib + 16));
+    const std::uint32_t nout = net_.num_out_ports_of(r3);
+    std::uint32_t* rec = net_.port_rec(pb);
+    const std::uint32_t words = net_.port_stride();
+    for (std::uint32_t p = 0; p < nout && p < 4; ++p)
+      __builtin_prefetch(rec + p * words);
+  }
+}
+
+void Simulator::run_shard_phase(int k) {
+  ShardScratch& sc = ctx_->shard_scratch[static_cast<std::size_t>(k)];
+  const auto& snap = sc.snap;
+  const std::size_t n = snap.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    prefetch_snapshot(snap, i);
+    const NodeId rid = snap[i];
+    if (ctx_->ract[static_cast<std::size_t>(rid)] & 2) {
+      const std::size_t ev0 = sc.events.size();
+      const std::size_t tl0 = sc.tails.size();
+      process_router_impl<true>(rid, &sc);
+      sc.runs.push_back(
+          ShardRun{rid, static_cast<std::uint32_t>(sc.events.size() - ev0),
+                   static_cast<std::uint32_t>(sc.tails.size() - tl0)});
+    }
+  }
+}
+
+// One sharded cycle. Serial and sharded execution differ only in *where*
+// the router phase's effects are applied, never in what they are:
+//
+//   1. deliver + generate run serially, exactly as in step() — so the RNG
+//      stream, injection decisions, and (adaptive) injection-time
+//      occupancy reads observe the identical engine state.
+//   2. The snapshot is split by the chip-aligned shard map and every shard
+//      runs the router pipeline over its slice concurrently. Per-router
+//      work is provably shard-local (routing reads only immutable topology
+//      + the packet + the router's own SoA slices); the only cross-shard
+//      effects — wheel pushes, tail deliveries — are buffered per shard.
+//   3. The commit pass walks the *global* snapshot in its original order
+//      and drains each router's buffered run, which reconstructs the
+//      serial engine's exact wheel-slot event order, ejection-stat
+//      accumulation order (fp sums are order-sensitive), listener-callback
+//      order, and packet-pool free-list order. Keep-alive re-activation
+//      happens here too, in the same per-router position as in step().
+//
+// Hence fixed-seed results are bit-identical for every shard count.
+void Simulator::step_sharded() {
+  deliver_channels();
+  generate_and_inject();
+
+  ctx_->scratch.clear();
+  ctx_->scratch.swap(ctx_->active);
+  for (auto& sc : ctx_->shard_scratch) {
+    sc.snap.clear();
+    sc.events.clear();
+    sc.tails.clear();
+    sc.runs.clear();
+    sc.flit_hops = 0;
+    sc.accepted_flits = 0;
+    sc.run_cur = sc.ev_cur = sc.tail_cur = 0;
+  }
+  for (NodeId rid : ctx_->scratch) {
+    ctx_->ract[static_cast<std::size_t>(rid)] &= ~1u;
+    ctx_->shard_scratch[ctx_->shard_of[static_cast<std::size_t>(rid)]]
+        .snap.push_back(rid);
+  }
+
+  if (!ctx_->scratch.empty()) team_->run_phase();
+
+  // Integer tallies first, so a PacketListener fired from commit_tail()
+  // below observes the cycle's full counts (the documented sharded-engine
+  // observability; the sums are order-insensitive).
+  for (const auto& sc : ctx_->shard_scratch) {
+    flit_hops_ += sc.flit_hops;
+    accepted_flits_ += sc.accepted_flits;
+  }
+  for (NodeId rid : ctx_->scratch) {
+    ShardScratch& sc =
+        ctx_->shard_scratch[ctx_->shard_of[static_cast<std::size_t>(rid)]];
+    if (sc.run_cur < sc.runs.size() && sc.runs[sc.run_cur].rid == rid) {
+      const ShardRun& run = sc.runs[sc.run_cur++];
+      for (std::uint32_t e = 0; e < run.num_events; ++e) {
+        const PendingEvent& pe = sc.events[sc.ev_cur++];
+        ctx_->wheel[pe.slot].push_back(pe.ev);
+      }
+      for (std::uint32_t t = 0; t < run.num_tails; ++t)
+        commit_tail(sc.tails[sc.tail_cur++]);
+    }
+    if (ctx_->ract[static_cast<std::size_t>(rid)] > 3) activate_router(rid);
+  }
+  ++now_;
+}
+
 void Simulator::step() {
+  if (shards_ > 1) {
+    step_sharded();
+    return;
+  }
   deliver_channels();
   generate_and_inject();
 
@@ -498,37 +789,11 @@ void Simulator::step() {
   for (NodeId rid : ctx_->scratch)
     ctx_->ract[static_cast<std::size_t>(rid)] &= ~1u;
   // The active list gives exact lookahead, so the per-router state lines
-  // (scattered in L3) are prefetched in two stages: far = the flat-offset
-  // entries, near = the lines those offsets point at.
+  // (scattered in L3) are prefetched in two stages (prefetch_snapshot).
   const auto& snap = ctx_->scratch;
   const std::size_t nsnap = snap.size();
   for (std::size_t i = 0; i < nsnap; ++i) {
-    if (i + 8 < nsnap) {
-      const NodeId r8 = snap[i + 8];
-      __builtin_prefetch(&ctx_->ract[static_cast<std::size_t>(r8)]);
-      __builtin_prefetch(net_.in_port_base_addr(r8));
-      __builtin_prefetch(net_.out_port_base_addr(r8));
-    }
-    if (i + 3 < nsnap &&
-        (ctx_->ract[static_cast<std::size_t>(snap[i + 3])] & 2)) {
-      const NodeId r3 = snap[i + 3];
-      const std::uint32_t ib = net_.in_vc_index(r3, 0, 0);
-      const std::uint32_t pb = net_.out_port_index(r3, 0);
-      __builtin_prefetch(&ctx_->ivc_pending[ib >> 6]);
-      __builtin_prefetch(&ctx_->port_pending[pb >> 6]);
-      // Input-VC words (head/size + meta) span a couple of lines each; the
-      // per-port records are one line per port.
-      __builtin_prefetch(net_.fifos().word_addr(ib));
-      if (ib + 8 < net_.fifos().num_fifos())
-        __builtin_prefetch(net_.fifos().word_addr(ib + 8));
-      if (ib + 16 < net_.fifos().num_fifos())
-        __builtin_prefetch(net_.fifos().word_addr(ib + 16));
-      const std::uint32_t nout = net_.num_out_ports_of(r3);
-      std::uint32_t* rec = net_.port_rec(pb);
-      const std::uint32_t words = net_.port_stride();
-      for (std::uint32_t p = 0; p < nout && p < 4; ++p)
-        __builtin_prefetch(rec + p * words);
-    }
+    prefetch_snapshot(snap, i);
     const NodeId rid = snap[i];
     // Process only routers with pending RC/VA or SA work (the work flag is
     // a superset of the pending bits, so a skipped call would have been a

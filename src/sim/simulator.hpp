@@ -53,6 +53,14 @@ struct SimConfig {
   Cycle drain = 5000;          ///< Extra cycles to let measured packets land.
   std::uint64_t seed = 1;
   int max_src_queue = 256;     ///< Per-node source-queue cap (packets).
+  /// Intra-simulation engine shards: N > 1 partitions one network's routers
+  /// into N chip-aligned shards (Network::shard_bounds) processed by N
+  /// threads per cycle under a two-phase compute/commit protocol; 1 runs
+  /// the serial engine; 0 = auto (the `SLDF_SHARDS` environment variable,
+  /// or 1 when unset — see resolve_shards()). Fixed-seed SimResults are
+  /// bit-identical across every shard count; see docs/ARCHITECTURE.md,
+  /// "Threading & determinism model".
+  int shards = 0;
 };
 
 struct SimResult {
@@ -95,6 +103,40 @@ struct TerminalState {
   std::uint16_t pushed = 0;   ///< Flits of the head packet already pushed.
 };
 
+/// One wheel event whose commit the sharded engine deferred to the serial
+/// commit pass, tagged with its target slot (already cycle-masked).
+struct PendingEvent {
+  std::uint32_t slot = 0;
+  WheelEvent ev;
+};
+
+/// Commit-replay bookkeeping for one router processed by a shard during
+/// one cycle: how many wheel events and delivered tail packets it
+/// produced. The commit pass walks the *global* snapshot in order and
+/// consumes each router's run, which reconstructs the serial engine's
+/// exact wheel-push / ejection / listener / pool-release interleaving.
+struct ShardRun {
+  NodeId rid = kInvalidNode;
+  std::uint32_t num_events = 0;
+  std::uint32_t num_tails = 0;
+};
+
+/// Per-shard compute-phase scratch (sharded engine only). Cache-line
+/// aligned so shards never false-share their cursors; all vectors keep
+/// their high-water capacities across cycles and runs.
+struct alignas(64) ShardScratch {
+  std::vector<NodeId> snap;          ///< This shard's slice of the snapshot.
+  std::vector<PendingEvent> events;  ///< Deferred wheel pushes, in order.
+  std::vector<PacketId> tails;       ///< Delivered tail packets, in order.
+  std::vector<ShardRun> runs;        ///< Per processed router, in order.
+  std::uint64_t flit_hops = 0;       ///< Order-insensitive counters, summed
+  std::uint64_t accepted_flits = 0;  ///< into the globals at commit.
+  // Commit-pass consumption cursors (only the committing thread moves them).
+  std::size_t run_cur = 0;
+  std::size_t ev_cur = 0;
+  std::size_t tail_cur = 0;
+};
+
 /// Reusable engine storage. A context handed to consecutive runs (e.g. the
 /// points of a sweep) keeps its high-water-mark capacities, so later runs
 /// allocate nothing. A default-constructed context works for any network;
@@ -126,10 +168,37 @@ struct SimContext {
   /// Node -> index into `terms` (-1 for non-terminal nodes); the lookup
   /// behind the closed-loop inject_packet() path.
   std::vector<std::int32_t> term_of_node;
+  // ---- sharded engine (shards > 1 only; empty otherwise) ----
+  std::vector<ShardScratch> shard_scratch;  ///< One per shard.
+  std::vector<std::uint16_t> shard_of;      ///< Router -> owning shard.
 };
 
 inline constexpr std::uint32_t kNoWaiter = 0xffffffffu;
 
+/// Maps the shard-count convention to a concrete count >= 1: an explicit
+/// `requested >= 1` is returned as-is; `requested == 0` (auto) reads the
+/// `SLDF_SHARDS` environment variable (a positive integer; anything else
+/// is ignored) and falls back to 1. The env hook lets an unmodified test
+/// or tool suite be re-run entirely on the sharded engine
+/// (`SLDF_SHARDS=2 ctest ...` — the CI does exactly this), which is only
+/// sound because fixed-seed results are shard-count-invariant.
+int resolve_shards(int requested);
+
+/// The cycle engine. Every cycle runs three phases in a fixed order:
+///
+///   1. deliver_channels() — drain the current timing-wheel slot: flit
+///      arrivals into input-VC FIFOs, then credit returns to output ports.
+///   2. generate_and_inject() — rate-driven packet generation (one global
+///      RNG, terminals in index order) and one-flit-per-cycle injection.
+///   3. router pipeline — RC/VA/SA/ST for every router with pending work,
+///      in active-list order (exact event-driven subset of a full scan).
+///
+/// With cfg.shards > 1 phase 3 is executed by a shard team under a
+/// two-phase compute/commit protocol that reproduces the serial engine's
+/// observable orderings exactly (see step_sharded() in simulator.cpp and
+/// docs/ARCHITECTURE.md, "Threading & determinism model"); phases 1 and 2
+/// stay serial. Fixed-seed results are bit-identical for every shard
+/// count, so `shards` is purely a wall-clock knob.
 class Simulator {
  public:
   /// Owns a private SimContext (one-shot runs, tests).
@@ -137,6 +206,8 @@ class Simulator {
   /// Reuses `ctx` (sweeps); the context is reset for this run.
   Simulator(Network& net, const SimConfig& cfg, TrafficSource& traffic,
             SimContext& ctx);
+  /// Joins the shard team (sharded runs only).
+  ~Simulator();
 
   /// Runs warmup + measurement + drain and returns the aggregated result.
   SimResult run();
@@ -159,17 +230,45 @@ class Simulator {
   bool inject_packet(NodeId src, NodeId dst, int len, std::uint32_t tag);
 
   /// Running engine counters (valid mid-run; run() also reports them).
+  /// Sharded runs update them at each cycle's commit, so mid-cycle
+  /// observers (PacketListener callbacks fire during the commit) see the
+  /// cycle's full counts rather than the serial engine's partial ones —
+  /// the one documented observability difference between the two paths.
   [[nodiscard]] std::uint64_t flit_hops() const { return flit_hops_; }
   [[nodiscard]] std::uint64_t delivered_total() const {
     return delivered_total_;
   }
 
+  /// Resolved shard count this engine runs with (>= 1; clamped to the
+  /// network's chip count).
+  [[nodiscard]] int shards() const { return shards_; }
+
  private:
+  class ShardTeam;
+
   void init();
   void generate_and_inject();
   void deliver_channels();
-  void process_router(NodeId rid);
+  /// The router pipeline (RC/VA/SA/ST) for one router. `Sharded`
+  /// instantiations buffer every cross-router effect (wheel pushes, tail
+  /// deliveries, order-sensitive stats) into `ss` and use atomic bit ops
+  /// on the pending masks (shards sharing a 64-bit boundary word);
+  /// the serial instantiation is the original in-place hot path.
+  template <bool Sharded>
+  void process_router_impl(NodeId rid, ShardScratch* ss);
+  void process_router(NodeId rid) { process_router_impl<false>(rid, nullptr); }
   void handle_eject(const Flit& f);
+  /// Compute phase of one sharded cycle for shard `k` (runs concurrently
+  /// with the other shards' phases; touches only shard-local state).
+  void run_shard_phase(int k);
+  /// Two-stage lookahead prefetch for position `i` of a snapshot walk
+  /// (far = per-router offset entries, near = the state lines those
+  /// offsets point at), shared by the serial and sharded snapshot loops.
+  void prefetch_snapshot(const std::vector<NodeId>& snap, std::size_t i);
+  /// Commit + stats for one delivered tail packet (shared by the serial
+  /// handle_eject path and the sharded commit pass; `p` == pool[pid]).
+  void commit_tail(PacketId pid);
+  void step_sharded();
 
   void activate_router(NodeId id) {
     std::uint32_t& a = ctx_->ract[static_cast<std::size_t>(id)];
@@ -204,6 +303,8 @@ class Simulator {
   Cycle now_ = 0;
   double per_node_pkt_rate_ = 0.0;
   std::size_t wheel_mask_ = 0;
+  int shards_ = 1;                    ///< Resolved count (see shards()).
+  std::unique_ptr<ShardTeam> team_;   ///< Worker threads (shards_ > 1).
 
   // measurement accumulators
   OnlineStats lat_;

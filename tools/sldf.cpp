@@ -50,7 +50,7 @@ void print_usage() {
       "\n"
       "scenario keys (also valid in config files):\n"
       "  label topology traffic workload mode scheme rates max_rate points\n"
-      "  stop_factor threads warmup measure drain pkt_len seed\n"
+      "  stop_factor threads shards warmup measure drain pkt_len seed\n"
       "  max_src_queue fault.rate fault.kind fault.seed fault.chips\n"
       "  topo.<param> traffic.<option> workload.<option>\n"
       "\n"
@@ -61,6 +61,11 @@ void print_usage() {
       "  --threads=N runs N sweep points of every series concurrently\n"
       "  (N=auto or 0 picks the hardware thread count); it overrides the\n"
       "  config file's threads key, like any scenario key.\n"
+      "\n"
+      "  --shards=N shards each simulation across N threads (deterministic\n"
+      "  two-phase engine; results are bit-identical for every N). auto/0\n"
+      "  defers to the SLDF_SHARDS environment variable. Use shards for one\n"
+      "  big point, threads for many points.\n"
       "\n"
       "  workload=NAME switches a series from open-loop rate sweeps to one\n"
       "  closed-loop message-level run reporting completion cycles and\n"

@@ -7,6 +7,7 @@
 //
 //   sldf-bench                  # full suite (radix-16/32 + fig11a sweep)
 //   sldf-bench --quick          # radix-16 point presets only (CI smoke)
+//   sldf-bench --list           # Markdown preset table (docs/PERFORMANCE.md)
 //   sldf-bench --out results/BENCH_sim.json --seed 7
 #include <cstdio>
 #include <exception>
@@ -21,11 +22,17 @@ int main(int argc, char** argv) {
   try {
     if (cli.has("help")) {
       std::printf(
-          "usage: sldf-bench [--quick] [--out FILE] [--seed N]\n"
+          "usage: sldf-bench [--quick] [--list] [--out FILE] [--seed N]\n"
           "\n"
           "  --quick     radix-16 point presets with short windows (CI)\n"
+          "  --list      print the Markdown preset table (the GENERATED\n"
+          "              block embedded in docs/PERFORMANCE.md) and exit\n"
           "  --out FILE  output path (default BENCH_sim.json)\n"
           "  --seed N    RNG seed for every preset (default 1)\n");
+      return 0;
+    }
+    if (cli.has("list")) {
+      std::fputs(bench::render_preset_table().c_str(), stdout);
       return 0;
     }
     const bool quick = cli.has("quick");
