@@ -11,6 +11,7 @@
 #endif
 
 #include "core/scenario.hpp"
+#include "trace/tenants.hpp"
 
 namespace sldf::bench {
 
@@ -113,6 +114,56 @@ core::ScenarioSpec resilience_spec(bool quick, std::uint64_t seed) {
   return s;
 }
 
+/// Multi-tenant serving preset: the acceptance-mix 3-tenant scenario
+/// (ring-AllReduce + windowed all-to-all + seeded request/reply on
+/// disjoint placements, one shared simulation plus per-tenant isolation
+/// baselines) — tracks the merged-DAG runner and interference accounting.
+core::ScenarioSpec tenants_spec(bool quick, std::uint64_t seed) {
+  core::ScenarioSpec s;
+  s.label = "tenants-mix3";
+  s.topology = "tiny-swless";
+  s.sim.seed = seed;
+  s.sim.shards = 1;
+  s.set("tenants", "3");
+  const char* chips = quick ? "8" : "16";
+  s.set("tenant0.workload", "ring-allreduce");
+  s.set("tenant0.chips", chips);
+  s.set("tenant0.scope", "system");
+  s.set("tenant0.kib", quick ? "16" : "64");
+  s.set("tenant1.workload", "all-to-all");
+  s.set("tenant1.chips", chips);
+  s.set("tenant1.scope", "system");
+  s.set("tenant1.kib", quick ? "4" : "16");
+  s.set("tenant1.window", "2");
+  s.set("tenant1.placement", "scattered");
+  s.set("tenant2.workload", "request-reply");
+  s.set("tenant2.chips", chips);
+  s.set("tenant2.requests", quick ? "32" : "128");
+  return s;
+}
+
+PerfResult run_tenants_preset(const std::string& preset,
+                              const core::ScenarioSpec& spec) {
+  PerfResult r;
+  r.preset = preset;
+  const auto t0 = std::chrono::steady_clock::now();
+  const trace::MultiTenantResult run = trace::run_tenant_scenario(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.points = 1;
+  // Total simulated work: the shared run's makespan plus every isolation
+  // baseline (the interference denominators are real simulations too).
+  r.cycles = run.cycles;
+  for (const auto& t : run.tenants) r.cycles += t.isolated_ttc;
+  r.flit_hops = run.flit_hops;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  if (r.wall_s > 0.0) {
+    r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_s;
+    r.flit_hops_per_sec = static_cast<double>(r.flit_hops) / r.wall_s;
+  }
+  r.peak_rss_mb = peak_rss_mb();
+  return r;
+}
+
 PerfResult run_workload_preset(const std::string& preset,
                                const core::ScenarioSpec& spec) {
   PerfResult r;
@@ -210,6 +261,16 @@ const std::vector<PresetDef>& preset_defs() {
                  [](bool quick, std::uint64_t seed) {
                    return run_specs("resilience-f10",
                                     {resilience_spec(quick, seed)});
+                 }});
+    d.push_back({{"tenants-mix3", "quick+full",
+                  "multi-tenant serving path: 3 co-located jobs "
+                  "(ring-AllReduce + all-to-all + request/reply) as one "
+                  "merged-DAG run plus isolation baselines (`cycles` sums "
+                  "the shared makespan and the baselines)"},
+                 true,
+                 [](bool quick, std::uint64_t seed) {
+                   return run_tenants_preset("tenants-mix3",
+                                             tenants_spec(quick, seed));
                  }});
     d.push_back({{"radix32-low", "full",
                   "latency-regime throughput at the paper's radix-32 scale, "

@@ -1,0 +1,21 @@
+// Structured error types shared across layers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sldf {
+
+/// A scenario that cannot run as configured — e.g. a workload scoped to a
+/// chip group that the active fault mask left empty, a tenant placement
+/// that does not fit the live chips, or a trace replayed onto the wrong
+/// placement size. Thrown before any simulation starts, so a bad
+/// configuration is a catchable, self-describing error instead of an
+/// engine assert mid-run.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace sldf

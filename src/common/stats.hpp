@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -41,6 +42,22 @@ class OnlineStats {
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
+
+/// Exact nearest-rank percentile (q in [0, 100]) of an unsorted sample.
+/// Sorts its by-value copy; NaN on an empty sample. Used where the sample
+/// is small enough to keep whole (per-tenant message latencies) — the
+/// Histogram below is the streaming estimate for engine-scale counts.
+inline double exact_percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(xs.begin(), xs.end());
+  if (q <= 0.0) return xs.front();
+  if (q >= 100.0) return xs.back();
+  // Nearest-rank: smallest element with at least ceil(q/100 * n) of the
+  // sample at or below it.
+  const auto n = static_cast<double>(xs.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
 
 /// Fixed-bucket histogram for latency distributions (percentile estimates).
 class Histogram {

@@ -82,6 +82,34 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     workload_opts[key.substr(9)] = value;
     return;
   }
+  // tenant<i>.<field>: auto-grows the tenant vector, so keys apply in any
+  // order (KvMap iteration delivers tenant0.* before the `tenants` count).
+  if (key.rfind("tenant", 0) == 0 && key.size() > 6 &&
+      key[6] >= '0' && key[6] <= '9') {
+    std::size_t pos = 6;
+    while (pos < key.size() && key[pos] >= '0' && key[pos] <= '9') ++pos;
+    if (pos >= key.size() || key[pos] != '.' || pos + 1 == key.size())
+      throw std::invalid_argument("scenario key '" + key +
+                                  "' expects tenant<i>.<field>");
+    const auto idx =
+        static_cast<std::size_t>(to_long(key, key.substr(6, pos - 6)));
+    if (idx >= 64)
+      throw std::invalid_argument("scenario key '" + key +
+                                  "': tenant index must be < 64");
+    const std::string field = key.substr(pos + 1);
+    if (tenant.size() <= idx) tenant.resize(idx + 1);
+    TenantKeys& t = tenant[idx];
+    if (field == "workload") {
+      t.workload = value;
+    } else if (field == "placement") {
+      t.placement = value;
+    } else if (field == "chips") {
+      t.chips = value;
+    } else {
+      t.opts[field] = value;
+    }
+    return;
+  }
   // The fault.* family is typed here (not a pass-through map): the keys are
   // few and validation should fail at parse time, not at build time.
   if (key == "fault.rate") {
@@ -102,6 +130,30 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   }
   if (key == "fault.chips") {
     fault.chips = to_chips(value);
+    return;
+  }
+  if (key == "trace.file") {
+    trace_file = value;
+    return;
+  }
+  if (key == "trace.seed") {
+    trace_seed = static_cast<std::uint64_t>(to_long(key, value));
+    return;
+  }
+  if (key == "tenants") {
+    const long n = to_long(key, value);
+    if (n < 0)
+      throw std::invalid_argument(
+          "scenario key 'tenants' expects a count >= 0");
+    tenants = static_cast<int>(n);
+    return;
+  }
+  if (key == "tenants.isolation") {
+    const long n = to_long(key, value);
+    if (n != 0 && n != 1)
+      throw std::invalid_argument(
+          "scenario key 'tenants.isolation' expects 0 or 1");
+    tenants_isolation = n != 0;
     return;
   }
   if (key == "label") {
@@ -210,6 +262,20 @@ KvMap ScenarioSpec::to_kv() const {
     }
     kv["fault.chips"] = joined;
   }
+  // Tenant/trace keys serialize only when set, mirroring the fault keys.
+  if (tenants > 0) kv["tenants"] = std::to_string(tenants);
+  if (!tenants_isolation) kv["tenants.isolation"] = "0";
+  for (std::size_t i = 0; i < tenant.size(); ++i) {
+    const std::string pfx = "tenant" + std::to_string(i) + ".";
+    const TenantKeys& t = tenant[i];
+    if (!t.workload.empty()) kv[pfx + "workload"] = t.workload;
+    if (!t.placement.empty()) kv[pfx + "placement"] = t.placement;
+    if (!t.chips.empty()) kv[pfx + "chips"] = t.chips;
+    for (const auto& [k, v] : t.opts) kv[pfx + k] = v;
+  }
+  if (!trace_file.empty()) kv["trace.file"] = trace_file;
+  if (trace_seed != ScenarioSpec{}.trace_seed)
+    kv["trace.seed"] = std::to_string(trace_seed);
   for (const auto& [k, v] : topo) kv["topo." + k] = v;
   for (const auto& [k, v] : traffic_opts) kv["traffic." + k] = v;
   for (const auto& [k, v] : workload_opts) kv["workload." + k] = v;
@@ -303,6 +369,36 @@ const std::vector<ScenarioKeyDoc>& scenario_key_docs() {
          integer(d.fault.seed)},
         {"fault.chips", "Chips to fail entirely, comma-separated ids",
          "unset"},
+        {"tenants",
+         "Concurrent tenant jobs; > 0 switches to one shared multi-tenant "
+         "serving run (see Multi-tenancy)",
+         "0 (single job)"},
+        {"tenants.isolation",
+         "Also run each tenant alone on its placement and report the "
+         "interference ratio (`0` disables the baselines)",
+         d.tenants_isolation ? "1" : "0"},
+        {"tenant<i>.workload",
+         "Tenant i's workload registry name (required for each tenant)",
+         "unset"},
+        {"tenant<i>.placement",
+         "Tenant i's chip placement: `contiguous` \\| `scattered`",
+         "contiguous"},
+        {"tenant<i>.chips",
+         "Tenant i's chips: a count to allocate, or explicit "
+         "comma-separated ids",
+         "unset"},
+        {"tenant<i>.<opt>",
+         "Workload option for tenant i, e.g. `tenant0.kib = 64` (see "
+         "Workloads)",
+         "workload defaults"},
+        {"trace.file",
+         "Trace file the `trace-replay` workload replays (see Multi-"
+         "tenancy)",
+         "unset"},
+        {"trace.seed",
+         "Seed for synthesized `request-reply` arrivals (independent of "
+         "`seed`)",
+         integer(d.trace_seed)},
     };
   }();
   return docs;
@@ -325,7 +421,9 @@ ScenarioSpec spec_from_cli(const Cli& cli, const ScenarioSpec& defaults,
     const bool prefixed = key.rfind("topo.", 0) == 0 ||
                           key.rfind("traffic.", 0) == 0 ||
                           key.rfind("workload.", 0) == 0 ||
-                          key.rfind("fault.", 0) == 0;
+                          key.rfind("fault.", 0) == 0 ||
+                          key.rfind("trace.", 0) == 0 ||
+                          key.rfind("tenant", 0) == 0;
     const auto& keys = scenario_keys();
     const bool known =
         prefixed || std::find(keys.begin(), keys.end(), key) != keys.end();
@@ -443,44 +541,52 @@ SweepSeries run_scenario(const ScenarioSpec& spec) {
   return run_sweep(spec.label, net_factory(spec), traffic_factory(spec), cfg);
 }
 
+workload::WorkloadRunConfig workload_run_config(const ScenarioSpec& spec,
+                                                KvMap* gen_opts) {
+  // Split the option map: runner/reporting keys are consumed here, the
+  // rest goes to the generator (which rejects leftovers itself).
+  const std::string ctx = spec.workload.empty()
+                              ? std::string("workload runner")
+                              : "workload '" + spec.workload + "'";
+  workload::WorkloadRunConfig rc;
+  rc.sim = spec.sim;
+  if (gen_opts) *gen_opts = spec.workload_opts;
+  KvReader o(spec.workload_opts, ctx);
+  rc.flit_bytes = o.get_double("flit_bytes", rc.flit_bytes);
+  if (!(rc.flit_bytes > 0.0))
+    throw std::invalid_argument(ctx + ": flit_bytes must be > 0");
+  rc.freq_ghz = o.get_double("freq_ghz", rc.freq_ghz);
+  if (!(rc.freq_ghz > 0.0))
+    throw std::invalid_argument(ctx + ": freq_ghz must be > 0");
+  if (const std::string* v = o.take("max_cycles")) {
+    long mc = 0;
+    if (!Cli::parse_long(*v, mc) || mc <= 0)
+      throw std::invalid_argument(ctx +
+                                  ": option 'max_cycles' expects a "
+                                  "positive cycle count, got '" +
+                                  *v + "'");
+    rc.max_cycles = static_cast<Cycle>(mc);
+  }
+  if (gen_opts)
+    for (const auto& d : workload::runner_option_docs())
+      gen_opts->erase(d.key);
+  return rc;
+}
+
 WorkloadRun run_workload_scenario(const ScenarioSpec& spec) {
   if (spec.workload.empty())
     throw std::invalid_argument(
         "run_workload_scenario: spec has no workload key");
 
-  // Split the option map: runner/reporting keys are consumed here, the
-  // rest goes to the generator (which rejects leftovers itself).
-  workload::WorkloadRunConfig rc;
-  rc.sim = spec.sim;
-  KvMap gen_opts = spec.workload_opts;
-  {
-    KvReader o(spec.workload_opts,
-               "workload '" + spec.workload + "'");
-    rc.flit_bytes = o.get_double("flit_bytes", rc.flit_bytes);
-    if (!(rc.flit_bytes > 0.0))
-      throw std::invalid_argument("workload '" + spec.workload +
-                                  "': flit_bytes must be > 0");
-    rc.freq_ghz = o.get_double("freq_ghz", rc.freq_ghz);
-    if (!(rc.freq_ghz > 0.0))
-      throw std::invalid_argument("workload '" + spec.workload +
-                                  "': freq_ghz must be > 0");
-    if (const std::string* v = o.take("max_cycles")) {
-      long mc = 0;
-      if (!Cli::parse_long(*v, mc) || mc <= 0)
-        throw std::invalid_argument("workload '" + spec.workload +
-                                    "': option 'max_cycles' expects a "
-                                    "positive cycle count, got '" +
-                                    *v + "'");
-      rc.max_cycles = static_cast<Cycle>(mc);
-    }
-    for (const auto& d : workload::runner_option_docs())
-      gen_opts.erase(d.key);
-  }
+  KvMap gen_opts;
+  const workload::WorkloadRunConfig rc = workload_run_config(spec, &gen_opts);
 
   sim::Network net;
   build_network(net, spec);
   workload::WorkloadEnv env;
   env.flit_bytes = rc.flit_bytes;
+  env.trace_file = spec.trace_file;
+  env.trace_seed = spec.trace_seed;
   const workload::WorkloadGraph graph =
       workload::make_workload(spec.workload, net, gen_opts, env);
 

@@ -39,6 +39,26 @@ struct ScenarioSpec {
   /// an inactive spec leaves the network bit-identical to a fault-free one.
   topo::FaultSpec fault;
 
+  /// Per-tenant keys of the multi-tenant serving mode (`tenant<i>.*`).
+  /// Free-form strings here; trace::tenant_specs() parses and validates
+  /// them against the declared `tenants` count at run time.
+  struct TenantKeys {
+    std::string workload;   ///< `tenant<i>.workload` (required per tenant).
+    std::string placement;  ///< `tenant<i>.placement` (empty = contiguous).
+    std::string chips;      ///< `tenant<i>.chips`: count or id list.
+    KvMap opts;             ///< Remaining `tenant<i>.<opt>` workload options.
+  };
+  /// Concurrent tenant jobs (`tenants`); > 0 switches the scenario to one
+  /// shared multi-tenant serving run (see trace/tenants.hpp) where each
+  /// tenant's workload/placement comes from its `tenant<i>.*` keys.
+  int tenants = 0;
+  /// `tenants.isolation`: also run each tenant alone on its placement to
+  /// report interference-vs-isolation ratios.
+  bool tenants_isolation = true;
+  std::vector<TenantKeys> tenant;  ///< Indexed by i, grown by set().
+  std::string trace_file;          ///< `trace.file` (trace-replay input).
+  std::uint64_t trace_seed = 1;    ///< `trace.seed` (request-reply arrivals).
+
   /// Explicit offered loads; when empty, linspace(max_rate, points) is used.
   std::vector<double> rates;
   double max_rate = 1.0;
@@ -50,9 +70,10 @@ struct ScenarioSpec {
   /// Applies one `key = value` setting (the config/CLI vocabulary: label,
   /// topology, traffic, workload, mode, scheme, rates, max_rate, points,
   /// stop_factor, threads, warmup, measure, drain, pkt_len, seed,
-  /// max_src_queue, the fault.* keys, plus prefixed topo.* / traffic.* /
-  /// workload.* entries). Throws std::invalid_argument on unknown keys or
-  /// malformed values.
+  /// max_src_queue, the fault.* / trace.* keys, tenants,
+  /// tenants.isolation, plus prefixed topo.* / traffic.* / workload.* /
+  /// tenant<i>.* entries). Throws std::invalid_argument on unknown keys
+  /// or malformed values.
   void set(const std::string& key, const std::string& value);
 
   /// Serializes every setting back to the config vocabulary; a spec
@@ -117,6 +138,14 @@ struct WorkloadRun {
   std::string workload;
   workload::WorkloadResult result;
 };
+
+/// Builds the runner config from spec.sim + the runner keys in
+/// spec.workload_opts (`workload.flit_bytes` / `.freq_ghz` /
+/// `.max_cycles`). When `gen_opts` is given it receives the remaining
+/// generator options. Shared by the single-workload and multi-tenant run
+/// paths.
+workload::WorkloadRunConfig workload_run_config(const ScenarioSpec& spec,
+                                                KvMap* gen_opts = nullptr);
 
 /// Runs the spec's closed-loop workload (workload must be non-empty): the
 /// generator is a WorkloadRegistry lookup on spec.workload; the runner

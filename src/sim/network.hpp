@@ -87,6 +87,15 @@ class Network {
     return node_alive_.empty() ||
            node_alive_[static_cast<std::size_t>(n)] != 0;
   }
+  /// A chip is live while any of its terminal nodes is; fault.chips kills
+  /// every node of a chip, so a dead chip can neither source nor sink
+  /// workload traffic (placement and workload validation consult this).
+  [[nodiscard]] bool chip_live(ChipId chip) const {
+    if (node_alive_.empty()) return true;
+    for (const NodeId n : chip_nodes_[static_cast<std::size_t>(chip)])
+      if (node_alive_[static_cast<std::size_t>(n)] != 0) return true;
+    return false;
+  }
   /// Marks channel `c` dead and rewrites its source output-port record so
   /// the engine cannot move flits over it (token width zeroed: the bucket
   /// never refills), independent of what routing decides.

@@ -1,0 +1,117 @@
+#include "trace/placement.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "topo/hier.hpp"
+
+namespace sldf::trace {
+
+const char* to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::Contiguous: return "contiguous";
+    case PlacementPolicy::Scattered: return "scattered";
+  }
+  return "?";
+}
+
+PlacementPolicy parse_placement(const std::string& s,
+                                const std::string& context) {
+  if (s == "contiguous") return PlacementPolicy::Contiguous;
+  if (s == "scattered") return PlacementPolicy::Scattered;
+  throw ScenarioError(context +
+                      ": placement expects contiguous|scattered, got '" + s +
+                      "'");
+}
+
+PlacementAllocator::PlacementAllocator(const sim::Network& net) : net_(&net) {
+  const auto& hier = net.topo<topo::HierTopo>();
+  const auto nchips = static_cast<ChipId>(net.num_chips());
+  taken_.assign(static_cast<std::size_t>(nchips), 0);
+  order_.reserve(static_cast<std::size_t>(nchips));
+  for (ChipId c = 0; c < nchips; ++c)
+    if (net.chip_live(c)) order_.push_back(c);
+  std::sort(order_.begin(), order_.end(), [&](ChipId a, ChipId b) {
+    const auto ca = hier.chip_cgroup[static_cast<std::size_t>(a)];
+    const auto cb = hier.chip_cgroup[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca < cb;
+    return hier.chip_ring_rank[static_cast<std::size_t>(a)] <
+           hier.chip_ring_rank[static_cast<std::size_t>(b)];
+  });
+  cgroup_of_.reserve(order_.size());
+  for (const ChipId c : order_)
+    cgroup_of_.push_back(hier.chip_cgroup[static_cast<std::size_t>(c)]);
+}
+
+int PlacementAllocator::free_chips() const {
+  int n = 0;
+  for (const ChipId c : order_)
+    if (!taken_[static_cast<std::size_t>(c)]) ++n;
+  return n;
+}
+
+std::vector<ChipId> PlacementAllocator::allocate(int count,
+                                                 PlacementPolicy policy,
+                                                 const std::string& tenant) {
+  if (count < 1)
+    throw ScenarioError(tenant + ": chip count must be >= 1, got " +
+                        std::to_string(count));
+  std::vector<ChipId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // Chips are marked taken as they are claimed (and rolled back on
+  // failure) so the scattered scan advances deeper into each C-group pass
+  // by pass.
+  if (policy == PlacementPolicy::Contiguous) {
+    for (const ChipId c : order_) {
+      if (taken_[static_cast<std::size_t>(c)]) continue;
+      taken_[static_cast<std::size_t>(c)] = 1;
+      out.push_back(c);
+      if (static_cast<int>(out.size()) == count) break;
+    }
+  } else {
+    // One free chip per C-group per pass, C-groups in ascending order;
+    // repeat until filled or the pool is dry.
+    while (static_cast<int>(out.size()) < count) {
+      const std::size_t before = out.size();
+      std::int32_t served = -1;  // last C-group claimed from this pass
+      for (std::size_t i = 0;
+           i < order_.size() && static_cast<int>(out.size()) < count; ++i) {
+        const ChipId c = order_[i];
+        if (cgroup_of_[i] == served) continue;
+        if (taken_[static_cast<std::size_t>(c)]) continue;
+        taken_[static_cast<std::size_t>(c)] = 1;
+        out.push_back(c);
+        served = cgroup_of_[i];
+      }
+      if (out.size() == before) break;  // pool dry
+    }
+  }
+  if (static_cast<int>(out.size()) < count) {
+    for (const ChipId c : out) taken_[static_cast<std::size_t>(c)] = 0;
+    throw ScenarioError(tenant + ": needs " + std::to_string(count) +
+                        " chips but only " + std::to_string(free_chips()) +
+                        " live chips remain unclaimed");
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PlacementAllocator::reserve(const std::vector<ChipId>& chips,
+                                 const std::string& tenant) {
+  const auto nchips = static_cast<ChipId>(net_->num_chips());
+  for (const ChipId c : chips) {
+    if (c < 0 || c >= nchips)
+      throw ScenarioError(tenant + ": chip " + std::to_string(c) +
+                          " out of range (network has " +
+                          std::to_string(nchips) + " chips)");
+    if (!net_->chip_live(c))
+      throw ScenarioError(tenant + ": chip " + std::to_string(c) +
+                          " is dead under the active fault mask");
+    if (taken_[static_cast<std::size_t>(c)])
+      throw ScenarioError(tenant + ": chip " + std::to_string(c) +
+                          " is already claimed by another tenant");
+    taken_[static_cast<std::size_t>(c)] = 1;
+  }
+}
+
+}  // namespace sldf::trace

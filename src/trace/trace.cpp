@@ -1,0 +1,271 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "workload/collectives.hpp"
+
+namespace sldf::trace {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, std::size_t line,
+                       const std::string& what) {
+  throw TraceError(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Strict unsigned parse (the format has no negative fields; a '-' is as
+/// malformed as a letter).
+bool parse_u64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char ch : tok) {
+    if (ch < '0' || ch > '9') return false;
+    const auto d = static_cast<std::uint64_t>(ch - '0');
+    if (v > (~0ULL - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+Trace parse_trace(std::istream& in, const std::string& origin) {
+  Trace t;
+  std::string raw;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  bool saw_chips = false;
+  Cycle prev_issue = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    std::string line = hash == std::string::npos ? raw : raw.substr(0, hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank / comment-only line
+    if (!saw_header) {
+      std::string version;
+      if (tok != "sldf-trace" || !(ls >> version))
+        fail(origin, lineno, "expected header 'sldf-trace 1'");
+      if (version != "1")
+        fail(origin, lineno,
+             "unsupported trace version '" + version + "' (have 1)");
+      saw_header = true;
+      continue;
+    }
+    if (tok == "chips") {
+      if (saw_chips) fail(origin, lineno, "duplicate 'chips' line");
+      std::uint64_t n = 0;
+      std::string cnt;
+      if (!(ls >> cnt) || !parse_u64(cnt, n) || n == 0 || n > 0x7fffffffULL)
+        fail(origin, lineno, "'chips' expects a positive chip count");
+      t.chips = static_cast<std::int32_t>(n);
+      saw_chips = true;
+      continue;
+    }
+    if (tok != "m")
+      fail(origin, lineno, "unknown directive '" + tok + "'");
+    if (!saw_chips) fail(origin, lineno, "'m' before 'chips'");
+    std::string f_issue, f_src, f_dst, f_flits;
+    if (!(ls >> f_issue >> f_src >> f_dst >> f_flits))
+      fail(origin, lineno, "'m' expects: m <issue> <src> <dst> <flits> [deps]");
+    TraceMsg m;
+    std::uint64_t v = 0;
+    if (!parse_u64(f_issue, v))
+      fail(origin, lineno, "malformed issue timestamp '" + f_issue + "'");
+    m.issue = v;
+    if (!parse_u64(f_src, v) || v >= static_cast<std::uint64_t>(t.chips))
+      fail(origin, lineno, "unknown chip id '" + f_src + "' (trace has " +
+                               std::to_string(t.chips) + " chips)");
+    m.src = static_cast<std::int32_t>(v);
+    if (!parse_u64(f_dst, v) || v >= static_cast<std::uint64_t>(t.chips))
+      fail(origin, lineno, "unknown chip id '" + f_dst + "' (trace has " +
+                               std::to_string(t.chips) + " chips)");
+    m.dst = static_cast<std::int32_t>(v);
+    if (m.src == m.dst)
+      fail(origin, lineno, "message src == dst (rank " + f_src + ")");
+    if (!parse_u64(f_flits, v) || v == 0)
+      fail(origin, lineno, "malformed flit count '" + f_flits + "'");
+    m.flits = v;
+    if (!t.msgs.empty() && m.issue < prev_issue)
+      fail(origin, lineno,
+           "non-monotone issue timestamp " + f_issue + " (previous was " +
+               std::to_string(prev_issue) + ")");
+    prev_issue = m.issue;
+    const auto id = static_cast<std::uint64_t>(t.msgs.size());
+    std::string deps;
+    if (ls >> deps) {
+      std::string extra;
+      if (ls >> extra)
+        fail(origin, lineno, "trailing token '" + extra + "' after deps");
+      std::size_t pos = 0;
+      while (pos <= deps.size()) {
+        const auto comma = deps.find(',', pos);
+        const std::string d = deps.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!parse_u64(d, v) || v >= id)
+          fail(origin, lineno,
+               "dep '" + d + "' does not name an earlier message");
+        m.deps.push_back(static_cast<std::uint32_t>(v));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+    t.msgs.push_back(std::move(m));
+  }
+  if (!saw_header) fail(origin, lineno + 1, "empty trace (no header)");
+  if (!saw_chips) fail(origin, lineno + 1, "missing 'chips' line");
+  return t;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceError(path + ": cannot open trace file");
+  return parse_trace(in, path);
+}
+
+void write_trace(std::ostream& out, const Trace& t) {
+  out << "sldf-trace 1\n";
+  out << "chips " << t.chips << "\n";
+  for (const auto& m : t.msgs) {
+    out << "m " << m.issue << " " << m.src << " " << m.dst << " " << m.flits;
+    for (std::size_t i = 0; i < m.deps.size(); ++i)
+      out << (i == 0 ? " " : ",") << m.deps[i];
+    out << "\n";
+  }
+}
+
+Trace from_graph(const workload::WorkloadGraph& g) {
+  Trace t;
+  // Participating chips -> dense logical ranks, ascending chip-id order.
+  std::vector<ChipId> chips;
+  for (const auto& m : g.messages) {
+    chips.push_back(m.src);
+    chips.push_back(m.dst);
+  }
+  std::sort(chips.begin(), chips.end());
+  chips.erase(std::unique(chips.begin(), chips.end()), chips.end());
+  std::vector<std::int32_t> rank;
+  if (!chips.empty())
+    rank.resize(static_cast<std::size_t>(chips.back()) + 1, -1);
+  for (std::size_t r = 0; r < chips.size(); ++r)
+    rank[static_cast<std::size_t>(chips[r])] = static_cast<std::int32_t>(r);
+  t.chips = static_cast<std::int32_t>(chips.size());
+
+  // Effective issue = max(own issue, deps' effective issue): sorting by it
+  // (stably, so dep order survives ties) yields a monotone file where every
+  // dep still precedes its dependent.
+  const std::size_t n = g.messages.size();
+  std::vector<Cycle> eff(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Cycle e = g.messages[i].issue;
+    for (const auto d : g.messages[i].deps)
+      e = std::max(e, eff[static_cast<std::size_t>(d)]);
+    eff[i] = e;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return eff[a] < eff[b]; });
+  std::vector<std::uint32_t> new_id(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    new_id[order[i]] = static_cast<std::uint32_t>(i);
+
+  t.msgs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& src = g.messages[order[i]];
+    TraceMsg m;
+    m.issue = eff[order[i]];
+    m.src = rank[static_cast<std::size_t>(src.src)];
+    m.dst = rank[static_cast<std::size_t>(src.dst)];
+    m.flits = src.flits;
+    for (const auto d : src.deps)
+      m.deps.push_back(new_id[static_cast<std::size_t>(d)]);
+    std::sort(m.deps.begin(), m.deps.end());
+    t.msgs.push_back(std::move(m));
+  }
+  return t;
+}
+
+Trace request_reply_trace(std::int32_t chips, int requests,
+                          std::uint64_t req_flits, std::uint64_t rep_flits,
+                          Cycle mean_gap, std::uint64_t seed) {
+  if (chips < 2)
+    throw ScenarioError("request-reply trace needs >= 2 chips, got " +
+                        std::to_string(chips));
+  if (requests < 1)
+    throw ScenarioError("request-reply trace needs >= 1 requests");
+  if (req_flits == 0 || rep_flits == 0)
+    throw ScenarioError("request-reply trace flit sizes must be >= 1");
+  Trace t;
+  t.chips = chips;
+  Rng rng(SplitMix64(seed ^ 0x7265712d72657031ULL).next());
+  const auto n = static_cast<std::uint64_t>(chips);
+  Cycle at = 0;
+  for (int r = 0; r < requests; ++r) {
+    at += rng.below(2 * mean_gap + 1);
+    const auto client = static_cast<std::int32_t>(rng.below(n));
+    // Distinct server, uniform over the other chips.
+    const auto server = static_cast<std::int32_t>(
+        (static_cast<std::uint64_t>(client) + 1 + rng.below(n - 1)) % n);
+    TraceMsg req;
+    req.issue = at;
+    req.src = client;
+    req.dst = server;
+    req.flits = req_flits;
+    const auto req_id = static_cast<std::uint32_t>(t.msgs.size());
+    t.msgs.push_back(std::move(req));
+    TraceMsg rep;
+    rep.issue = at;  // gated by the request via deps, not the timestamp
+    rep.src = server;
+    rep.dst = client;
+    rep.flits = rep_flits;
+    rep.deps.push_back(req_id);
+    t.msgs.push_back(std::move(rep));
+  }
+  return t;
+}
+
+workload::WorkloadGraph to_graph(const Trace& t, const sim::Network& net,
+                                 const std::vector<ChipId>& chip_map,
+                                 const std::string& context) {
+  if (static_cast<std::int32_t>(chip_map.size()) != t.chips)
+    throw ScenarioError(context + ": trace spans " + std::to_string(t.chips) +
+                        " ranks but the placement has " +
+                        std::to_string(chip_map.size()) + " chips");
+  const auto nchips = static_cast<ChipId>(net.num_chips());
+  for (std::size_t r = 0; r < chip_map.size(); ++r) {
+    const ChipId c = chip_map[r];
+    if (c < 0 || c >= nchips)
+      throw ScenarioError(context + ": rank " + std::to_string(r) +
+                          " maps to chip " + std::to_string(c) +
+                          ", out of range (network has " +
+                          std::to_string(nchips) + " chips)");
+    if (!net.chip_live(c))
+      throw ScenarioError(context + ": rank " + std::to_string(r) +
+                          " maps to chip " + std::to_string(c) +
+                          ", dead under the active fault mask");
+  }
+  workload::WorkloadGraph g;
+  g.name = "trace-replay";
+  g.num_phases = 1;
+  g.messages.reserve(t.msgs.size());
+  for (const auto& m : t.msgs) {
+    const auto id = g.add(chip_map[static_cast<std::size_t>(m.src)],
+                          chip_map[static_cast<std::size_t>(m.dst)],
+                          m.flits, 0);
+    g.messages[id].issue = m.issue;
+    g.messages[id].deps.assign(m.deps.begin(), m.deps.end());
+  }
+  workload::narrow_external_messages(net, g);
+  return g;
+}
+
+}  // namespace sldf::trace

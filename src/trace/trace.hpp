@@ -1,0 +1,89 @@
+// Deterministic job traces: a serialized message DAG with issue timestamps.
+//
+// A trace is the unit of workload portability in the multi-tenant serving
+// layer. It records one job as logical-rank messages — "rank S sends F
+// flits to rank D no earlier than cycle T, after messages {deps}" — with
+// ranks in [0, chips) instead of physical chip ids, so the same trace file
+// replays onto any placement of `chips` live chips the tenant allocator
+// hands out. Traces are produced two ways: captured from any registered
+// workload generator (from_graph / `sldf --emit-trace`), or synthesized by
+// the seeded request/reply inference generator (request_reply_trace).
+//
+// File format (line-oriented, '#' comments, canonical writer):
+//
+//   sldf-trace 1
+//   chips <N>
+//   m <issue> <src> <dst> <flits> [<d0>,<d1>,...]
+//
+// Message ids are implicit file order (0-based); deps refer to earlier
+// ids only and issue timestamps are non-decreasing down the file, so a
+// valid trace is a topologically sorted DAG by construction. Violations —
+// and every other malformed line — throw TraceError with the offending
+// file:line, a structured error the driver reports instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "workload/workload.hpp"
+
+namespace sldf::trace {
+
+/// A malformed or inconsistent trace file (parse errors carry file:line).
+class TraceError : public ScenarioError {
+ public:
+  explicit TraceError(const std::string& what) : ScenarioError(what) {}
+};
+
+/// One traced message. `src`/`dst` are logical ranks in [0, chips);
+/// `deps` are indices of earlier messages in Trace::msgs.
+struct TraceMsg {
+  Cycle issue = 0;           ///< Earliest issue cycle (non-decreasing).
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  std::uint64_t flits = 0;
+  std::vector<std::uint32_t> deps;
+};
+
+struct Trace {
+  std::int32_t chips = 0;    ///< Logical ranks the trace spans.
+  std::vector<TraceMsg> msgs;
+};
+
+/// Parses a trace from `in`; `origin` (e.g. the file path) prefixes
+/// TraceError messages as "origin:line".
+Trace parse_trace(std::istream& in, const std::string& origin);
+
+/// Opens and parses `path`; missing/unreadable files throw TraceError.
+Trace load_trace(const std::string& path);
+
+/// Writes `t` in canonical form (round-trips through parse_trace).
+void write_trace(std::ostream& out, const Trace& t);
+
+/// Captures a workload graph as a trace: participating chips become
+/// logical ranks 0..k-1 in ascending chip-id order, messages are ordered
+/// by (effective issue, original id) where effective issue is
+/// max(own issue, deps' effective issues) — so the emitted file satisfies
+/// the monotone-timestamp invariant for any valid graph.
+Trace from_graph(const workload::WorkloadGraph& g);
+
+/// Synthesized inference-serving trace: `requests` request/reply pairs
+/// between seeded-random client/server rank pairs. Request r issues at a
+/// seeded-random gap after request r-1 (uniform in [0, 2*mean_gap]); the
+/// reply depends on its request. Deterministic for a fixed seed.
+Trace request_reply_trace(std::int32_t chips, int requests,
+                          std::uint64_t req_flits, std::uint64_t rep_flits,
+                          Cycle mean_gap, std::uint64_t seed);
+
+/// Instantiates `t` onto physical chips: rank r -> chip_map[r]. Throws
+/// ScenarioError when chip_map.size() != t.chips or a mapped chip is out
+/// of range / dead under the active fault mask. The returned graph has one
+/// phase per trace (phase 0); callers overlay tenant phases themselves.
+workload::WorkloadGraph to_graph(const Trace& t, const sim::Network& net,
+                                 const std::vector<ChipId>& chip_map,
+                                 const std::string& context);
+
+}  // namespace sldf::trace

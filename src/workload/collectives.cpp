@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "topo/hier.hpp"
 
 namespace sldf::workload {
@@ -24,30 +25,35 @@ void check_sizes(const char* name, std::uint64_t flits, int iters) {
                                 "': iters must be >= 1");
 }
 
-/// Narrows every message that leaves its source C-group to one terminal
-/// slot (MessageSpec::stripe = 1): such transfers funnel into a single
-/// narrow external port, and striping them over every injector only fills
-/// the mesh rows behind the port (tree saturation) without adding
-/// bandwidth. Intra-C-group messages keep full striping — their parallel
-/// chip-boundary links are the point.
-void narrow_external_messages(const sim::Network& net, WorkloadGraph& g) {
-  const auto& hier = net.topo<topo::HierTopo>();
-  for (auto& m : g.messages)
-    if (hier.chip_cgroup[static_cast<std::size_t>(m.src)] !=
-        hier.chip_cgroup[static_cast<std::size_t>(m.dst)])
-      m.stripe = 1;
-}
-
 /// Groups partitioned by scope, each required to hold >= 2 chips.
-std::vector<std::vector<ChipId>> groups_of_two(const sim::Network& net,
-                                               Scope scope,
-                                               const char* name) {
-  auto groups = chip_groups(net, scope);
-  for (const auto& g : groups)
+/// Chips the active fault mask killed are dropped from their group — the
+/// collective reforms over the survivors, the same way a job scheduler
+/// would skip a dead board. A group that *structurally* has < 2 chips is a
+/// configuration bug (std::invalid_argument); one that the fault mask
+/// emptied or reduced below 2 is a runtime condition of this scenario
+/// (ScenarioError).
+std::vector<std::vector<ChipId>> groups_of_two(
+    const sim::Network& net, Scope scope, const char* name,
+    const std::vector<ChipId>& subset) {
+  auto groups = chip_groups(net, scope, subset);
+  for (auto& g : groups) {
     if (g.size() < 2)
       throw std::invalid_argument(std::string("workload '") + name +
                                   "': a " + to_string(scope) +
                                   " scope group has < 2 chips");
+    if (!net.has_faults()) continue;
+    const std::size_t structural = g.size();
+    g.erase(std::remove_if(
+                g.begin(), g.end(),
+                [&](ChipId c) { return !net.chip_live(c); }),
+            g.end());
+    if (g.size() < 2)
+      throw ScenarioError(
+          std::string("workload '") + name + "': a " + to_string(scope) +
+          " scope group of " + std::to_string(structural) +
+          " chips has " + std::to_string(g.size()) +
+          " live chips under the active fault mask (>= 2 required)");
+  }
   return groups;
 }
 
@@ -72,12 +78,39 @@ Scope parse_scope(const std::string& s, const std::string& context) {
                               s + "'");
 }
 
-std::vector<std::vector<ChipId>> chip_groups(const sim::Network& net,
-                                             Scope scope) {
+void narrow_external_messages(const sim::Network& net, WorkloadGraph& g) {
+  const auto& hier = net.topo<topo::HierTopo>();
+  for (auto& m : g.messages)
+    if (hier.chip_cgroup[static_cast<std::size_t>(m.src)] !=
+        hier.chip_cgroup[static_cast<std::size_t>(m.dst)])
+      m.stripe = 1;
+}
+
+std::vector<std::vector<ChipId>> chip_groups(
+    const sim::Network& net, Scope scope,
+    const std::vector<ChipId>& subset) {
   const auto& hier = net.topo<topo::HierTopo>();
   const auto nchips = static_cast<ChipId>(net.num_chips());
+  std::vector<ChipId> pool;
+  if (subset.empty()) {
+    pool.resize(static_cast<std::size_t>(nchips));
+    for (ChipId c = 0; c < nchips; ++c)
+      pool[static_cast<std::size_t>(c)] = c;
+  } else {
+    pool = subset;
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(nchips), 0);
+    for (const ChipId c : pool) {
+      if (c < 0 || c >= nchips)
+        throw std::invalid_argument("chip_groups: chip " + std::to_string(c) +
+                                    " out of range (network has " +
+                                    std::to_string(nchips) + " chips)");
+      if (seen[static_cast<std::size_t>(c)]++)
+        throw std::invalid_argument("chip_groups: chip " + std::to_string(c) +
+                                    " listed twice");
+    }
+  }
   std::map<std::int32_t, std::vector<ChipId>> groups;
-  for (ChipId c = 0; c < nchips; ++c) {
+  for (const ChipId c : pool) {
     std::int32_t key = 0;
     switch (scope) {
       case Scope::CGroup:
@@ -108,12 +141,12 @@ std::vector<std::vector<ChipId>> chip_groups(const sim::Network& net,
 
 WorkloadGraph ring_allreduce(const sim::Network& net, Scope scope,
                              std::uint64_t vector_flits, int chunks,
-                             int iters) {
+                             int iters, const std::vector<ChipId>& subset) {
   check_sizes("ring-allreduce", vector_flits, iters);
   if (chunks < 1)
     throw std::invalid_argument(
         "workload 'ring-allreduce': chunks must be >= 1");
-  const auto groups = groups_of_two(net, scope, "ring-allreduce");
+  const auto groups = groups_of_two(net, scope, "ring-allreduce", subset);
   WorkloadGraph g;
   g.name = "ring-allreduce";
   std::size_t max_steps = 0;
@@ -160,10 +193,11 @@ WorkloadGraph ring_allreduce(const sim::Network& net, Scope scope,
 
 WorkloadGraph halving_doubling_allreduce(const sim::Network& net, Scope scope,
                                          std::uint64_t vector_flits,
-                                         int iters) {
+                                         int iters,
+                                         const std::vector<ChipId>& subset) {
   check_sizes("halving-doubling-allreduce", vector_flits, iters);
   const auto groups =
-      groups_of_two(net, scope, "halving-doubling-allreduce");
+      groups_of_two(net, scope, "halving-doubling-allreduce", subset);
   WorkloadGraph g;
   g.name = "halving-doubling-allreduce";
   std::size_t m_max = 0;
@@ -251,9 +285,10 @@ WorkloadGraph halving_doubling_allreduce(const sim::Network& net, Scope scope,
 }
 
 WorkloadGraph tree_allreduce(const sim::Network& net, Scope scope,
-                             std::uint64_t vector_flits, int iters) {
+                             std::uint64_t vector_flits, int iters,
+                             const std::vector<ChipId>& subset) {
   check_sizes("tree-allreduce", vector_flits, iters);
-  const auto groups = groups_of_two(net, scope, "tree-allreduce");
+  const auto groups = groups_of_two(net, scope, "tree-allreduce", subset);
   WorkloadGraph g;
   g.name = "tree-allreduce";
   std::size_t m_max = 0;
@@ -319,11 +354,12 @@ WorkloadGraph tree_allreduce(const sim::Network& net, Scope scope,
 }
 
 WorkloadGraph all_to_all(const sim::Network& net, Scope scope,
-                         std::uint64_t pair_flits, int window, int iters) {
+                         std::uint64_t pair_flits, int window, int iters,
+                         const std::vector<ChipId>& subset) {
   check_sizes("all-to-all", pair_flits, iters);
   if (window < 0)
     throw std::invalid_argument("workload 'all-to-all': window must be >= 0");
-  const auto groups = groups_of_two(net, scope, "all-to-all");
+  const auto groups = groups_of_two(net, scope, "all-to-all", subset);
   WorkloadGraph g;
   g.name = "all-to-all";
   std::size_t rounds_max = 0;
@@ -366,9 +402,10 @@ WorkloadGraph all_to_all(const sim::Network& net, Scope scope,
 }
 
 WorkloadGraph stencil3d(const sim::Network& net, Scope scope,
-                        std::uint64_t halo_flits, int iters, bool periodic) {
+                        std::uint64_t halo_flits, int iters, bool periodic,
+                        const std::vector<ChipId>& subset) {
   check_sizes("stencil-3d", halo_flits, iters);
-  const auto groups = groups_of_two(net, scope, "stencil-3d");
+  const auto groups = groups_of_two(net, scope, "stencil-3d", subset);
   WorkloadGraph g;
   g.name = "stencil-3d";
 

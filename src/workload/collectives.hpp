@@ -26,9 +26,21 @@ Scope parse_scope(const std::string& s, const std::string& context);
 const char* to_string(Scope s);
 
 /// Chips partitioned by `scope`, each group ordered by (C-group,
-/// Hamiltonian ring rank). Requires HierTopo topology info.
-std::vector<std::vector<ChipId>> chip_groups(const sim::Network& net,
-                                             Scope scope);
+/// Hamiltonian ring rank). Requires HierTopo topology info. A non-empty
+/// `subset` restricts the partition to those chips (the tenant-placement
+/// path: a tenant's collective spans only its placed chips); chips listed
+/// twice throw std::invalid_argument.
+std::vector<std::vector<ChipId>> chip_groups(
+    const sim::Network& net, Scope scope,
+    const std::vector<ChipId>& subset = {});
+
+/// Narrows every message that leaves its source C-group to one terminal
+/// slot (MessageSpec::stripe = 1): such transfers funnel into a single
+/// narrow external port, and striping them over every injector only fills
+/// the mesh rows behind the port (tree saturation) without adding
+/// bandwidth. Every generator (and the trace replayer) applies this after
+/// building its graph.
+void narrow_external_messages(const sim::Network& net, WorkloadGraph& g);
 
 /// Ring AllReduce (reduce-scatter + allgather): 2*(N-1) steps per group of
 /// N chips; each step streams ceil(vector_flits/N) flits to the ring
@@ -37,7 +49,8 @@ std::vector<std::vector<ChipId>> chip_groups(const sim::Network& net,
 /// full collectives back to back.
 WorkloadGraph ring_allreduce(const sim::Network& net, Scope scope,
                              std::uint64_t vector_flits, int chunks,
-                             int iters);
+                             int iters,
+                             const std::vector<ChipId>& subset = {});
 
 /// Recursive halving-doubling AllReduce: log2 steps of halving (reduce-
 /// scatter) then log2 steps of doubling (allgather) over the largest
@@ -45,19 +58,22 @@ WorkloadGraph ring_allreduce(const sim::Network& net, Scope scope,
 /// pre/post full-vector exchange (the standard non-power-of-two fixup).
 WorkloadGraph halving_doubling_allreduce(const sim::Network& net, Scope scope,
                                          std::uint64_t vector_flits,
-                                         int iters);
+                                         int iters,
+                                         const std::vector<ChipId>& subset = {});
 
 /// Binomial-tree AllReduce: reduce to rank 0 (full vector per hop), then
 /// binomial broadcast back out. Latency-optimal message count, bandwidth-
 /// poor — the contrast workload to the ring.
 WorkloadGraph tree_allreduce(const sim::Network& net, Scope scope,
-                             std::uint64_t vector_flits, int iters);
+                             std::uint64_t vector_flits, int iters,
+                             const std::vector<ChipId>& subset = {});
 
 /// All-to-all personalized exchange: N-1 shifted rounds (round r: chip i ->
 /// chip (i+r) mod N) of `pair_flits` each; at most `window` rounds are in
 /// flight per chip (0 = unlimited).
 WorkloadGraph all_to_all(const sim::Network& net, Scope scope,
-                         std::uint64_t pair_flits, int window, int iters);
+                         std::uint64_t pair_flits, int window, int iters,
+                         const std::vector<ChipId>& subset = {});
 
 /// 3D nearest-neighbour halo exchange: each group's chips are arranged in
 /// the most cubic exact factorization of the group size (every chip
@@ -66,6 +82,7 @@ WorkloadGraph all_to_all(const sim::Network& net, Scope scope,
 /// next iteration's sends wait on all halos arriving — the classic
 /// stencil dependency. `periodic` wraps the grid into a torus.
 WorkloadGraph stencil3d(const sim::Network& net, Scope scope,
-                        std::uint64_t halo_flits, int iters, bool periodic);
+                        std::uint64_t halo_flits, int iters, bool periodic,
+                        const std::vector<ChipId>& subset = {});
 
 }  // namespace sldf::workload

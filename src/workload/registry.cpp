@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/error.hpp"
+#include "trace/trace.hpp"
 #include "workload/collectives.hpp"
 
 namespace sldf::workload {
@@ -36,6 +38,27 @@ constexpr int kDefaultIters = 1;
 constexpr int kRingChunks = 1;
 constexpr int kA2aWindow = 1;
 constexpr bool kStencilPeriodic = true;
+constexpr int kRrRequests = 64;      ///< Request/reply pairs.
+constexpr double kRrReqKib = 1.0;    ///< Request payload.
+constexpr double kRrRepKib = 4.0;    ///< Reply payload.
+constexpr int kRrGap = 200;          ///< Mean request inter-arrival cycles.
+
+/// Chips a trace-backed workload spans: the tenant placement when set,
+/// otherwise the first `want` live chips in chip-id order (all of them
+/// when want < 0) — so a standalone replay lands on a deterministic
+/// placement that composes with the fault mask.
+std::vector<ChipId> replay_chips(const sim::Network& net,
+                                 const WorkloadEnv& env, std::int32_t want) {
+  if (!env.chips.empty()) return env.chips;
+  std::vector<ChipId> chips;
+  const auto nchips = static_cast<ChipId>(net.num_chips());
+  for (ChipId c = 0; c < nchips; ++c) {
+    if (!net.chip_live(c)) continue;
+    chips.push_back(c);
+    if (want >= 0 && static_cast<std::int32_t>(chips.size()) == want) break;
+  }
+  return chips;
+}
 
 std::string num_str(double v) {
   char buf[32];
@@ -76,7 +99,7 @@ WorkloadRegistry::WorkloadRegistry() {
         o.finish();
         return ring_allreduce(net, scope,
                               kib_to_flits(kib, env, "ring-allreduce"),
-                              chunks, iters);
+                              chunks, iters, env.chips);
       });
   add("halving-doubling-allreduce",
       core::RegistryDoc{
@@ -94,7 +117,8 @@ WorkloadRegistry::WorkloadRegistry() {
         o.finish();
         return halving_doubling_allreduce(
             net, scope,
-            kib_to_flits(kib, env, "halving-doubling-allreduce"), iters);
+            kib_to_flits(kib, env, "halving-doubling-allreduce"), iters,
+            env.chips);
       });
   add("tree-allreduce",
       core::RegistryDoc{
@@ -111,7 +135,7 @@ WorkloadRegistry::WorkloadRegistry() {
         o.finish();
         return tree_allreduce(net, scope,
                               kib_to_flits(kib, env, "tree-allreduce"),
-                              iters);
+                              iters, env.chips);
       });
   add("all-to-all",
       core::RegistryDoc{
@@ -129,7 +153,7 @@ WorkloadRegistry::WorkloadRegistry() {
         const int iters = o.get_int("iters", kDefaultIters);
         o.finish();
         return all_to_all(net, scope, kib_to_flits(kib, env, "all-to-all"),
-                          window, iters);
+                          window, iters, env.chips);
       });
   add("stencil-3d",
       core::RegistryDoc{
@@ -148,7 +172,64 @@ WorkloadRegistry::WorkloadRegistry() {
         const bool periodic = o.get_bool("periodic", kStencilPeriodic);
         o.finish();
         return stencil3d(net, scope, kib_to_flits(kib, env, "stencil-3d"),
-                         iters, periodic);
+                         iters, periodic, env.chips);
+      });
+  add("trace-replay",
+      core::RegistryDoc{
+          "replays an sldf-trace file: recorded issue timestamps + message "
+          "deps onto the tenant placement (ranks -> chips)",
+          {{"file", "path", "(trace.file)",
+            "trace file to replay; defaults to the trace.file scenario "
+            "key"}}},
+      [](const sim::Network& net, const core::KvMap& opts,
+         const WorkloadEnv& env) {
+        core::KvReader o(opts, "workload 'trace-replay'");
+        const std::string file = o.get_str("file", env.trace_file.c_str());
+        o.finish();
+        if (file.empty())
+          throw ScenarioError(
+              "workload 'trace-replay': no trace file (set trace.file or "
+              "the workload option 'file')");
+        const trace::Trace t = trace::load_trace(file);
+        return trace::to_graph(t, net, replay_chips(net, env, t.chips),
+                               "workload 'trace-replay' (" + file + ")");
+      });
+  add("request-reply",
+      core::RegistryDoc{
+          "seeded inference-serving mix: random client->server requests "
+          "with issue timestamps, each reply gated on its request",
+          {{"requests", "int", std::to_string(kRrRequests),
+            "request/reply pairs"},
+           {"req_kib", "double", num_str(kRrReqKib),
+            "request payload, KiB"},
+           {"rep_kib", "double", num_str(kRrRepKib), "reply payload, KiB"},
+           {"gap", "int", std::to_string(kRrGap),
+            "mean cycles between request arrivals"},
+           {"seed", "int", "(trace.seed)",
+            "arrival/pairing seed; defaults to the trace.seed scenario "
+            "key"}}},
+      [](const sim::Network& net, const core::KvMap& opts,
+         const WorkloadEnv& env) {
+        core::KvReader o(opts, "workload 'request-reply'");
+        const int requests = o.get_int("requests", kRrRequests);
+        const double req_kib = o.get_double("req_kib", kRrReqKib);
+        const double rep_kib = o.get_double("rep_kib", kRrRepKib);
+        const int gap = o.get_int("gap", kRrGap);
+        const auto seed = static_cast<std::uint64_t>(
+            o.get_int("seed", static_cast<int>(env.trace_seed)));
+        o.finish();
+        if (gap < 0)
+          throw std::invalid_argument(
+              "workload 'request-reply': gap must be >= 0");
+        const auto chips = replay_chips(net, env, -1);
+        const trace::Trace t = trace::request_reply_trace(
+            static_cast<std::int32_t>(chips.size()), requests,
+            kib_to_flits(req_kib, env, "request-reply"),
+            kib_to_flits(rep_kib, env, "request-reply"),
+            static_cast<Cycle>(gap), seed);
+        auto g = trace::to_graph(t, net, chips, "workload 'request-reply'");
+        g.name = "request-reply";
+        return g;
       });
 }
 

@@ -16,14 +16,26 @@ namespace sldf::workload {
 /// Generator-independent context a factory needs to translate option
 /// units into engine units (KiB -> flits). Packet chunking stays in the
 /// runner (WorkloadRunConfig::sim.pkt_len); generators think in flits.
+///
+/// The tenant/trace fields thread scenario-level context into factories
+/// without changing their signature: the multi-tenant runner sets `chips`
+/// to the tenant's placement (generators restrict their chip_groups
+/// partition to it), and the driver forwards the `trace.file` /
+/// `trace.seed` scenario keys for the trace-backed workloads.
 struct WorkloadEnv {
   double flit_bytes = 16.0;  ///< Payload bytes per flit.
+  std::vector<ChipId> chips;  ///< Chips to span (empty = whole network).
+  std::string trace_file;     ///< `trace.file`: trace-replay default input.
+  std::uint64_t trace_seed = 1;  ///< `trace.seed`: request-reply arrivals.
 };
 
 /// Registry of named workload generators. Built-ins: "ring-allreduce",
 /// "halving-doubling-allreduce", "tree-allreduce", "all-to-all",
-/// "stencil-3d". Factories receive the `workload.<opt>` map (runner keys
-/// already stripped); unknown options throw std::invalid_argument.
+/// "stencil-3d", plus the trace-backed "trace-replay" (replays a
+/// `sldf-trace` file) and "request-reply" (seeded inference-style
+/// client/server pairs with issue timestamps). Factories receive the
+/// `workload.<opt>` map (runner keys already stripped); unknown options
+/// throw std::invalid_argument.
 class WorkloadRegistry {
  public:
   using Factory = std::function<WorkloadGraph(

@@ -1,8 +1,12 @@
 #include "workload/workload.hpp"
 
 #include <algorithm>
+#include <queue>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "common/error.hpp"
 
 namespace sldf::workload {
 
@@ -80,7 +84,8 @@ class Runner final : public sim::PacketListener {
     sim.set_listener(this);
     sim_ = &sim;
 
-    // Roots (no dependencies) become ready at cycle 0, in id order.
+    // Roots (no dependencies) become ready at cycle 0, in id order; roots
+    // with a future issue timestamp park in the timed queue instead.
     for (MsgId m = 0; m < graph_.messages.size(); ++m)
       if (state_[m].deps_left == 0) make_ready(m, 0);
 
@@ -91,8 +96,9 @@ class Runner final : public sim::PacketListener {
         hit_horizon = true;
         break;
       }
+      release_timed(sim.now());
       pump_all();
-      if (in_flight_ == 0 && active_.empty())
+      if (in_flight_ == 0 && active_.empty() && timed_.empty())
         throw std::runtime_error(
             "workload '" + graph_.name +
             "' stalled with nothing in flight (dependency cycle?)");
@@ -120,7 +126,29 @@ class Runner final : public sim::PacketListener {
   }
 
  private:
+  /// Dependencies satisfied: enqueue now, or park until the message's
+  /// issue timestamp when that is still in the future.
   void make_ready(MsgId m, Cycle now) {
+    const Cycle at = graph_.messages[m].issue;
+    if (at > now) {
+      timed_.push({at, m});
+      return;
+    }
+    enqueue(m, now);
+  }
+
+  /// Moves every parked message whose issue time has arrived into its chip
+  /// queue, in (issue, id) order — deterministic regardless of how the
+  /// heap was filled.
+  void release_timed(Cycle now) {
+    while (!timed_.empty() && timed_.top().first <= now) {
+      const MsgId m = timed_.top().second;
+      timed_.pop();
+      enqueue(m, now);
+    }
+  }
+
+  void enqueue(MsgId m, Cycle now) {
     state_[m].t_ready = now;
     const ChipId c = graph_.messages[m].src;
     ChipQueue& cq = chip_q_[static_cast<std::size_t>(c)];
@@ -195,6 +223,7 @@ class Runner final : public sim::PacketListener {
     r.packets_delivered = packets_delivered_;
     r.flit_hops = sim.flit_hops();
     r.phases.resize(static_cast<std::size_t>(graph_.num_phases));
+    if (cfg_.record_msgs) r.msgs.resize(graph_.messages.size());
     std::vector<bool> part(net_.num_chips(), false);
     double lat_sum = 0.0;
     for (MsgId m = 0; m < graph_.messages.size(); ++m) {
@@ -206,12 +235,15 @@ class Runner final : public sim::PacketListener {
       PhaseResult& ph = r.phases[static_cast<std::size_t>(spec.phase)];
       ++ph.messages;
       ph.flits += spec.flits;
-      if (st.pkts_done == st.pkts_total) {
+      const bool msg_done = st.pkts_done == st.pkts_total;
+      if (msg_done) {
         const auto lat = static_cast<double>(st.t_done - st.t_ready);
         lat_sum += lat;
         r.max_msg_cycles = std::max(r.max_msg_cycles, lat);
         ph.completed = std::max(ph.completed, st.t_done);
       }
+      if (cfg_.record_msgs)
+        r.msgs[m] = MsgRecord{st.t_ready, msg_done ? st.t_done : 0, msg_done};
     }
     r.chips = static_cast<int>(std::count(part.begin(), part.end(), true));
     if (done_ > 0) r.avg_msg_cycles = lat_sum / static_cast<double>(done_);
@@ -235,6 +267,12 @@ class Runner final : public sim::PacketListener {
   std::vector<MsgId> dep_list_;
   std::vector<ChipQueue> chip_q_;
   std::vector<ChipId> active_;  ///< Chips with a non-empty issue queue.
+  /// Messages whose dependencies are met but whose issue timestamp is
+  /// still in the future, keyed (issue, id); empty for untimed graphs.
+  std::priority_queue<std::pair<Cycle, MsgId>,
+                      std::vector<std::pair<Cycle, MsgId>>,
+                      std::greater<>>
+      timed_;
 
   std::uint64_t in_flight_ = 0;  ///< Packets injected but not yet delivered.
   std::uint64_t done_ = 0;       ///< Messages fully delivered.
@@ -261,6 +299,14 @@ void validate(const WorkloadGraph& graph, const sim::Network& net) {
       throw std::invalid_argument(at + ": chip id out of range");
     if (spec.src == spec.dst)
       throw std::invalid_argument(at + ": src == dst");
+    // A message on a fault-killed chip could never inject or eject: the
+    // run would stall (or trip engine asserts) mid-simulation. Reject the
+    // placement up front as a structured scenario error instead.
+    if (!net.chip_live(spec.src) || !net.chip_live(spec.dst))
+      throw ScenarioError(
+          at + ": chip " +
+          std::to_string(net.chip_live(spec.src) ? spec.dst : spec.src) +
+          " is dead under the active fault mask");
     if (spec.flits == 0)
       throw std::invalid_argument(at + ": zero-flit message");
     if (spec.stripe < 0)

@@ -43,6 +43,10 @@ struct MessageSpec {
   /// (4 injectors racing a width-1 exit is wormhole tree saturation, not a
   /// faster collective).
   std::int32_t stripe = 0;
+  /// Earliest cycle the message may issue. It becomes ready at
+  /// max(issue, all deps complete) — trace-replayed jobs carry their
+  /// recorded issue timestamps here; generated collectives leave 0.
+  Cycle issue = 0;
   std::vector<MsgId> deps;   ///< Messages that must complete first.
 };
 
@@ -53,7 +57,7 @@ struct WorkloadGraph {
 
   /// Appends a message and returns its id (deps filled by the caller).
   MsgId add(ChipId src, ChipId dst, std::uint64_t flits, std::int32_t phase) {
-    messages.push_back(MessageSpec{src, dst, flits, phase, 0, {}});
+    messages.push_back(MessageSpec{src, dst, flits, phase, 0, 0, {}});
     if (phase >= num_phases) num_phases = phase + 1;
     return static_cast<MsgId>(messages.size() - 1);
   }
@@ -67,12 +71,23 @@ struct WorkloadRunConfig {
   Cycle max_cycles = 50'000'000;  ///< Abort horizon (completed = false).
   double flit_bytes = 16.0;     ///< Payload bytes per flit (GB/s reporting).
   double freq_ghz = 1.0;        ///< Clock for cycles -> seconds conversion.
+  /// Record per-message ready/done cycles in WorkloadResult::msgs (the
+  /// multi-tenant runner needs them for per-tenant latency percentiles).
+  bool record_msgs = false;
 };
 
 struct PhaseResult {
   Cycle completed = 0;          ///< Cycle the phase's last message completed.
   std::uint64_t messages = 0;
   std::uint64_t flits = 0;
+};
+
+/// Per-message timing, recorded when WorkloadRunConfig::record_msgs is set
+/// (indexed by MsgId, aligned with WorkloadGraph::messages).
+struct MsgRecord {
+  Cycle ready = 0;      ///< max(issue, last dependency complete).
+  Cycle done = 0;       ///< Last packet's tail ejection (0 if incomplete).
+  bool completed = false;
 };
 
 struct WorkloadResult {
@@ -92,10 +107,14 @@ struct WorkloadResult {
   /// flits * flit_bytes * freq_ghz / (cycles * chips).
   double gbps_per_chip = 0.0;
   std::vector<PhaseResult> phases;
+  std::vector<MsgRecord> msgs;  ///< Empty unless record_msgs was set.
 };
 
 /// Validates `graph` (src != dst, flits >= 1, dep ids in range) — throws
-/// std::invalid_argument on malformed graphs.
+/// std::invalid_argument on malformed graphs, and ScenarioError when a
+/// message touches a chip the active fault mask killed (such a graph would
+/// stall or assert mid-run; the structured error fires before any
+/// simulation starts).
 void validate(const WorkloadGraph& graph, const sim::Network& net);
 
 /// Runs `graph` closed-loop on `net`. Deterministic for a fixed config

@@ -1,0 +1,242 @@
+// Trace-format tests: parser error taxonomy (malformed lines, non-monotone
+// timestamps, unknown chip ids, bad deps — all typed TraceError with
+// file:line context), canonical write -> parse round-trips, capture of
+// generated workloads (from_graph), and placement instantiation checks
+// (to_graph).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "trace/trace.hpp"
+#include "workload/collectives.hpp"
+
+using namespace sldf;
+using namespace sldf::trace;
+
+namespace {
+
+sim::Network tiny_net() {
+  core::ScenarioSpec spec;
+  spec.topology = "tiny-swless";
+  sim::Network net;
+  core::build_network(net, spec);
+  return net;
+}
+
+Trace parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in, "test");
+}
+
+/// The parse must throw TraceError whose message contains `needle`
+/// (typically "test:<line>:" plus the complaint).
+void expect_error(const std::string& text, const std::string& needle) {
+  try {
+    parse(text);
+    FAIL() << "expected TraceError containing '" << needle << "'";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+}  // namespace
+
+// ---- parser: happy path --------------------------------------------------
+
+TEST(TraceParse, MinimalTrace) {
+  const auto t = parse(
+      "# a comment\n"
+      "sldf-trace 1\n"
+      "chips 4\n"
+      "\n"
+      "m 0 0 1 128\n"
+      "m 5 1 2 64 0\n"
+      "m 5 2 3 64 0,1\n");
+  EXPECT_EQ(t.chips, 4);
+  ASSERT_EQ(t.msgs.size(), 3u);
+  EXPECT_EQ(t.msgs[0].issue, 0u);
+  EXPECT_EQ(t.msgs[0].flits, 128u);
+  EXPECT_TRUE(t.msgs[0].deps.empty());
+  EXPECT_EQ(t.msgs[1].deps, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(t.msgs[2].deps, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(TraceParse, InlineCommentsIgnored) {
+  const auto t = parse(
+      "sldf-trace 1\n"
+      "chips 2  # two ranks\n"
+      "m 0 0 1 8  # first\n");
+  EXPECT_EQ(t.chips, 2);
+  EXPECT_EQ(t.msgs.size(), 1u);
+}
+
+// ---- parser: error taxonomy ---------------------------------------------
+
+TEST(TraceParse, RejectsMissingHeader) {
+  expect_error("chips 4\n", "test:1: expected header");
+  expect_error("", "empty trace");
+}
+
+TEST(TraceParse, RejectsUnsupportedVersion) {
+  expect_error("sldf-trace 2\n", "unsupported trace version");
+}
+
+TEST(TraceParse, RejectsUnknownDirective) {
+  expect_error("sldf-trace 1\nchips 4\nmsg 0 0 1 8\n",
+               "test:3: unknown directive 'msg'");
+}
+
+TEST(TraceParse, RejectsMessageBeforeChips) {
+  expect_error("sldf-trace 1\nm 0 0 1 8\n", "'m' before 'chips'");
+}
+
+TEST(TraceParse, RejectsMissingChips) {
+  expect_error("sldf-trace 1\n", "missing 'chips'");
+}
+
+TEST(TraceParse, RejectsMalformedFields) {
+  const std::string head = "sldf-trace 1\nchips 4\n";
+  expect_error(head + "m 0 0 1\n", "test:3: 'm' expects");
+  expect_error(head + "m x 0 1 8\n", "malformed issue timestamp");
+  expect_error(head + "m -1 0 1 8\n", "malformed issue timestamp");
+  expect_error(head + "m 0 0 1 0\n", "malformed flit count");
+  expect_error(head + "m 0 0 1 8 0 extra\n", "trailing token");
+  expect_error(head + "m 0 2 2 8\n", "src == dst");
+  expect_error("sldf-trace 1\nchips 0\n", "positive chip count");
+  expect_error("sldf-trace 1\nchips 4\nchips 4\n", "duplicate 'chips'");
+}
+
+TEST(TraceParse, RejectsUnknownChipIds) {
+  const std::string head = "sldf-trace 1\nchips 4\n";
+  expect_error(head + "m 0 4 1 8\n", "unknown chip id '4'");
+  expect_error(head + "m 0 0 9 8\n", "unknown chip id '9'");
+}
+
+TEST(TraceParse, RejectsNonMonotoneTimestamps) {
+  expect_error(
+      "sldf-trace 1\nchips 4\nm 10 0 1 8\nm 9 1 2 8\n",
+      "test:4: non-monotone issue timestamp 9 (previous was 10)");
+}
+
+TEST(TraceParse, RejectsForwardAndSelfDeps) {
+  const std::string head = "sldf-trace 1\nchips 4\n";
+  expect_error(head + "m 0 0 1 8 0\n", "does not name an earlier message");
+  expect_error(head + "m 0 0 1 8\nm 0 1 2 8 5\n",
+               "does not name an earlier message");
+  expect_error(head + "m 0 0 1 8\nm 0 1 2 8 0,,1\n",
+               "does not name an earlier message");
+}
+
+// ---- round-trips ---------------------------------------------------------
+
+TEST(TraceRoundTrip, WriteParseIsIdentity) {
+  const Trace t = request_reply_trace(8, 32, 4, 16, 100, 7);
+  std::ostringstream out;
+  write_trace(out, t);
+  const Trace back = parse(out.str());
+  ASSERT_EQ(back.chips, t.chips);
+  ASSERT_EQ(back.msgs.size(), t.msgs.size());
+  for (std::size_t i = 0; i < t.msgs.size(); ++i) {
+    EXPECT_EQ(back.msgs[i].issue, t.msgs[i].issue);
+    EXPECT_EQ(back.msgs[i].src, t.msgs[i].src);
+    EXPECT_EQ(back.msgs[i].dst, t.msgs[i].dst);
+    EXPECT_EQ(back.msgs[i].flits, t.msgs[i].flits);
+    EXPECT_EQ(back.msgs[i].deps, t.msgs[i].deps);
+  }
+}
+
+TEST(TraceRoundTrip, RequestReplyIsSeededDeterministic) {
+  const Trace a = request_reply_trace(8, 32, 4, 16, 100, 7);
+  const Trace b = request_reply_trace(8, 32, 4, 16, 100, 7);
+  const Trace c = request_reply_trace(8, 32, 4, 16, 100, 8);
+  ASSERT_EQ(a.msgs.size(), b.msgs.size());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.msgs.size(); ++i) {
+    EXPECT_EQ(a.msgs[i].issue, b.msgs[i].issue);
+    EXPECT_EQ(a.msgs[i].src, b.msgs[i].src);
+    if (a.msgs[i].issue != c.msgs[i].issue || a.msgs[i].src != c.msgs[i].src)
+      differs = true;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical traces";
+}
+
+TEST(TraceRoundTrip, FromGraphCapturesCollectives) {
+  auto net = tiny_net();
+  const auto g = workload::ring_allreduce(net, workload::Scope::CGroup, 64,
+                                          1, 1);
+  const Trace t = from_graph(g);
+  EXPECT_EQ(t.chips, 60);
+  EXPECT_EQ(t.msgs.size(), g.messages.size());
+  // All-zero issue timestamps keep generator order; the emitted file must
+  // satisfy the parser's monotonicity + dep-ordering invariants.
+  std::ostringstream out;
+  write_trace(out, t);
+  EXPECT_NO_THROW(parse(out.str()));
+}
+
+TEST(TraceRoundTrip, FromGraphSortsByEffectiveIssue) {
+  workload::WorkloadGraph g;
+  g.name = "t";
+  const auto a = g.add(0, 1, 8, 0);   // issues at 50
+  const auto b = g.add(1, 2, 8, 0);   // issues at 10
+  g.messages[a].issue = 50;
+  g.messages[b].issue = 10;
+  const auto c = g.add(2, 3, 8, 0);   // dep on a: effective issue 50
+  g.messages[c].deps.push_back(a);
+  const Trace t = from_graph(g);
+  ASSERT_EQ(t.msgs.size(), 3u);
+  EXPECT_EQ(t.msgs[0].issue, 10u);
+  EXPECT_EQ(t.msgs[1].issue, 50u);
+  EXPECT_EQ(t.msgs[2].issue, 50u);
+  EXPECT_EQ(t.msgs[2].deps, (std::vector<std::uint32_t>{1}));
+}
+
+// ---- to_graph placement checks ------------------------------------------
+
+TEST(TraceToGraph, RejectsWrongPlacementSize) {
+  auto net = tiny_net();
+  const Trace t = request_reply_trace(4, 4, 2, 2, 10, 1);
+  try {
+    to_graph(t, net, {0, 1, 2}, "ctx");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("spans 4 ranks"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceToGraph, RejectsOutOfRangeAndDeadChips) {
+  core::ScenarioSpec spec;
+  spec.topology = "tiny-swless";
+  spec.set("fault.chips", "2");
+  sim::Network net;
+  core::build_network(net, spec);
+  const Trace t = request_reply_trace(4, 4, 2, 2, 10, 1);
+  EXPECT_THROW(to_graph(t, net, {0, 1, 3, 999}, "ctx"), ScenarioError);
+  try {
+    to_graph(t, net, {0, 1, 2, 3}, "ctx");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("dead under the active fault mask"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceToGraph, MapsRanksOntoPlacement) {
+  auto net = tiny_net();
+  Trace t;
+  t.chips = 3;
+  TraceMsg m;
+  m.issue = 7;
+  m.src = 0;
+  m.dst = 2;
+  m.flits = 16;
+  t.msgs.push_back(m);
+  const auto g = to_graph(t, net, {10, 20, 30}, "ctx");
+  ASSERT_EQ(g.messages.size(), 1u);
+  EXPECT_EQ(g.messages[0].src, 10);
+  EXPECT_EQ(g.messages[0].dst, 30);
+  EXPECT_EQ(g.messages[0].issue, 7u);
+}

@@ -14,6 +14,7 @@
 // another). CLI scenario keys override the file for every series.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,8 @@
 #include "common/thread_pool.hpp"
 #include "core/docgen.hpp"
 #include "core/scenario.hpp"
+#include "trace/tenants.hpp"
+#include "trace/trace.hpp"
 #include "traffic/pattern.hpp"
 #include "workload/registry.hpp"
 
@@ -30,7 +33,8 @@ using namespace sldf;
 namespace {
 
 const std::vector<std::string> kDriverFlags = {
-    "config", "out", "series-threads", "list", "doc-keys", "print", "help"};
+    "config",   "out",   "series-threads", "list",
+    "doc-keys", "print", "emit-trace",     "help"};
 
 void print_usage() {
   std::printf(
@@ -46,13 +50,16 @@ void print_usage() {
       "  --doc-keys           print the generated Markdown scenario\n"
       "                       reference (the README embeds it verbatim)\n"
       "  --print              print the resolved spec(s) and exit\n"
+      "  --emit-trace FILE    write the (single) series' workload graph as\n"
+      "                       an sldf-trace file instead of running it\n"
       "  --help               this text\n"
       "\n"
       "scenario keys (also valid in config files):\n"
       "  label topology traffic workload mode scheme rates max_rate points\n"
       "  stop_factor threads shards warmup measure drain pkt_len seed\n"
       "  max_src_queue fault.rate fault.kind fault.seed fault.chips\n"
-      "  topo.<param> traffic.<option> workload.<option>\n"
+      "  tenants tenants.isolation trace.file trace.seed\n"
+      "  topo.<param> traffic.<option> workload.<option> tenant<i>.<field>\n"
       "\n"
       "  fault.rate=F deterministically fails F of the fault.kind\n"
       "  (any|intra|local|global) cables (seeded by fault.seed) and routes\n"
@@ -69,7 +76,14 @@ void print_usage() {
       "\n"
       "  workload=NAME switches a series from open-loop rate sweeps to one\n"
       "  closed-loop message-level run reporting completion cycles and\n"
-      "  GB/s/chip (see --list for workloads and their options).\n");
+      "  GB/s/chip (see --list for workloads and their options).\n"
+      "\n"
+      "  tenants=N switches to one shared multi-tenant serving run: each\n"
+      "  tenant<i>.workload/.placement/.chips names a job placed on its own\n"
+      "  disjoint chips (contiguous|scattered, fault-dead chips skipped).\n"
+      "  All jobs execute in ONE simulation; the report is per-tenant TTC,\n"
+      "  p50/p99 message latency, GB/s/chip, and (with tenants.isolation=1,\n"
+      "  the default) the interference ratio vs running alone.\n");
 }
 
 void print_entry_options(const std::vector<core::OptionDoc>& options) {
@@ -125,7 +139,8 @@ int main(int argc, char** argv) {
     for (const auto& key : core::scenario_keys()) known.push_back(key);
     for (const auto& key : cli.unknown_keys(known)) {
       if (key.rfind("topo.", 0) == 0 || key.rfind("traffic.", 0) == 0 ||
-          key.rfind("workload.", 0) == 0)
+          key.rfind("workload.", 0) == 0 || key.rfind("trace.", 0) == 0 ||
+          key.rfind("tenant", 0) == 0)
         continue;
       std::fprintf(stderr, "sldf: warning: unknown flag --%s (ignored)\n",
                    key.c_str());
@@ -147,11 +162,19 @@ int main(int argc, char** argv) {
     // series are isolated below, so one failure never discards the others'
     // results.
     std::size_t workload_series = 0;
+    std::size_t tenant_series = 0;
     for (const auto& spec : series) {
       if (!core::TopologyRegistry::instance().contains(spec.topology))
         throw std::invalid_argument("unknown topology '" + spec.topology +
                                     "' (see sldf --list)");
-      if (!spec.workload.empty()) {
+      if (spec.tenants > 0) {
+        ++tenant_series;
+        for (const auto& t : spec.tenant)
+          if (!t.workload.empty() &&
+              !workload::WorkloadRegistry::instance().contains(t.workload))
+            throw std::invalid_argument("unknown workload '" + t.workload +
+                                        "' (see sldf --list)");
+      } else if (!spec.workload.empty()) {
         ++workload_series;
         if (!workload::WorkloadRegistry::instance().contains(spec.workload))
           throw std::invalid_argument("unknown workload '" + spec.workload +
@@ -162,13 +185,44 @@ int main(int argc, char** argv) {
                                     spec.traffic + "' (see sldf --list)");
       }
     }
-    // The two execution modes report different columns; one experiment
-    // mixes them only without CSV output.
-    if (workload_series != 0 && workload_series != series.size() &&
-        cli.has("out"))
+    // The execution modes report different columns; one experiment mixes
+    // them only without CSV output.
+    const bool mixed =
+        (workload_series != 0 && workload_series != series.size()) ||
+        (tenant_series != 0 && tenant_series != series.size());
+    if (mixed && cli.has("out"))
       throw std::invalid_argument(
-          "--out cannot mix rate-sweep and workload series in one CSV; "
-          "split the config");
+          "--out cannot mix rate-sweep, workload, and tenant series in one "
+          "CSV; split the config");
+
+    if (cli.has("emit-trace")) {
+      if (series.size() != 1 || series[0].workload.empty())
+        throw std::invalid_argument(
+            "--emit-trace needs exactly one series with a workload key");
+      const core::ScenarioSpec& spec = series[0];
+      core::KvMap gen_opts;
+      const workload::WorkloadRunConfig rc =
+          core::workload_run_config(spec, &gen_opts);
+      sim::Network net;
+      core::build_network(net, spec);
+      workload::WorkloadEnv env;
+      env.flit_bytes = rc.flit_bytes;
+      env.trace_file = spec.trace_file;
+      env.trace_seed = spec.trace_seed;
+      const workload::WorkloadGraph graph =
+          workload::make_workload(spec.workload, net, gen_opts, env);
+      const trace::Trace t = trace::from_graph(graph);
+      const std::string path = cli.get("emit-trace");
+      std::ofstream out(path);
+      if (!out)
+        throw std::runtime_error("cannot open trace output file: " + path);
+      out << "# " << spec.workload << " on " << spec.topology << " ("
+          << t.chips << " chips)\n";
+      trace::write_trace(out, t);
+      std::printf("wrote %s (%zu messages, %d ranks)\n", path.c_str(),
+                  t.msgs.size(), t.chips);
+      return 0;
+    }
 
     if (cli.has("print")) {
       for (const auto& spec : series) {
@@ -187,9 +241,11 @@ int main(int argc, char** argv) {
     // only surfaces at build time) is reported but never discards the
     // results of series that completed.
     struct Outcome {
-      core::SweepSeries result;       ///< Rate-sweep series.
-      core::WorkloadRun workload;     ///< Closed-loop series.
+      core::SweepSeries result;           ///< Rate-sweep series.
+      core::WorkloadRun workload;         ///< Closed-loop series.
+      trace::MultiTenantResult tenants;   ///< Multi-tenant serving series.
       bool is_workload = false;
+      bool is_tenants = false;
       std::string label;
       std::string error;
     };
@@ -198,9 +254,14 @@ int main(int argc, char** argv) {
                              [&](std::size_t i) {
                                Outcome& o = outcomes[i];
                                o.label = series[i].label;
-                               o.is_workload = !series[i].workload.empty();
+                               o.is_tenants = series[i].tenants > 0;
+                               o.is_workload = !o.is_tenants &&
+                                               !series[i].workload.empty();
                                try {
-                                 if (o.is_workload)
+                                 if (o.is_tenants)
+                                   o.tenants =
+                                       trace::run_tenant_scenario(series[i]);
+                                 else if (o.is_workload)
                                    o.workload =
                                        core::run_workload_scenario(series[i]);
                                  else
@@ -216,6 +277,8 @@ int main(int argc, char** argv) {
         ++failures;
         std::fprintf(stderr, "sldf: series '%s' failed: %s\n",
                      o.label.c_str(), o.error.c_str());
+      } else if (o.is_tenants) {
+        trace::print_tenants(o.tenants);
       } else if (o.is_workload) {
         core::print_workload(o.workload);
       } else {
@@ -223,16 +286,20 @@ int main(int argc, char** argv) {
       }
     }
     if (cli.has("out")) {
+      const bool tenants_csv = tenant_series == series.size();
       const bool workload_csv = workload_series == series.size();
       CsvWriter csv(cli.get("out"),
-                    workload_csv
+                    tenants_csv ? trace::tenants_csv_header()
+                    : workload_csv
                         ? core::workload_csv_header()
                         : std::vector<std::string>{
                               "series", "offered", "avg_latency", "accepted",
                               "p99", "delivered", "drained"});
       for (const auto& o : outcomes) {
         if (!o.error.empty()) continue;
-        if (o.is_workload)
+        if (o.is_tenants)
+          trace::append_tenants_csv(csv, o.tenants);
+        else if (o.is_workload)
           core::append_workload_csv(csv, o.workload);
         else
           core::append_series_csv(csv, o.result);
