@@ -114,6 +114,22 @@ core::ScenarioSpec resilience_spec(bool quick, std::uint64_t seed) {
   return s;
 }
 
+/// Online-resilience preset: the same fig16a point but with the faults
+/// arriving as a *timeline* mid-run (fail 10% of globals at the end of
+/// warmup, repair half of them mid-measurement) — tracks the fault-step
+/// sweep, packet rescue, and online-reroute engine paths.
+core::ScenarioSpec resilience_online_spec(bool quick, std::uint64_t seed) {
+  core::ScenarioSpec s = point_spec("radix16-swless", 0.9, quick, seed);
+  s.topo["g"] = quick ? "5" : "11";
+  s.fault.seed = 7;
+  const Cycle fail_at = s.sim.warmup;
+  const Cycle repair_at = s.sim.warmup + s.sim.measure / 2;
+  s.fault.events = "fail@" + std::to_string(fail_at) +
+                   ":global=0.1;repair@" + std::to_string(repair_at) +
+                   ":global=0.05";
+  return s;
+}
+
 /// Multi-tenant serving preset: the acceptance-mix 3-tenant scenario
 /// (ring-AllReduce + windowed all-to-all + seeded request/reply on
 /// disjoint placements, one shared simulation plus per-tenant isolation
@@ -261,6 +277,16 @@ const std::vector<PresetDef>& preset_defs() {
                  [](bool quick, std::uint64_t seed) {
                    return run_specs("resilience-f10",
                                     {resilience_spec(quick, seed)});
+                 }});
+    d.push_back({{"resilience-online", "quick+full",
+                  "online-fault engine path: the resilience-f10 point with "
+                  "the faults arriving as a mid-run timeline (fail 10% of "
+                  "globals, repair half later) — fault-step sweep, packet "
+                  "rescue, and live rerouting"},
+                 true,
+                 [](bool quick, std::uint64_t seed) {
+                   return run_specs("resilience-online",
+                                    {resilience_online_spec(quick, seed)});
                  }});
     d.push_back({{"tenants-mix3", "quick+full",
                   "multi-tenant serving path: 3 co-located jobs "

@@ -27,6 +27,13 @@ class RingQueue {
     return buf_[head_];
   }
 
+  /// Peeks element `i` (0 == front, i < size()). Used by the simulator's
+  /// fault sweep and checkpointing to scan a queue without draining it.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+
   void pop_front() {
     assert(size_ > 0);
     head_ = (head_ + 1) & (buf_.size() - 1);

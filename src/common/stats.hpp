@@ -23,6 +23,23 @@ class OnlineStats {
 
   void merge(const OnlineStats& o);
 
+  /// Checkpoint hooks: the raw accumulator tuple (n, mean, m2, min, max).
+  struct State {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] State state() const { return {n_, mean_, m2_, min_, max_}; }
+  void set_state(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const {
@@ -69,6 +86,18 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return total_; }
   /// q in [0,1]; returns an upper-edge estimate of the q-quantile.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Checkpoint hooks: bucket counts + totals (width/max are ctor-fixed).
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  void set_state(std::vector<std::uint64_t> buckets, std::uint64_t total,
+                 std::uint64_t overflow) {
+    buckets_ = std::move(buckets);
+    total_ = total;
+    overflow_ = overflow;
+  }
 
  private:
   double width_;

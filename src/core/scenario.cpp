@@ -132,6 +132,26 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     fault.chips = to_chips(value);
     return;
   }
+  if (key == "fault.events") {
+    // Parse now so a malformed timeline fails at config-read time with the
+    // typed FaultError message; the string is kept and re-resolved against
+    // the finalized network in build_network().
+    topo::parse_fault_events(value);
+    fault.events = value;
+    return;
+  }
+  if (key == "fault.schedule") {
+    fault.schedule = value;  // file existence/contents checked at build time
+    return;
+  }
+  if (key == "fault.rescue") {
+    const long n = to_long(key, value);
+    if (n != 0 && n != 1)
+      throw std::invalid_argument(
+          "scenario key 'fault.rescue' expects 0 or 1");
+    fault.rescue = n != 0;
+    return;
+  }
   if (key == "trace.file") {
     trace_file = value;
     return;
@@ -262,6 +282,9 @@ KvMap ScenarioSpec::to_kv() const {
     }
     kv["fault.chips"] = joined;
   }
+  if (!fault.events.empty()) kv["fault.events"] = fault.events;
+  if (!fault.schedule.empty()) kv["fault.schedule"] = fault.schedule;
+  if (!fault.rescue) kv["fault.rescue"] = "0";
   // Tenant/trace keys serialize only when set, mirroring the fault keys.
   if (tenants > 0) kv["tenants"] = std::to_string(tenants);
   if (!tenants_isolation) kv["tenants.isolation"] = "0";
@@ -369,6 +392,18 @@ const std::vector<ScenarioKeyDoc>& scenario_key_docs() {
          integer(d.fault.seed)},
         {"fault.chips", "Chips to fail entirely, comma-separated ids",
          "unset"},
+        {"fault.events",
+         "Online fault timeline, `fail|repair@<cycle>:<kind>=<rate>` or "
+         "`...:chip<N>`, `;`-separated (see Resilience)",
+         "unset"},
+        {"fault.schedule",
+         "Fault-timeline file (`sldf-faults 1` format); exclusive with "
+         "`fault.events`",
+         "unset"},
+        {"fault.rescue",
+         "Retransmit packets torn by an online failure (`0`: drop and "
+         "count them)",
+         d.fault.rescue ? "1" : "0"},
         {"tenants",
          "Concurrent tenant jobs; > 0 switches to one shared multi-tenant "
          "serving run (see Multi-tenancy)",
@@ -513,6 +548,24 @@ void build_network(sim::Network& net, const ScenarioSpec& spec) {
   if (spec.fault.active()) {
     const topo::FaultReport rep = topo::inject_faults(net, spec.fault);
     log_debug("%s", rep.to_string().c_str());
+  }
+  if (spec.fault.has_timeline()) {
+    if (!spec.fault.events.empty() && !spec.fault.schedule.empty())
+      throw topo::FaultError(
+          "scenario sets both fault.events and fault.schedule; give the "
+          "timeline one way");
+    // A timeline over a fault-free cycle-0 state still needs the mask
+    // armed: fault steps rewrite live port records at runtime.
+    if (!spec.fault.active()) net.enable_fault_mask();
+    const topo::FaultTimeline tl =
+        !spec.fault.events.empty()
+            ? topo::parse_fault_events(spec.fault.events)
+            : topo::load_fault_schedule(spec.fault.schedule);
+    auto sched = std::make_shared<sim::FaultSchedule>(
+        topo::resolve_timeline(net, tl, spec.fault));
+    sched->rescue = spec.fault.rescue;
+    net.set_fault_schedule(std::move(sched));
+    net.capture_fault_baseline();
   }
 }
 

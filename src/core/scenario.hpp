@@ -85,7 +85,10 @@ struct ScenarioSpec {
 
   [[nodiscard]] std::vector<double> effective_rates() const;
   [[nodiscard]] TopoConfig topo_config() const {
-    return TopoConfig{topo, mode, scheme, fault.active()};
+    // A timeline needs the fault-tolerant build even when cycle 0 is
+    // fault-free: failures arrive while the simulation runs.
+    return TopoConfig{topo, mode, scheme,
+                      fault.active() || fault.has_timeline()};
   }
 };
 

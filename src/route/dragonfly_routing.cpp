@@ -1,5 +1,6 @@
 #include "route/dragonfly_routing.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "route/fault_detour.hpp"
@@ -130,9 +131,14 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
   const auto& T = *topo_;
   const bool faulty = net.has_faults();
   // VC = class * vcs_per_class + destination hash: spreads head-of-line
-  // queues per destination (ideal-switch approximation).
+  // queues per destination (ideal-switch approximation). Clamped to the
+  // installed budget: repeated online fault re-bounces can climb the class
+  // ladder past the reserve — a clamped class may cost deadlock freedom
+  // (the audit reports it) but never an out-of-range VC.
   const auto vcix = [&] {
-    return static_cast<VcIx>(pkt.vc_class * vcs_per_class_ +
+    const int top = static_cast<int>(net.num_vcs()) / vcs_per_class_ - 1;
+    return static_cast<VcIx>(std::min<int>(pkt.vc_class, top) *
+                                 vcs_per_class_ +
                              static_cast<int>(pkt.dst) % vcs_per_class_);
   };
 
@@ -175,7 +181,21 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
   }
 
   // Heading to another group (the Valiant bounce group first, if any).
-  const int gt = pkt.mid_wgroup >= 0 ? pkt.mid_wgroup : dloc.group;
+  int gt = pkt.mid_wgroup >= 0 ? pkt.mid_wgroup : dloc.group;
+  if (faulty && !global_usable(net, T, loc.group, gt)) {
+    // The planned global leg died under the packet (online fault step):
+    // re-bounce through the lowest-index group with two live legs —
+    // deterministic, no Rng on the hot path (see fault_detour.hpp).
+    const std::int32_t mid = pick_detour_group_det(
+        T.p.effective_groups(), loc.group, dloc.group,
+        [&](std::int32_t a, std::int32_t b) {
+          return global_usable(net, T, a, b);
+        });
+    if (mid >= 0) {
+      pkt.mid_wgroup = mid;
+      gt = mid;
+    }  // else: keep the dead gateway and stall (reported, not crashed)
+  }
   const int link = SwDfTopo::global_link(loc.group, gt);
   const int owner = link / H;
   if (owner == loc.sw) {

@@ -31,6 +31,20 @@ std::int32_t pick_detour_group(int groups, std::int32_t src,
   return -1;
 }
 
+/// Deterministic (lowest-index) variant of pick_detour_group, for ONLINE
+/// re-planning inside route(): the hot path carries no Rng, and a draw
+/// there would desynchronize the stream between engine variants. Every
+/// packet rerouted around the same dead cable takes the same detour — a
+/// momentary hotspot is the documented cost of deterministic recovery.
+template <typename Usable>
+std::int32_t pick_detour_group_det(int groups, std::int32_t src,
+                                   std::int32_t dst, Usable&& usable) {
+  for (int mid = 0; mid < groups; ++mid)
+    if (mid != src && mid != dst && usable(src, mid) && usable(mid, dst))
+      return mid;
+  return -1;
+}
+
 /// An intermediate member detouring a dead direct leg `from` -> `to` within
 /// one fully-connected group of `members` (both detour legs usable); -1
 /// when none exists. Deterministic lowest index, so the detour is stable

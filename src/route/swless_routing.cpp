@@ -83,6 +83,7 @@ void SwlessRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
   pkt.target = kInvalidNode;
   pkt.exit_chan = kInvalidChan;
   pkt.mid_wgroup = -1;
+  pkt.stalled = 0;
   if (topo_ == nullptr) topo_ = &net.topo<SwlessTopo>();
   const auto& T = *topo_;
   const auto& sloc = T.loc[static_cast<std::size_t>(pkt.src)];
@@ -199,6 +200,7 @@ void SwlessRouting::plan_leg(const sim::Network& net, const SwlessTopo& T,
   const auto& inst = T.cgroup(loc.wg, loc.cg);
   const topo::ExtPort* exit = nullptr;
   RoutePhase np;
+  pkt.stalled = 0;
   // A local leg to C-group `ncg` whose direct cable is dead detours through
   // an intermediate sibling (all-to-all local wiring gives a*b - 2 detour
   // candidates); the extra crossing keeps the leg's phase class, and the
@@ -206,7 +208,10 @@ void SwlessRouting::plan_leg(const sim::Network& net, const SwlessTopo& T,
   const auto local_leg = [&](int ncg) -> const topo::ExtPort* {
     if (faulty && !local_usable(net, T, loc.wg, loc.cg, ncg)) {
       const int via = pick_local_via(net, T, loc.wg, loc.cg, ncg);
-      if (via >= 0) ncg = via;  // else: stall on the dead cable (reported)
+      if (via >= 0)
+        ncg = via;
+      else
+        pkt.stalled = 1;  // stall on the dead cable (reported)
     }
     return &inst.locals[static_cast<std::size_t>(
         SwlessTopo::local_index(loc.cg, ncg))];
@@ -218,8 +223,24 @@ void SwlessRouting::plan_leg(const sim::Network& net, const SwlessTopo& T,
     np = RoutePhase::DstCGroup;
   } else {
     const int H = T.p.global_ports;
-    const std::int32_t wnext =
-        pkt.mid_wgroup >= 0 ? pkt.mid_wgroup : dloc.wg;
+    std::int32_t wnext = pkt.mid_wgroup >= 0 ? pkt.mid_wgroup : dloc.wg;
+    if (faulty && !global_usable(net, T, loc.wg, wnext)) {
+      // Online failure of the planned global leg (init_packet saw an older
+      // mask, or a fault step hit mid-flight): re-bounce through the
+      // lowest-index W-group with two live legs. No Rng here — route()
+      // must stay deterministic and stream-neutral.
+      const std::int32_t mid = pick_detour_group_det(
+          T.p.effective_wgroups(), loc.wg, dloc.wg,
+          [&](std::int32_t a, std::int32_t b) {
+            return global_usable(net, T, a, b);
+          });
+      if (mid >= 0) {
+        pkt.mid_wgroup = mid;
+        wnext = mid;
+      } else {
+        pkt.stalled = 1;  // keep the dead gateway and stall (reported)
+      }
+    }
     const int link = SwlessTopo::global_link(loc.wg, wnext);
     const int owner = link / H;
     if (owner == loc.cg) {
@@ -326,6 +347,20 @@ sim::RouteDecision SwlessRouting::route(const sim::Network& net, NodeId router,
   if (net.kind_of(router) == NodeKind::IoConverter) {
     // Port layout: in/out 0 = attach (host side), in/out 1 = line.
     if (in_port == 0) {
+      const ChanId line = net.router(router).out[1].out_chan;
+      if (net.has_faults() && !net.chan_live(line) && !pkt.stalled) {
+        // The line died after this packet committed to the converter:
+        // bounce back to the host C-group with the plan cleared (phase and
+        // class untouched — no crossing happened), so the next plan_leg()
+        // re-plans against the updated mask. Packets whose plan *knowingly*
+        // kept this dead cable (pkt.stalled: no live detour existed) are
+        // not bounced — the re-plan would pick the same exit and the packet
+        // would ping-pong host<->converter forever, a cycle in the CDG.
+        // They stall on the dead line below, like any other dead channel.
+        pkt.target = kInvalidNode;
+        pkt.exit_chan = kInvalidChan;
+        return {static_cast<PortIx>(0), vcix()};
+      }
       // Leaving the C-group: the crossing applies phase and VC class.
       pkt.phase = pkt.next_phase;
       pkt.vc_class = pkt.next_class;
@@ -337,7 +372,13 @@ sim::RouteDecision SwlessRouting::route(const sim::Network& net, NodeId router,
   }
 
   if (router == pkt.dst) return {net.eject_port_of(router), vcix()};
-  if (pkt.target == kInvalidNode) plan_leg(net, T, router, pkt);
+  if (pkt.target == kInvalidNode ||
+      (net.has_faults() && pkt.exit_chan != kInvalidChan &&
+       (!net.chan_live(pkt.exit_chan) || !net.node_live(pkt.target)))) {
+    // No plan yet, or a fault step invalidated the cached one (the planned
+    // exit cable or its gateway host died under the packet).
+    plan_leg(net, T, router, pkt);
+  }
 
   if (router == pkt.target) {
     const PortIx out = net.out_port_of(pkt.exit_chan);

@@ -101,6 +101,28 @@ class FlitFifoArena {
     return &hm_[i];
   }
 
+  /// Peeks the `k`-th buffered flit of ring `i` (0 == front, k < size(i)).
+  /// Used by the fault-timeline extraction sweep to scan a ring without
+  /// disturbing it.
+  [[nodiscard]] const Flit& at(std::size_t i, std::uint32_t k) const {
+    assert(k < size(i));
+    const auto hs = static_cast<std::uint32_t>(hm_[i]);
+    return slots_[(i << shift_) + (((hs & 0xffff) + k) & mask_)];
+  }
+
+  /// Empties ring `i` (head and size -> 0) without touching its metadata
+  /// half. The extraction sweep clears and re-pushes survivors through
+  /// push(), so a rebuilt ring is in a canonical head-0 layout.
+  void clear_ring(std::size_t i) { hm_[i] &= 0xffffffff00000000ull; }
+
+  // Checkpoint hooks: raw access to the control words and flit slots so
+  // Network::{save,load}_dynamic_state can serialize the arena verbatim.
+  [[nodiscard]] const std::uint64_t* hm_data() const { return hm_.data(); }
+  std::uint64_t* hm_data() { return hm_.data(); }
+  [[nodiscard]] const Flit* slots_data() const { return slots_.data(); }
+  Flit* slots_data() { return slots_.data(); }
+  [[nodiscard]] std::size_t slots_size() const { return slots_.size(); }
+
  private:
   std::vector<Flit, HugePageAllocator<Flit>> slots_;
   /// Per FIFO: ring head (bits 0..15), size (16..31), metadata (32..63).

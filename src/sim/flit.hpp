@@ -65,6 +65,11 @@ struct alignas(64) Packet {
   /// 255 hops of one type; keeps the packet inside one cache line).
   std::uint8_t hops[kNumLinkTypes] = {};
   std::uint8_t measured = 0;  ///< 1 if generated inside the measurement window.
+  /// 1 if the current leg plan knowingly keeps a dead exit cable (no live
+  /// detour existed at plan time). Converters must not bounce such packets
+  /// back for a re-plan — it would ping-pong forever (a CDG cycle); they
+  /// stall on the dead line instead and move again only after a repair.
+  std::uint8_t stalled = 0;
 
   [[nodiscard]] Cycle latency() const { return t_eject - t_gen; }
 };
@@ -98,6 +103,14 @@ class PacketPool {
 
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
   [[nodiscard]] std::size_t live() const { return slots_.size() - free_.size(); }
+
+  /// Checkpoint hooks: raw slot storage + the free list. restore_slots()
+  /// sizes the slot array for a subsequent raw read into slots_data().
+  [[nodiscard]] const Packet* slots_data() const { return slots_.data(); }
+  [[nodiscard]] Packet* slots_data() { return slots_.data(); }
+  [[nodiscard]] const std::vector<PacketId>& free_list() const { return free_; }
+  void restore_slots(std::size_t n) { slots_.resize(n); }
+  void restore_free_list(std::vector<PacketId> f) { free_ = std::move(f); }
 
  private:
   std::vector<Packet, HugePageAllocator<Packet>> slots_;

@@ -1,10 +1,44 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <stdexcept>
 
 namespace sldf::sim {
+
+namespace {
+
+template <typename T>
+void put_raw(std::ostream& out, const T* data, std::size_t n) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+void get_raw(std::istream& in, T* data, std::size_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw std::runtime_error("load_dynamic_state: truncated stream");
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) { put_raw(out, &v, 1); }
+
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  get_raw(in, &v, 1);
+  return v;
+}
+
+void check_size(std::uint64_t got, std::uint64_t want, const char* what) {
+  if (got != want)
+    throw std::runtime_error(std::string("load_dynamic_state: ") + what +
+                             " size mismatch (checkpoint from a different "
+                             "network build?)");
+}
+
+}  // namespace
 
 NodeId Network::add_router(NodeKind kind) {
   Router r;
@@ -201,7 +235,44 @@ void Network::init_port_dynamic_state() {
   }
 }
 
+void Network::restore_fault_baseline() {
+  if (!has_fault_baseline()) return;
+  bool changed = false;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (chan_alive_[i] == baseline_chan_alive_[i]) continue;
+    changed = true;
+    const Channel& ch = channels_[i];
+    std::uint32_t* rec = port_rec(out_port_index(ch.src, ch.src_port));
+    if (baseline_chan_alive_[i]) {
+      chan_alive_[i] = 1;
+      --dead_channels_;
+      rec[kLinkMeta] |= static_cast<std::uint32_t>(ch.width_num) << 16;
+      rec[kTokens] = static_cast<std::uint32_t>(ch.width_num) +
+                     static_cast<std::uint32_t>(ch.width_den);
+      rec[kTokenCycle] = 0;
+    } else {
+      chan_alive_[i] = 0;
+      ++dead_channels_;
+      rec[kLinkMeta] &= ~(0xffu << 16);
+      rec[kTokens] = 0;
+    }
+  }
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    if (node_alive_[i] == baseline_node_alive_[i]) continue;
+    changed = true;
+    node_alive_[i] = baseline_node_alive_[i];
+    dead_nodes_ += baseline_node_alive_[i] ? -1 : 1;
+  }
+  if (changed) ++fault_epoch_;
+}
+
 void Network::reset_dynamic_state() {
+  // Rewind any online fail/repair transitions to the captured cycle-0
+  // baseline BEFORE re-deriving port state: init_port_dynamic_state()
+  // computes token buckets from the kLinkMeta width bytes, which the
+  // restore flips. Without a captured baseline the mask is left untouched
+  // (static faults survive resets, as before).
+  restore_fault_baseline();
   fifos_.reset(pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
   init_port_dynamic_state();
   for (auto& c : channels_) c.reset_tokens();
@@ -241,6 +312,85 @@ void Network::disable_node(NodeId n) {
   for (std::size_t i = 0; i < channels_.size(); ++i)
     if (channels_[i].src == n || channels_[i].dst == n)
       disable_channel(static_cast<ChanId>(i));
+}
+
+void Network::enable_channel(ChanId c, Cycle now) {
+  if (!has_fault_mask())
+    throw std::logic_error("enable_channel: fault mask not enabled");
+  auto& alive = chan_alive_[static_cast<std::size_t>(c)];
+  if (alive != 0) return;
+  alive = 1;
+  --dead_channels_;
+  // Undo the disable_channel() record rewrite: width back from the
+  // immutable Channel, bucket full (matching init_port_dynamic_state),
+  // refresh clock re-based at `now` so the dead period refills nothing.
+  const Channel& ch = chan(c);
+  std::uint32_t* rec = port_rec(out_port_index(ch.src, ch.src_port));
+  rec[kLinkMeta] |= static_cast<std::uint32_t>(ch.width_num) << 16;
+  rec[kTokens] = static_cast<std::uint32_t>(ch.width_num) +
+                 static_cast<std::uint32_t>(ch.width_den);
+  rec[kTokenCycle] = static_cast<std::uint32_t>(now);
+}
+
+void Network::set_node_alive(NodeId n, bool alive) {
+  if (!has_fault_mask())
+    throw std::logic_error("set_node_alive: fault mask not enabled");
+  auto& a = node_alive_[static_cast<std::size_t>(n)];
+  if ((a != 0) == alive) return;
+  a = alive ? 1 : 0;
+  dead_nodes_ += alive ? -1 : 1;
+}
+
+void Network::capture_fault_baseline() {
+  if (!has_fault_mask())
+    throw std::logic_error("capture_fault_baseline: fault mask not enabled");
+  baseline_chan_alive_ = chan_alive_;
+  baseline_node_alive_ = node_alive_;
+}
+
+void Network::save_dynamic_state(std::ostream& out) const {
+  const FlitFifoArena& f = fifos_;
+  put_u64(out, f.num_fifos());
+  put_raw(out, f.hm_data(), f.num_fifos());
+  put_u64(out, f.slots_size());
+  put_raw(out, f.slots_data(), f.slots_size());
+  put_u64(out, port_state_.size());
+  put_raw(out, port_state_.data(), port_state_.size());
+  put_u64(out, channels_.size());
+  for (const Channel& c : channels_) {
+    put_raw(out, &c.tokens, 1);
+    put_u64(out, c.token_cycle);
+  }
+  put_u64(out, chan_alive_.size());
+  put_raw(out, chan_alive_.data(), chan_alive_.size());
+  put_u64(out, node_alive_.size());
+  put_raw(out, node_alive_.data(), node_alive_.size());
+  put_u64(out, dead_channels_);
+  put_u64(out, dead_nodes_);
+  put_u64(out, fault_epoch_);
+}
+
+void Network::load_dynamic_state(std::istream& in) {
+  FlitFifoArena& f = fifos_;
+  check_size(get_u64(in), f.num_fifos(), "fifo control");
+  get_raw(in, f.hm_data(), f.num_fifos());
+  check_size(get_u64(in), f.slots_size(), "fifo slot");
+  get_raw(in, f.slots_data(), f.slots_size());
+  check_size(get_u64(in), port_state_.size(), "port record");
+  get_raw(in, port_state_.data(), port_state_.size());
+  check_size(get_u64(in), channels_.size(), "channel");
+  for (Channel& c : channels_) {
+    get_raw(in, &c.tokens, 1);
+    c.token_cycle = get_u64(in);
+  }
+  // The mask arrays may legitimately be empty on both sides (no faults).
+  check_size(get_u64(in), chan_alive_.size(), "channel mask");
+  get_raw(in, chan_alive_.data(), chan_alive_.size());
+  check_size(get_u64(in), node_alive_.size(), "node mask");
+  get_raw(in, node_alive_.data(), node_alive_.size());
+  dead_channels_ = get_u64(in);
+  dead_nodes_ = get_u64(in);
+  fault_epoch_ = get_u64(in);
 }
 
 std::vector<std::uint32_t> Network::shard_bounds(int shards) const {

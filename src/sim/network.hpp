@@ -10,6 +10,7 @@
 
 #include <bit>
 #include <cassert>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,33 @@ namespace sldf::sim {
 /// Concrete builders derive from this; routing algorithms downcast.
 struct TopoInfo {
   virtual ~TopoInfo() = default;
+};
+
+/// One resolved fault-timeline transition, applied at the start of cycle
+/// `at`. The lists are fully concrete (directed channels, individual
+/// nodes) and mutually consistent: a repaired channel is listed only when
+/// both its endpoints are live after this step, a channel failed by both a
+/// cable event and a chip event appears once, etc. — all cross-event
+/// interaction is worked out at resolve time (topo::resolve_timeline), so
+/// applying a step is a plain sequence of disable/enable calls.
+struct FaultStep {
+  Cycle at = 0;
+  std::vector<NodeId> fail_nodes;
+  std::vector<NodeId> repair_nodes;
+  std::vector<ChanId> fail_chans;
+  std::vector<ChanId> repair_chans;
+};
+
+/// A resolved fault event timeline (see topo/faults.hpp for the source
+/// formats). Steps are strictly increasing in `at`. Stored on the Network
+/// (set_fault_schedule) so serving-mode network caching carries it and the
+/// Simulator picks it up without config plumbing.
+struct FaultSchedule {
+  std::vector<FaultStep> steps;
+  /// True: in-flight packets cut by a dying link are re-routed (re-queued
+  /// at their source injector with a fresh fault-aware route). False: they
+  /// are dropped and counted (SimResult::dropped_packets).
+  bool rescue = true;
 };
 
 class Network {
@@ -104,8 +132,63 @@ class Network {
   /// failed chip takes its links down with it). Terminals of dead nodes
   /// neither generate nor accept traffic (see Simulator).
   void disable_node(NodeId n);
+  /// Online repair: re-marks channel `c` live and restores its source
+  /// output-port record — the token width comes back from the immutable
+  /// Channel struct, the bucket refills to capacity, and the refresh clock
+  /// is re-based at `now` so the elapsed dead time does not grant a burst.
+  /// No-op on an already-live channel. Callers (the Simulator applying a
+  /// FaultStep, audits) are responsible for endpoint liveness consistency:
+  /// resolve_timeline never lists a channel with a dead endpoint.
+  void enable_channel(ChanId c, Cycle now);
+  /// Online node fail/repair: flips only the node's liveness flag (and the
+  /// dead-node count). Incident channels are NOT touched — a resolved
+  /// FaultStep lists them explicitly in fail_chans/repair_chans.
+  void set_node_alive(NodeId n, bool alive);
   [[nodiscard]] std::size_t num_dead_channels() const;
   [[nodiscard]] std::size_t num_dead_nodes() const;
+
+  // ---- fault event timeline (online resilience) --------------------------
+  /// Attaches a resolved fail/repair timeline. The Simulator applies due
+  /// steps at cycle boundaries; reset_dynamic_state() rewinds the mask to
+  /// the captured baseline so the same network object can run the timeline
+  /// again (sweeps, serving mode). Pass nullptr to detach.
+  void set_fault_schedule(std::shared_ptr<const FaultSchedule> s) {
+    fault_schedule_ = std::move(s);
+  }
+  [[nodiscard]] const FaultSchedule* fault_schedule() const {
+    return fault_schedule_.get();
+  }
+  /// Snapshots the current mask (typically right after static injection)
+  /// as the cycle-0 baseline that reset_dynamic_state() restores. Without
+  /// a captured baseline, resets leave the mask untouched (the pre-online
+  /// behaviour manual disable_channel() users rely on).
+  void capture_fault_baseline();
+  [[nodiscard]] bool has_fault_baseline() const {
+    return !baseline_chan_alive_.empty();
+  }
+  /// Rewinds the mask (and the affected port records) to the captured
+  /// baseline without touching FIFO/pipeline state; bumps the fault epoch
+  /// if anything changed. No-op without a captured baseline. Used by
+  /// reset_dynamic_state() and by timeline audits (topo::audit_at).
+  void restore_fault_baseline();
+  /// Monotone counter bumped on every online mask transition (each applied
+  /// FaultStep, each baseline restore). Placement snapshots taken against
+  /// one epoch (trace::PlacementAllocator) refuse to allocate under
+  /// another: a chip repaired mid-run must not be handed to a new tenant
+  /// while an old placement still references the pre-repair liveness.
+  [[nodiscard]] std::uint64_t fault_epoch() const { return fault_epoch_; }
+  void bump_fault_epoch() { ++fault_epoch_; }
+
+  // ---- checkpointing -----------------------------------------------------
+  /// Serializes every mutable word of the network (FIFO arena, port
+  /// records, channel token mirrors, fault mask + epoch) to `out`.
+  /// Topology and static wiring are NOT written: a checkpoint restores
+  /// only onto an identically-built network (the Simulator's checkpoint
+  /// header fingerprints the shape).
+  void save_dynamic_state(std::ostream& out) const;
+  /// Inverse of save_dynamic_state(); throws std::runtime_error when the
+  /// stream's array sizes do not match this network.
+  void load_dynamic_state(std::istream& in);
 
   // ---- shard partition map (intra-simulation parallelism) ----------------
   /// Partitions the router id space into `shards` contiguous ranges for the
@@ -384,6 +467,11 @@ class Network {
   std::vector<std::uint8_t> node_alive_;
   std::size_t dead_channels_ = 0;
   std::size_t dead_nodes_ = 0;
+  // Online-resilience state (see the fault-event-timeline section above).
+  std::shared_ptr<const FaultSchedule> fault_schedule_;
+  std::vector<std::uint8_t> baseline_chan_alive_;
+  std::vector<std::uint8_t> baseline_node_alive_;
+  std::uint64_t fault_epoch_ = 0;
 };
 
 }  // namespace sldf::sim

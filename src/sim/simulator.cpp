@@ -5,6 +5,9 @@
 #include <bit>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 #include <thread>
 
@@ -83,7 +86,57 @@ std::size_t prepare_context(SimContext& ctx, Network& net) {
                              static_cast<std::size_t>(net.num_vcs()),
                          kNoWaiter);
   ctx.ivc_wait_next.assign(net.fifos().num_fifos(), kNoWaiter);
+  ctx.ivc_pkt.assign(net.fifos().num_fifos(), kInvalidPacket);
   return w - 1;
+}
+
+// Binary checkpoint-stream helpers (little-endian host assumed, as the
+// checkpoint is a same-machine resume format, not an interchange format).
+void ck_put(std::ostream& out, const void* p, std::size_t n) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+void ck_get(std::istream& in, void* p, std::size_t n) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("checkpoint: truncated stream");
+}
+template <typename T>
+void ck_put_v(std::ostream& out, const T& v) {
+  ck_put(out, &v, sizeof(T));
+}
+template <typename T>
+T ck_get_v(std::istream& in) {
+  T v{};
+  ck_get(in, &v, sizeof(T));
+  return v;
+}
+template <typename T>
+void ck_put_vec(std::ostream& out, const T& vec) {
+  ck_put_v(out, static_cast<std::uint64_t>(vec.size()));
+  if (!vec.empty())
+    ck_put(out, vec.data(), vec.size() * sizeof(typename T::value_type));
+}
+template <typename T>
+void ck_get_vec(std::istream& in, T& vec) {
+  const auto n = ck_get_v<std::uint64_t>(in);
+  if (n > (1ULL << 40))
+    throw std::runtime_error("checkpoint: implausible vector size");
+  vec.resize(static_cast<std::size_t>(n));
+  if (n)
+    ck_get(in, vec.data(),
+           static_cast<std::size_t>(n) * sizeof(typename T::value_type));
+}
+/// Rejects implausible element counts before a resize+raw-read would try
+/// to allocate them (corrupt or truncated-then-misaligned streams).
+void check_ck_size(std::uint64_t n, std::size_t elem_size) {
+  if (n > (1ULL << 40) / elem_size)
+    throw std::runtime_error("checkpoint: implausible size field");
+}
+void ck_expect(std::istream& in, std::uint64_t want, const char* what) {
+  const auto got = ck_get_v<std::uint64_t>(in);
+  if (got != want)
+    throw std::runtime_error(std::string("checkpoint: ") + what +
+                             " mismatch (saved against a different "
+                             "network/config shape)");
 }
 
 }  // namespace
@@ -216,6 +269,16 @@ void Simulator::init() {
     t.inj_vc = 0;
     t.pushed = 0;
   }
+
+  // Online fault timeline: steps are applied at the top of step() as now_
+  // reaches them. A schedule without a captured baseline would leak online
+  // transitions into the next run's reset, so insist on the pairing.
+  fault_sched_ = net_.fault_schedule();
+  next_fault_ = 0;
+  if (fault_sched_ != nullptr && !net_.has_fault_baseline())
+    throw std::logic_error(
+        "Simulator: network has a fault schedule but no captured fault "
+        "baseline (call capture_fault_baseline() after static injection)");
 
   // Sharded engine setup. More shards than chips cannot be chip-aligned
   // and would only add empty phases, so the resolved count is clamped.
@@ -418,6 +481,362 @@ void Simulator::handle_eject(const Flit& f) {
   }
 }
 
+void Simulator::apply_fault_steps() {
+  while (next_fault_ < fault_sched_->steps.size() &&
+         fault_sched_->steps[next_fault_].at <= now_)
+    apply_fault_step(fault_sched_->steps[next_fault_++]);
+}
+
+void Simulator::drop_packet(PacketId pid) {
+  Packet& p = ctx_->pool[pid];
+  ++dropped_packets_;
+  dropped_flits_ += p.len;
+  if (p.measured) ++dropped_measured_;
+  // The listener may inject (pool.acquire) — don't touch `p` after it.
+  if (listener_) listener_->on_packet_dropped(p, now_);
+  ctx_->pool.release(pid);
+}
+
+// Applies one fault-timeline transition at a cycle boundary. The dying
+// links physically stop moving flits (port-record rewrite via
+// disable_channel); every packet the transition tears apart — flits in
+// flight on a dying channel, buffered in a dying router, or wormholing
+// across a dying link — is surgically removed from the engine (FIFOs,
+// wheel, VC/arbitration state, with credits returned upstream so the flow
+// control invariant survives into a later repair) and then either rescued
+// (re-queued at its source with a fresh fault-aware route) or dropped
+// (counted + reported to the listener). Runs serially on every engine
+// path, so results stay bit-identical across shard counts.
+void Simulator::apply_fault_step(const FaultStep& fs) {
+  FlitFifoArena& fifos = net_.fifos();
+  auto& ps = net_.port_state();
+  const auto nvc = static_cast<std::uint32_t>(net_.num_vcs());
+  const std::uint32_t pshift = net_.port_shift();
+
+  // --- (1) mark node deaths first, so liveness predicates below see them.
+  for (const NodeId n : fs.fail_nodes) {
+    net_.set_node_alive(n, false);
+    const std::int32_t ti = ctx_->term_of_node[static_cast<std::size_t>(n)];
+    if (ti >= 0) ctx_->terms[static_cast<std::size_t>(ti)].next_gen = ~0ULL;
+  }
+  std::vector<std::uint8_t> chan_dying(net_.num_channels(), 0);
+  std::vector<std::uint8_t> port_dying(net_.num_out_ports(), 0);
+  for (const ChanId c : fs.fail_chans) {
+    chan_dying[static_cast<std::size_t>(c)] = 1;
+    const Channel& ch = net_.chan(c);
+    port_dying[net_.out_port_index(ch.src, ch.src_port)] = 1;
+  }
+
+  // --- (2) collect the affected packet set R.
+  std::vector<std::uint8_t> affected(ctx_->pool.capacity(), 0);
+  std::vector<PacketId> rlist;
+  const auto add_r = [&](PacketId pid) {
+    if (!affected[pid]) {
+      affected[pid] = 1;
+      rlist.push_back(pid);
+    }
+  };
+  const auto dst_dead = [&](PacketId pid) {
+    return !net_.node_live(ctx_->pool[pid].dst);
+  };
+  // 2a. in flight on a dying channel, or bound for a dead destination.
+  for (const auto& slot : ctx_->wheel) {
+    for (const WheelEvent& ev : slot) {
+      if (ev.flit.pkt == kInvalidPacket) continue;  // credits keep flowing
+      const std::uint32_t p =
+          (ev.vc_flat - net_.in_vc_index(ev.node, 0, 0)) / nvc;
+      const ChanId c =
+          net_.router(ev.node).in[static_cast<std::size_t>(p)].in_chan;
+      if ((c != kInvalidChan && chan_dying[static_cast<std::size_t>(c)]) ||
+          dst_dead(ev.flit.pkt))
+        add_r(ev.flit.pkt);
+    }
+  }
+  // 2b. buffered in a dying router; owning a VC there; or torn across a
+  // dying link (part of the packet already left over it).
+  for (std::size_t r = 0; r < net_.num_routers(); ++r) {
+    const auto rid = static_cast<NodeId>(r);
+    const bool rdead = !net_.node_live(rid);
+    const std::uint32_t ibase = net_.in_vc_index(rid, 0, 0);
+    const std::uint32_t vend = ibase + net_.num_in_ports_of(rid) * nvc;
+    const std::uint32_t pbegin = net_.out_port_index(rid, 0);
+    for (std::uint32_t ix = ibase; ix < vend; ++ix) {
+      const auto sz = static_cast<std::uint32_t>(fifos.size(ix));
+      for (std::uint32_t k = 0; k < sz; ++k) {
+        const Flit& f = fifos.at(ix, k);
+        if (rdead || dst_dead(f.pkt)) add_r(f.pkt);
+      }
+      const std::uint32_t meta = fifos.meta(ix);
+      if (Network::ivc_state_of(meta) == IvcState::Idle) continue;
+      const PacketId owner = ctx_->ivc_pkt[ix];
+      assert(owner != kInvalidPacket && "non-Idle VC without an owner");
+      if (rdead || dst_dead(owner)) {
+        add_r(owner);
+        continue;
+      }
+      if (Network::ivc_state_of(meta) == IvcState::Active &&
+          port_dying[pbegin + Network::ivc_port_of(meta)]) {
+        // Untorn = the whole remaining packet is still buffered here (its
+        // first flit never crossed); those are re-routed in place below.
+        const bool untorn = !fifos.empty(ix) && fifos.front(ix).idx == 0;
+        if (!untorn) add_r(owner);
+      }
+    }
+  }
+  // 2c. still queued at a now-dead source, or bound for a dead node.
+  for (const TerminalState& t : ctx_->terms) {
+    for (std::size_t q = 0; q < t.queue.size(); ++q) {
+      const PacketId pid = t.queue.at(q);
+      if (!net_.node_live(t.node) || dst_dead(pid)) add_r(pid);
+    }
+  }
+
+  // --- (3) removal sweep + VC/arbitration teardown (deterministic order:
+  // wheel slots ascending, then routers/ports/VCs ascending).
+  for (auto& slot : ctx_->wheel) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      const WheelEvent& ev = slot[i];
+      if (ev.flit.pkt == kInvalidPacket || !affected[ev.flit.pkt]) {
+        slot[w++] = slot[i];
+        continue;
+      }
+      // Return the in-flight flit's credit to the upstream output VC so
+      // the channel regains full capacity on repair.
+      const std::uint32_t p =
+          (ev.vc_flat - net_.in_vc_index(ev.node, 0, 0)) / nvc;
+      const ChanId c =
+          net_.router(ev.node).in[static_cast<std::size_t>(p)].in_chan;
+      const Channel& ch = net_.chan(c);
+      const std::uint32_t up = net_.out_port_index(ch.src, ch.src_port);
+      std::uint32_t* rec = net_.port_rec(up);
+      rec[Network::kOvc0 + (ev.vc_flat - rec[Network::kDstVcBase])] += 0x100;
+      if ((rec[0] & 0xffff) != 0) {
+        set_bit(ctx_->port_pending, up);
+        mark_work(ch.src);
+        activate_router(ch.src);
+      }
+    }
+    slot.resize(w);
+  }
+
+  const auto unlink_waiter = [&](std::uint32_t ovcflat, std::uint32_t ix) {
+    std::uint32_t cur = ctx_->ovc_waiters[ovcflat];
+    if (cur == ix) {
+      ctx_->ovc_waiters[ovcflat] = ctx_->ivc_wait_next[ix];
+      return;
+    }
+    while (cur != kNoWaiter) {
+      const std::uint32_t nx = ctx_->ivc_wait_next[cur];
+      if (nx == ix) {
+        ctx_->ivc_wait_next[cur] = ctx_->ivc_wait_next[ix];
+        return;
+      }
+      cur = nx;
+    }
+  };
+  const auto remove_requester = [&](std::uint32_t* rec, std::uint32_t p,
+                                    std::uint32_t v) {
+    auto* reqs = reinterpret_cast<std::uint16_t*>(rec + Network::kOvc0 + nvc);
+    const std::uint32_t nreq = rec[0] & 0xffff;
+    std::uint32_t rr = rec[0] >> 16;
+    const auto enc = static_cast<std::uint16_t>((p << 8) | v);
+    std::uint32_t k = 0;
+    while (k < nreq && reqs[k] != enc) ++k;
+    assert(k < nreq && "Active VC missing from its port's requesters");
+    for (std::uint32_t j = k; j + 1 < nreq; ++j) reqs[j] = reqs[j + 1];
+    const std::uint32_t left = nreq - 1;
+    if (left == 0) {
+      rec[0] = 0;
+      return;
+    }
+    if (rr > k) --rr;
+    if (rr >= left) rr = 0;
+    rec[0] = left | (rr << 16);
+  };
+
+  std::vector<Flit> keep;
+  for (std::size_t r = 0; r < net_.num_routers(); ++r) {
+    const auto rid = static_cast<NodeId>(r);
+    const std::uint32_t ibase = net_.in_vc_index(rid, 0, 0);
+    const std::uint32_t nin = net_.num_in_ports_of(rid);
+    const std::uint32_t pbegin = net_.out_port_index(rid, 0);
+    for (std::uint32_t p = 0; p < nin; ++p) {
+      const Network::CreditReturn cr = net_.credit_return_by_port()
+          [net_.in_port_index(rid, static_cast<PortIx>(p))];
+      for (std::uint32_t v = 0; v < nvc; ++v) {
+        const std::uint32_t ix = ibase + p * nvc + v;
+        // Remove this VC's flits of affected packets, returning their
+        // buffer credits upstream (none for injection ports).
+        const auto sz = static_cast<std::uint32_t>(fifos.size(ix));
+        bool removed_any = false;
+        keep.clear();
+        for (std::uint32_t k = 0; k < sz; ++k) {
+          const Flit f = fifos.at(ix, k);
+          if (!affected[f.pkt]) {
+            keep.push_back(f);
+            continue;
+          }
+          removed_any = true;
+          ctx_->ract[r] -= 4;  // one fewer buffered flit
+          if (cr.src != kInvalidNode) {
+            ps[cr.credit_base() + v] += 0x100;
+            const std::uint32_t up = (cr.credit_base() + v) >> pshift;
+            if ((ps[static_cast<std::size_t>(up) << pshift] & 0xffff) != 0) {
+              set_bit(ctx_->port_pending, up);
+              mark_work(cr.src);
+              activate_router(cr.src);
+            }
+          }
+        }
+        if (removed_any) {
+          fifos.clear_ring(ix);
+          for (const Flit& f : keep) fifos.push(ix, f);
+        }
+        const std::uint32_t meta = fifos.meta(ix);
+        const IvcState st = Network::ivc_state_of(meta);
+        if (st == IvcState::Idle) {
+          // Only the pending bit can be stale: the owning head flit of a
+          // waiting VC may just have been removed.
+          if (removed_any && fifos.empty(ix))
+            clear_bit(ctx_->ivc_pending, ix);
+          continue;
+        }
+        const PacketId owner = ctx_->ivc_pkt[ix];
+        const std::uint32_t pflat = pbegin + Network::ivc_port_of(meta);
+        const std::uint32_t ovc = Network::ivc_vc_of(meta);
+        const bool dying_port = port_dying[pflat] != 0;
+        if (!affected[owner] && !dying_port) continue;
+        // Tear down this VC's claim: it is either owned by a destroyed
+        // packet, or (untorn case) must re-route away from a dying port.
+        std::uint32_t* rec = net_.port_rec(pflat);
+        if (st == IvcState::Active) {
+          rec[Network::kOvc0 + ovc] &= ~1u;  // release the output VC
+          if (!dying_port) {
+            remove_requester(rec, p, v);
+            // Wake parked waiters so one of them can claim the freed VC.
+            std::uint32_t wix = ctx_->ovc_waiters[pflat * nvc + ovc];
+            if (wix != kNoWaiter) {
+              ctx_->ovc_waiters[pflat * nvc + ovc] = kNoWaiter;
+              while (wix != kNoWaiter) {
+                set_bit(ctx_->ivc_pending, wix);
+                const std::uint32_t nx = ctx_->ivc_wait_next[wix];
+                ctx_->ivc_wait_next[wix] = kNoWaiter;
+                wix = nx;
+              }
+              mark_work(rid);
+              activate_router(rid);
+            }
+            if ((rec[0] & 0xffff) == 0)
+              clear_bit(ctx_->port_pending, pflat);
+          }
+        } else {  // Routed: parked on a waiter chain, or pending re-scan
+          if (!dying_port) unlink_waiter(pflat * nvc + ovc, ix);
+          ctx_->ivc_wait_next[ix] = kNoWaiter;
+        }
+        fifos.set_meta(
+            ix, Network::pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
+        ctx_->ivc_pkt[ix] = kInvalidPacket;
+        if (!fifos.empty(ix)) {
+          set_bit(ctx_->ivc_pending, ix);  // re-route survivors next cycle
+          mark_work(rid);
+          activate_router(rid);
+        } else {
+          clear_bit(ctx_->ivc_pending, ix);
+        }
+      }
+    }
+  }
+  // Dying output ports: every requester/waiter pointing at them was reset
+  // above, so zero the arbitration state and unpark them.
+  for (const ChanId c : fs.fail_chans) {
+    const Channel& ch = net_.chan(c);
+    const std::uint32_t pflat = net_.out_port_index(ch.src, ch.src_port);
+    std::uint32_t* rec = net_.port_rec(pflat);
+    rec[0] = 0;
+    for (std::uint32_t v = 0; v < nvc; ++v) {
+      rec[Network::kOvc0 + v] &= ~1u;
+      ctx_->ovc_waiters[pflat * nvc + v] = kNoWaiter;
+    }
+    clear_bit(ctx_->port_pending, pflat);
+  }
+  for (const NodeId n : fs.fail_nodes)
+    ctx_->ract[static_cast<std::size_t>(n)] &= 1u;  // keep only the list flag
+
+  // --- (4) kill the links (port records stop moving flits).
+  for (const ChanId c : fs.fail_chans) net_.disable_channel(c);
+
+  // --- (5) rescue or drop the affected packets, in PacketId order.
+  std::sort(rlist.begin(), rlist.end());
+  const bool rescue = fault_sched_->rescue;
+  for (const PacketId pid : rlist) {
+    Packet& pk = ctx_->pool[pid];
+    const std::int32_t ti =
+        ctx_->term_of_node[static_cast<std::size_t>(pk.src)];
+    assert(ti >= 0 && "packet source is not a terminal");
+    TerminalState& t = ctx_->terms[static_cast<std::size_t>(ti)];
+    std::ptrdiff_t pos = -1;
+    for (std::size_t q = 0; q < t.queue.size(); ++q) {
+      if (t.queue.at(q) == pid) {
+        pos = static_cast<std::ptrdiff_t>(q);
+        break;
+      }
+    }
+    const bool can_rescue =
+        rescue && net_.node_live(pk.src) && net_.node_live(pk.dst) &&
+        (pos >= 0 ||
+         static_cast<int>(t.queue.size()) < cfg_.max_src_queue);
+    if (can_rescue) {
+      // Source retransmission: reset the routing state, re-plan against
+      // the updated mask, and (re)start injection from flit 0. t_gen is
+      // kept, so the rescue delay shows up in the packet's latency.
+      ++rescued_packets_;
+      pk.target = kInvalidNode;
+      pk.exit_chan = kInvalidChan;
+      pk.mid_wgroup = -1;
+      pk.phase = pk.next_phase = RoutePhase::SrcCGroup;
+      pk.vc_class = pk.next_class = 0;
+      pk.flits_ejected = 0;
+      net_.routing()->init_packet(net_, pk, rng_);
+      if (pos == 0)
+        t.pushed = 0;
+      else if (pos < 0)
+        t.queue.push_back(pid);
+    } else {
+      if (pos >= 0) {
+        const std::size_t qsz = t.queue.size();
+        for (std::size_t q = 0; q < qsz; ++q) {
+          const PacketId qp = t.queue.front();
+          t.queue.pop_front();
+          if (qp != pid) t.queue.push_back(qp);
+        }
+        if (pos == 0) t.pushed = 0;
+      }
+      drop_packet(pid);
+    }
+  }
+
+  // --- (6) repairs: restore token width, revive terminals.
+  for (const NodeId n : fs.repair_nodes) {
+    net_.set_node_alive(n, true);
+    const std::int32_t ti = ctx_->term_of_node[static_cast<std::size_t>(n)];
+    if (ti >= 0) {
+      TerminalState& t = ctx_->terms[static_cast<std::size_t>(ti)];
+      t.pushed = 0;
+      t.inj_vc = 0;
+      if (per_node_pkt_rate_ > 0.0) {
+        const auto skip = rng_.geometric_skip(per_node_pkt_rate_);
+        t.next_gen = (skip >= ~0ULL - now_ - 1) ? ~0ULL : now_ + 1 + skip;
+      } else {
+        t.next_gen = ~0ULL;
+      }
+    }
+  }
+  for (const ChanId c : fs.repair_chans) net_.enable_channel(c, now_);
+
+  net_.bump_fault_epoch();
+}
+
 template <bool Sharded>
 void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
   (void)ss;  // unused by the serial instantiation
@@ -456,6 +875,7 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
           assert(d.out_vc >= 0 && d.out_vc < static_cast<VcIx>(nvc));
           meta = Network::pack_ivc(d.out_port, d.out_vc, IvcState::Routed);
           fifos.set_meta(ix, meta);
+          ctx_->ivc_pkt[ix] = f.pkt;  // VC ownership, for the fault sweep
         }
         // Routed: try VA (claim the chosen output VC).
         const std::uint32_t pflat = pbegin + Network::ivc_port_of(meta);
@@ -632,6 +1052,7 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
           }
           fifos.set_meta(
               ix, Network::pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
+          ctx_->ivc_pkt[ix] = kInvalidPacket;
           if (!fifos.empty(ix)) {
             set_bit<Sharded>(ctx_->ivc_pending, ix);  // next head is waiting
             __builtin_prefetch(&ctx_->pool[fifos.front(ix).pkt]);  // for RC
@@ -775,6 +1196,12 @@ void Simulator::step_sharded() {
 }
 
 void Simulator::step() {
+  // Fault timeline transitions happen at the cycle boundary, before any
+  // engine phase — and always serially, even on the sharded path, so every
+  // shard count observes the identical post-event state.
+  if (fault_sched_ != nullptr && next_fault_ < fault_sched_->steps.size() &&
+      fault_sched_->steps[next_fault_].at <= now_)
+    apply_fault_steps();
   if (shards_ > 1) {
     step_sharded();
     return;
@@ -809,9 +1236,12 @@ SimResult Simulator::run() {
   const Cycle horizon = cfg_.warmup + cfg_.measure;
   while (now_ < horizon) step();
   // Drain: let measured packets land (background traffic keeps flowing).
+  // Fault-dropped measured packets are accounted as terminal, so a lossy
+  // timeline never spins the drain loop waiting for packets that no
+  // longer exist.
   Cycle drained_cycles = 0;
   while (drained_cycles < cfg_.drain &&
-         delivered_measured_ < generated_measured_) {
+         delivered_measured_ + dropped_measured_ < generated_measured_) {
     step();
     ++drained_cycles;
   }
@@ -830,9 +1260,13 @@ SimResult Simulator::run() {
   res.delivered_measured = delivered_measured_;
   res.delivered_total = delivered_total_;
   res.suppressed = suppressed_;
-  res.drained = delivered_measured_ == generated_measured_;
+  res.drained =
+      delivered_measured_ + dropped_measured_ == generated_measured_;
   res.cycles_run = now_;
   res.flit_hops = flit_hops_;
+  res.dropped_packets = dropped_packets_;
+  res.dropped_flits = dropped_flits_;
+  res.rescued_packets = rescued_packets_;
   double total = 0.0;
   if (delivered_measured_ > 0) {
     for (int h = 0; h < kNumLinkTypes; ++h) {
@@ -843,6 +1277,162 @@ SimResult Simulator::run() {
   }
   res.avg_hops_total = total;
   return res;
+}
+
+namespace {
+/// Checkpoint stream magic ("sldfckp1" little-endian).
+constexpr std::uint64_t kCkMagic = 0x736c6466636b7031ULL;
+}  // namespace
+
+void Simulator::save_checkpoint(std::ostream& out) const {
+  ck_put_v(out, kCkMagic);
+  // Shape fingerprint: a restore against a different network/config shape
+  // must fail loudly instead of corrupting state.
+  ck_put_v(out, static_cast<std::uint64_t>(net_.num_routers()));
+  ck_put_v(out, static_cast<std::uint64_t>(net_.num_channels()));
+  ck_put_v(out, static_cast<std::uint64_t>(net_.fifos().num_fifos()));
+  ck_put_v(out, static_cast<std::uint64_t>(net_.num_out_ports()));
+  ck_put_v(out, static_cast<std::uint64_t>(ctx_->terms.size()));
+  ck_put_v(out, cfg_.seed);
+  ck_put_v(out, static_cast<std::uint64_t>(cfg_.warmup));
+  ck_put_v(out, static_cast<std::uint64_t>(cfg_.measure));
+  ck_put_v(out, static_cast<std::uint64_t>(cfg_.drain));
+  ck_put_v(out, static_cast<std::int64_t>(cfg_.pkt_len));
+  ck_put_v(out, cfg_.inj_rate_per_chip);
+
+  ck_put_v(out, now_);
+  const auto rs = rng_.state();
+  ck_put(out, rs.data(), sizeof(rs[0]) * rs.size());
+  const OnlineStats::State ls = lat_.state();
+  ck_put(out, &ls, sizeof(ls));
+  ck_put_vec(out, lat_hist_.buckets());
+  ck_put_v(out, lat_hist_.count());
+  ck_put_v(out, lat_hist_.overflow());
+  ck_put_v(out, accepted_flits_);
+  ck_put_v(out, generated_measured_);
+  ck_put_v(out, delivered_measured_);
+  ck_put_v(out, delivered_total_);
+  ck_put_v(out, suppressed_);
+  ck_put_v(out, flit_hops_);
+  ck_put_v(out, dropped_packets_);
+  ck_put_v(out, dropped_flits_);
+  ck_put_v(out, dropped_measured_);
+  ck_put_v(out, rescued_packets_);
+  ck_put_v(out, static_cast<std::uint64_t>(next_fault_));
+  ck_put(out, hop_sum_, sizeof(hop_sum_));
+
+  // Packet pool: raw slots (POD) + the free list.
+  ck_put_v(out, static_cast<std::uint64_t>(ctx_->pool.capacity()));
+  ck_put(out, ctx_->pool.slots_data(), ctx_->pool.capacity() * sizeof(Packet));
+  ck_put_vec(out, ctx_->pool.free_list());
+
+  for (const TerminalState& t : ctx_->terms) {
+    ck_put_v(out, t.next_gen);
+    ck_put_v(out, static_cast<std::uint64_t>(t.queue.size()));
+    for (std::size_t q = 0; q < t.queue.size(); ++q)
+      ck_put_v(out, t.queue.at(q));
+    ck_put_v(out, t.inj_vc);
+    ck_put_v(out, t.pushed);
+  }
+
+  ck_put_vec(out, ctx_->active);
+  ck_put_vec(out, ctx_->ract);
+  ck_put_v(out, static_cast<std::uint64_t>(ctx_->wheel.size()));
+  for (const auto& slot : ctx_->wheel) ck_put_vec(out, slot);
+  ck_put_vec(out, ctx_->ivc_pending);
+  ck_put_vec(out, ctx_->port_pending);
+  ck_put_vec(out, ctx_->ovc_waiters);
+  ck_put_vec(out, ctx_->ivc_wait_next);
+  ck_put_vec(out, ctx_->ivc_pkt);
+
+  net_.save_dynamic_state(out);
+  if (!out) throw std::runtime_error("checkpoint: write failed");
+}
+
+void Simulator::restore_checkpoint(std::istream& in) {
+  if (ck_get_v<std::uint64_t>(in) != kCkMagic)
+    throw std::runtime_error("checkpoint: bad magic (not a checkpoint?)");
+  ck_expect(in, static_cast<std::uint64_t>(net_.num_routers()),
+            "router count");
+  ck_expect(in, static_cast<std::uint64_t>(net_.num_channels()),
+            "channel count");
+  ck_expect(in, static_cast<std::uint64_t>(net_.fifos().num_fifos()),
+            "fifo count");
+  ck_expect(in, static_cast<std::uint64_t>(net_.num_out_ports()),
+            "port count");
+  ck_expect(in, static_cast<std::uint64_t>(ctx_->terms.size()),
+            "terminal count");
+  ck_expect(in, cfg_.seed, "seed");
+  ck_expect(in, static_cast<std::uint64_t>(cfg_.warmup), "warmup");
+  ck_expect(in, static_cast<std::uint64_t>(cfg_.measure), "measure");
+  ck_expect(in, static_cast<std::uint64_t>(cfg_.drain), "drain");
+  if (ck_get_v<std::int64_t>(in) != static_cast<std::int64_t>(cfg_.pkt_len))
+    throw std::runtime_error("checkpoint: pkt_len mismatch");
+  const double rate = ck_get_v<double>(in);
+  if (std::memcmp(&rate, &cfg_.inj_rate_per_chip, sizeof(double)) != 0)
+    throw std::runtime_error("checkpoint: inj_rate mismatch");
+
+  now_ = ck_get_v<Cycle>(in);
+  std::array<std::uint64_t, 4> rs{};
+  ck_get(in, rs.data(), sizeof(rs[0]) * rs.size());
+  rng_.set_state(rs);
+  OnlineStats::State ls{};
+  ck_get(in, &ls, sizeof(ls));
+  lat_.set_state(ls);
+  std::vector<std::uint64_t> hbuckets;
+  ck_get_vec(in, hbuckets);
+  const auto htotal = ck_get_v<std::uint64_t>(in);
+  const auto hover = ck_get_v<std::uint64_t>(in);
+  lat_hist_.set_state(std::move(hbuckets), htotal, hover);
+  accepted_flits_ = ck_get_v<std::uint64_t>(in);
+  generated_measured_ = ck_get_v<std::uint64_t>(in);
+  delivered_measured_ = ck_get_v<std::uint64_t>(in);
+  delivered_total_ = ck_get_v<std::uint64_t>(in);
+  suppressed_ = ck_get_v<std::uint64_t>(in);
+  flit_hops_ = ck_get_v<std::uint64_t>(in);
+  dropped_packets_ = ck_get_v<std::uint64_t>(in);
+  dropped_flits_ = ck_get_v<std::uint64_t>(in);
+  dropped_measured_ = ck_get_v<std::uint64_t>(in);
+  rescued_packets_ = ck_get_v<std::uint64_t>(in);
+  next_fault_ = static_cast<std::size_t>(ck_get_v<std::uint64_t>(in));
+  ck_get(in, hop_sum_, sizeof(hop_sum_));
+
+  const auto nslots = ck_get_v<std::uint64_t>(in);
+  check_ck_size(nslots, sizeof(Packet));
+  ctx_->pool.restore_slots(static_cast<std::size_t>(nslots));
+  ck_get(in, ctx_->pool.slots_data(),
+         static_cast<std::size_t>(nslots) * sizeof(Packet));
+  std::vector<PacketId> free_list;
+  ck_get_vec(in, free_list);
+  ctx_->pool.restore_free_list(std::move(free_list));
+
+  for (TerminalState& t : ctx_->terms) {
+    t.next_gen = ck_get_v<Cycle>(in);
+    const auto qn = ck_get_v<std::uint64_t>(in);
+    check_ck_size(qn, sizeof(PacketId));
+    t.queue.clear();
+    for (std::uint64_t q = 0; q < qn; ++q)
+      t.queue.push_back(ck_get_v<PacketId>(in));
+    t.inj_vc = ck_get_v<VcIx>(in);
+    t.pushed = ck_get_v<std::uint16_t>(in);
+  }
+
+  ck_get_vec(in, ctx_->active);
+  ck_get_vec(in, ctx_->ract);
+  const auto saved_wheel = ck_get_v<std::uint64_t>(in);
+  // The saved wheel is at least as large as this engine's minimum (same
+  // network → same max latency), so adopting its size is always legal.
+  check_ck_size(saved_wheel, sizeof(std::vector<WheelEvent>));
+  ctx_->wheel.resize(static_cast<std::size_t>(saved_wheel));
+  wheel_mask_ = static_cast<std::size_t>(saved_wheel) - 1;
+  for (auto& slot : ctx_->wheel) ck_get_vec(in, slot);
+  ck_get_vec(in, ctx_->ivc_pending);
+  ck_get_vec(in, ctx_->port_pending);
+  ck_get_vec(in, ctx_->ovc_waiters);
+  ck_get_vec(in, ctx_->ivc_wait_next);
+  ck_get_vec(in, ctx_->ivc_pkt);
+
+  net_.load_dynamic_state(in);
 }
 
 SimResult run_sim(Network& net, const SimConfig& cfg, TrafficSource& traffic) {

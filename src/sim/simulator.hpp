@@ -13,6 +13,7 @@
 // performs no heap allocation.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,14 @@ class PacketListener {
  public:
   virtual ~PacketListener() = default;
   virtual void on_packet_delivered(const Packet& p, Cycle now) = 0;
+  /// Fires when a fault event destroys a packet that cannot (or may not)
+  /// be rescued: dead source/destination, rescue disabled, or a full
+  /// source queue. `p` is only valid for the duration of the call. The
+  /// default is a no-op so open-loop listeners stay oblivious.
+  virtual void on_packet_dropped(const Packet& p, Cycle now) {
+    (void)p;
+    (void)now;
+  }
 };
 
 struct SimConfig {
@@ -82,6 +91,10 @@ struct SimResult {
   /// Flits forwarded onto channels over the whole run (excludes ejection):
   /// the engine-throughput numerator reported by sldf-bench.
   std::uint64_t flit_hops = 0;
+  // --- online-resilience accounting (fault event timelines only) ---
+  std::uint64_t dropped_packets = 0;  ///< Destroyed by fault events, unrescued.
+  std::uint64_t dropped_flits = 0;    ///< Flits those packets carried.
+  std::uint64_t rescued_packets = 0;  ///< Re-queued at their source instead.
 };
 
 /// One timing-wheel record: a flit arriving at an input VC, or (when
@@ -165,6 +178,11 @@ struct SimContext {
   /// would have succeeded. kNoWaiter marks an empty link.
   std::vector<std::uint32_t> ovc_waiters;
   std::vector<std::uint32_t> ivc_wait_next;
+  /// Packet owning each non-Idle input VC (kInvalidPacket otherwise).
+  /// Written at RC, cleared when the tail flit pops. The fault sweep uses
+  /// it to identify the packet behind an Active VC whose FIFO has drained
+  /// (its flits are in flight downstream), and checkpoints carry it.
+  std::vector<PacketId> ivc_pkt;
   /// Node -> index into `terms` (-1 for non-terminal nodes); the lookup
   /// behind the closed-loop inject_packet() path.
   std::vector<std::int32_t> term_of_node;
@@ -238,6 +256,28 @@ class Simulator {
   [[nodiscard]] std::uint64_t delivered_total() const {
     return delivered_total_;
   }
+  [[nodiscard]] std::uint64_t accepted_flits() const {
+    return accepted_flits_;
+  }
+  [[nodiscard]] std::uint64_t dropped_packets() const {
+    return dropped_packets_;
+  }
+  [[nodiscard]] std::uint64_t rescued_packets() const {
+    return rescued_packets_;
+  }
+
+  // ---- checkpoint / resume ----
+  /// Serializes the complete dynamic simulation state (engine counters,
+  /// RNG stream, stats accumulators, context, and the network's dynamic
+  /// state) at the current cycle boundary. Call between step()s — never
+  /// mid-cycle. A Simulator constructed over the same network and config
+  /// can restore_checkpoint() and continue bit-identically to a run that
+  /// was never interrupted (including a later run()).
+  void save_checkpoint(std::ostream& out) const;
+  /// Inverse of save_checkpoint(). Throws std::runtime_error when the
+  /// stream is truncated/corrupt or was saved against a different
+  /// network/config shape.
+  void restore_checkpoint(std::istream& in);
 
   /// Resolved shard count this engine runs with (>= 1; clamped to the
   /// network's chip count).
@@ -249,6 +289,12 @@ class Simulator {
   void init();
   void generate_and_inject();
   void deliver_channels();
+  /// Applies every due FaultStep of the network's fault schedule (called
+  /// at the top of step(), before any engine phase — always serial).
+  void apply_fault_steps();
+  void apply_fault_step(const FaultStep& fs);
+  /// Drops or rescues one fault-affected packet (see apply_fault_step).
+  void drop_packet(PacketId pid);
   /// The router pipeline (RC/VA/SA/ST) for one router. `Sharded`
   /// instantiations buffer every cross-router effect (wheel pushes, tail
   /// deliveries, order-sensitive stats) into `ss` and use atomic bit ops
@@ -306,6 +352,11 @@ class Simulator {
   int shards_ = 1;                    ///< Resolved count (see shards()).
   std::unique_ptr<ShardTeam> team_;   ///< Worker threads (shards_ > 1).
 
+  // Online fault timeline (nullptr when the network has none). Steps are
+  // consumed in order as now_ reaches them; next_fault_ is checkpointed.
+  const FaultSchedule* fault_sched_ = nullptr;
+  std::size_t next_fault_ = 0;
+
   // measurement accumulators
   OnlineStats lat_;
   Histogram lat_hist_{1.0};
@@ -315,6 +366,10 @@ class Simulator {
   std::uint64_t delivered_total_ = 0;
   std::uint64_t suppressed_ = 0;
   std::uint64_t flit_hops_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t dropped_flits_ = 0;
+  std::uint64_t dropped_measured_ = 0;  ///< Measured packets among the drops.
+  std::uint64_t rescued_packets_ = 0;
   double hop_sum_[kNumLinkTypes] = {};
 };
 

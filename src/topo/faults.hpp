@@ -10,12 +10,21 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "sim/network.hpp"
 
 namespace sldf::topo {
+
+/// Typed error for malformed fault timelines (inline `fault.events` strings
+/// and `fault.schedule` files). File-derived messages carry "origin:line".
+class FaultError : public ScenarioError {
+ public:
+  explicit FaultError(const std::string& what) : ScenarioError(what) {}
+};
 
 /// Which candidate link class random faults are drawn from.
 enum class FaultKind : std::uint8_t {
@@ -35,10 +44,20 @@ struct FaultSpec {
   FaultKind kind = FaultKind::Any;
   std::uint64_t seed = 1;  ///< Fault-set RNG seed (independent of sim seed).
   std::vector<ChipId> chips;  ///< Chips to fail entirely (all their nodes).
+  // --- online fault timeline (scenario keys fault.events / fault.schedule /
+  // fault.rescue; at most one of the two sources may be set) ---
+  std::string events;    ///< Inline timeline (parse_fault_events grammar).
+  std::string schedule;  ///< Path of a `sldf-faults 1` schedule file.
+  bool rescue = true;    ///< Retransmit torn packets (false: drop + count).
 
   /// An inactive spec injects nothing and leaves the network untouched
   /// (bit-identical to a build that never heard of faults).
   [[nodiscard]] bool active() const { return rate > 0.0 || !chips.empty(); }
+  /// A timeline arms the fault mask and attaches a FaultSchedule even when
+  /// the cycle-0 state is fault-free (rate 0, no chips).
+  [[nodiscard]] bool has_timeline() const {
+    return !events.empty() || !schedule.empty();
+  }
 };
 
 struct FaultReport {
@@ -80,5 +99,87 @@ struct FaultAudit {
 /// operation with a partitioned fabric is a result, not a crash.
 FaultAudit audit_fault_routing(const sim::Network& net,
                                std::size_t max_hops = 4096);
+
+// ---------------------------------------------------------------------------
+// Online fault timeline: fail/repair events applied at cycle boundaries.
+// ---------------------------------------------------------------------------
+
+/// One timeline event. A rate event sets the failure LEVEL of a kind — the
+/// first round(rate * candidates) cables of that kind's seeded permutation
+/// are dead — so raising/lowering the rate fails/repairs a monotone prefix
+/// and the nested-set property of static fault sweeps carries over to time.
+/// A chip event fails or repairs one whole chip.
+struct FaultEvent {
+  Cycle at = 0;
+  bool fail = true;     ///< fail vs repair (validated against the level).
+  bool is_chip = false;
+  ChipId chip = kInvalidChip;     ///< Chip events only.
+  FaultKind kind = FaultKind::Any;  ///< Rate events only.
+  double rate = 0.0;                ///< Rate events only, [0, 1].
+};
+
+/// Parsed, unresolved timeline (cycle-ordered events).
+struct FaultTimeline {
+  std::vector<FaultEvent> events;
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Parses the inline `fault.events` grammar: semicolon-separated
+/// `<fail|repair>@<cycle>:<what>` where `<what>` is `chip<N>` or
+/// `<kind>=<rate>`, e.g. `fail@2000:global=0.05;repair@5000:global=0`.
+/// Events must be non-decreasing in cycle. Throws FaultError.
+FaultTimeline parse_fault_events(const std::string& s);
+
+/// Parses the `fault.schedule` file format: header line `sldf-faults 1`,
+/// then one event per line — `fail|repair <cycle> chip <N>` or
+/// `fail|repair <cycle> <kind> <rate>` — with `#` comments. Errors carry
+/// `origin:line`. Throws FaultError.
+FaultTimeline parse_fault_schedule(std::istream& in, const std::string& origin);
+
+/// Opens `path` and parses it with parse_fault_schedule. Throws FaultError
+/// when the file cannot be opened.
+FaultTimeline load_fault_schedule(const std::string& path);
+
+/// Resolves a timeline against a finalized network into the concrete
+/// per-cycle channel/node transitions the Simulator applies. `base` is the
+/// static spec already injected into `net` (seed + initial levels + chips);
+/// every rate event reuses the base seed's per-kind permutation, so the
+/// cycle-t fault set at rate r is bit-identical to a static injection at
+/// rate r. Validates verbs (a fail event must not lower a level, a repair
+/// must not raise one; chip events must flip state) and that the base spec
+/// matches the network's current mask. Throws FaultError.
+sim::FaultSchedule resolve_timeline(const sim::Network& net,
+                                    const FaultTimeline& timeline,
+                                    const FaultSpec& base);
+
+/// Reachability audit of one instant of a fault timeline, with the end
+/// state alongside so transient partitions (heal after later repairs) are
+/// separated from permanent ones.
+struct TimelineAudit {
+  Cycle at = 0;
+  FaultAudit snapshot;  ///< Audit with events at <= `at` applied.
+  FaultAudit settled;   ///< Audit with the whole timeline applied.
+  /// Pairs unreachable at `at` that are reachable once the timeline ends.
+  [[nodiscard]] std::size_t transient_unreachable() const {
+    return snapshot.unreachable > settled.unreachable
+               ? snapshot.unreachable - settled.unreachable
+               : 0;
+  }
+  [[nodiscard]] bool transiently_partitioned() const {
+    return transient_unreachable() > 0;
+  }
+  [[nodiscard]] bool permanently_partitioned() const {
+    return settled.unreachable > 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Audits the installed routing function against the fault mask as it
+/// stands at cycle `t` of the network's attached fault schedule, and again
+/// at the end of the timeline. The mask is rewound to the captured cycle-0
+/// baseline afterwards, so the network is unchanged. Requires a network
+/// with an attached schedule and captured baseline (build_network sets both
+/// up for timeline scenarios). Throws FaultError otherwise.
+TimelineAudit audit_at(sim::Network& net, Cycle t, std::size_t max_hops = 4096);
 
 }  // namespace sldf::topo

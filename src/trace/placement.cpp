@@ -24,7 +24,8 @@ PlacementPolicy parse_placement(const std::string& s,
                       "'");
 }
 
-PlacementAllocator::PlacementAllocator(const sim::Network& net) : net_(&net) {
+PlacementAllocator::PlacementAllocator(const sim::Network& net)
+    : net_(&net), epoch_(net.fault_epoch()) {
   const auto& hier = net.topo<topo::HierTopo>();
   const auto nchips = static_cast<ChipId>(net.num_chips());
   taken_.assign(static_cast<std::size_t>(nchips), 0);
@@ -43,6 +44,19 @@ PlacementAllocator::PlacementAllocator(const sim::Network& net) : net_(&net) {
     cgroup_of_.push_back(hier.chip_cgroup[static_cast<std::size_t>(c)]);
 }
 
+void PlacementAllocator::check_epoch(const std::string& tenant) const {
+  if (net_->fault_epoch() != epoch_)
+    throw ScenarioError(
+        tenant +
+        ": placement free list is stale — the network's fault mask changed "
+        "(epoch " +
+        std::to_string(epoch_) + " -> " +
+        std::to_string(net_->fault_epoch()) +
+        ", an online failure or repair was applied) since this allocator "
+        "was built; construct a new PlacementAllocator against the current "
+        "mask");
+}
+
 int PlacementAllocator::free_chips() const {
   int n = 0;
   for (const ChipId c : order_)
@@ -53,6 +67,7 @@ int PlacementAllocator::free_chips() const {
 std::vector<ChipId> PlacementAllocator::allocate(int count,
                                                  PlacementPolicy policy,
                                                  const std::string& tenant) {
+  check_epoch(tenant);
   if (count < 1)
     throw ScenarioError(tenant + ": chip count must be >= 1, got " +
                         std::to_string(count));
@@ -98,6 +113,7 @@ std::vector<ChipId> PlacementAllocator::allocate(int count,
 
 void PlacementAllocator::reserve(const std::vector<ChipId>& chips,
                                  const std::string& tenant) {
+  check_epoch(tenant);
   const auto nchips = static_cast<ChipId>(net_->num_chips());
   for (const ChipId c : chips) {
     if (c < 0 || c >= nchips)

@@ -34,6 +34,13 @@ const char* to_string(PlacementPolicy p);
 /// Stateful free-list over the live chips of `net`. allocate()/reserve()
 /// permanently claim chips, so successive calls place tenants on disjoint
 /// groups; exhaustion throws ScenarioError naming the tenant.
+///
+/// The free list is a snapshot of the fault mask at construction time: a
+/// fault-timeline step (failure OR repair) that lands between construction
+/// and a later allocate()/reserve() invalidates it — a repair would leave
+/// revived chips invisible, a failure would hand out dead ones. Both claim
+/// paths therefore check the network's fault epoch and throw ScenarioError
+/// on mismatch; construct a fresh allocator against the settled mask.
 class PlacementAllocator {
  public:
   explicit PlacementAllocator(const sim::Network& net);
@@ -50,7 +57,12 @@ class PlacementAllocator {
   [[nodiscard]] int free_chips() const;
 
  private:
+  /// Throws ScenarioError when the network's fault epoch moved past the
+  /// snapshot this allocator was built from.
+  void check_epoch(const std::string& tenant) const;
+
   const sim::Network* net_;
+  std::uint64_t epoch_ = 0;  ///< net_->fault_epoch() at construction.
   /// All live chips in (C-group, ring rank) order; the contiguous scan
   /// order and the per-C-group segments the scattered policy cycles over.
   std::vector<ChipId> order_;

@@ -29,6 +29,10 @@ struct MsgState {
   std::uint32_t deps_left = 0;
   Cycle t_ready = 0;
   Cycle t_done = 0;
+  /// 0 = pending/running, 1 = completed, 2 = failed (lost a packet to a
+  /// fault drop), 3 = orphaned (a dependency failed, or its chip died
+  /// before it issued). 2/3 are terminal without ever completing.
+  std::uint8_t status = 0;
 };
 
 /// Per-chip issue queue: ready messages are pumped into the source
@@ -91,7 +95,10 @@ class Runner final : public sim::PacketListener {
 
     const auto total = static_cast<std::uint64_t>(graph_.messages.size());
     bool hit_horizon = false;
-    while (done_ < total) {
+    // Terminal = completed + failed + orphaned: a lossy fault timeline
+    // surfaces its failed messages and the run ends, instead of hanging
+    // on deliveries that can never happen.
+    while (done_ + failed_msgs_ + orphaned_msgs_ < total) {
       if (sim.now() >= cfg_.max_cycles) {
         hit_horizon = true;
         break;
@@ -104,7 +111,7 @@ class Runner final : public sim::PacketListener {
             "' stalled with nothing in flight (dependency cycle?)");
       sim.step();
     }
-    return summarize(sim, !hit_horizon);
+    return summarize(sim, !hit_horizon && done_ == total);
   }
 
   void on_packet_delivered(const sim::Packet& p, Cycle now) override {
@@ -116,16 +123,46 @@ class Runner final : public sim::PacketListener {
     flits_delivered_ += p.len;
     if (++st.pkts_done < st.pkts_total) return;
     // Message complete: record, then release dependents.
+    st.status = 1;
     st.t_done = now;
     end_cycle_ = now;
     ++done_;
     for (std::uint32_t i = dep_base_[m]; i < dep_base_[m + 1]; ++i) {
       const MsgId d = dep_list_[i];
-      if (--state_[d].deps_left == 0) make_ready(d, now);
+      if (--state_[d].deps_left == 0 && state_[d].status == 0)
+        make_ready(d, now);
     }
   }
 
+  void on_packet_dropped(const sim::Packet& p, Cycle /*now*/) override {
+    if (p.tag == sim::kNoTag) return;
+    --in_flight_;
+    fail_message(p.tag, 2);
+  }
+
  private:
+  /// Marks `m` failed (kind 2) or orphaned (kind 3) and transitively
+  /// orphans every dependent — none of them can ever become ready, and
+  /// without this the run loop would wait on them forever. Iterative
+  /// worklist: dependency chains (e.g. ring collectives) can be thousands
+  /// of messages deep.
+  void fail_message(MsgId m, std::uint8_t kind) {
+    if (state_[m].status != 0) return;
+    state_[m].status = kind;
+    kind == 2 ? ++failed_msgs_ : ++orphaned_msgs_;
+    std::vector<MsgId> work{m};
+    while (!work.empty()) {
+      const MsgId cur = work.back();
+      work.pop_back();
+      for (std::uint32_t i = dep_base_[cur]; i < dep_base_[cur + 1]; ++i) {
+        const MsgId d = dep_list_[i];
+        if (state_[d].status != 0) continue;
+        state_[d].status = 3;
+        ++orphaned_msgs_;
+        work.push_back(d);
+      }
+    }
+  }
   /// Dependencies satisfied: enqueue now, or park until the message's
   /// issue timestamp when that is still in the future.
   void make_ready(MsgId m, Cycle now) {
@@ -166,6 +203,18 @@ class Runner final : public sim::PacketListener {
       const MsgId m = cq.q[cq.head];
       const MessageSpec& spec = graph_.messages[m];
       MsgState& st = state_[m];
+      if (st.status != 0) {  // failed mid-transfer: stop sending its packets
+        ++cq.head;
+        continue;
+      }
+      if (!net_.chip_live(spec.src) || !net_.chip_live(spec.dst)) {
+        // A fault step killed an endpoint chip under this queued message.
+        // Never started -> orphaned; partially sent -> failed (its landed
+        // packets are half a transfer that can no longer finish).
+        fail_message(m, st.pkts_sent == 0 ? std::uint8_t{3} : std::uint8_t{2});
+        ++cq.head;
+        continue;
+      }
       const auto& snodes = net_.chip_nodes(spec.src);
       const auto& dnodes = net_.chip_nodes(spec.dst);
       const std::size_t lanes =
@@ -222,6 +271,10 @@ class Runner final : public sim::PacketListener {
     r.packets = packets_;
     r.packets_delivered = packets_delivered_;
     r.flit_hops = sim.flit_hops();
+    r.failed_messages = failed_msgs_;
+    r.orphaned_messages = orphaned_msgs_;
+    r.dropped_packets = sim.dropped_packets();
+    r.rescued_packets = sim.rescued_packets();
     r.phases.resize(static_cast<std::size_t>(graph_.num_phases));
     if (cfg_.record_msgs) r.msgs.resize(graph_.messages.size());
     std::vector<bool> part(net_.num_chips(), false);
@@ -276,6 +329,8 @@ class Runner final : public sim::PacketListener {
 
   std::uint64_t in_flight_ = 0;  ///< Packets injected but not yet delivered.
   std::uint64_t done_ = 0;       ///< Messages fully delivered.
+  std::uint64_t failed_msgs_ = 0;
+  std::uint64_t orphaned_msgs_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t flits_delivered_ = 0;  ///< Payload flits fully delivered.

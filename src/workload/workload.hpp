@@ -92,7 +92,9 @@ struct MsgRecord {
 
 struct WorkloadResult {
   std::string workload;
-  bool completed = false;       ///< False only when max_cycles was hit.
+  /// All messages delivered. False when max_cycles was hit OR when a fault
+  /// timeline failed/orphaned messages (see the counters below).
+  bool completed = false;
   Cycle cycles = 0;             ///< Time to completion (last tail ejection).
   int chips = 0;                ///< Chips participating (src or dst).
   std::uint64_t messages = 0;
@@ -101,6 +103,15 @@ struct WorkloadResult {
                                        ///< when completed).
   std::uint64_t flits = 0;      ///< Payload flits summed over messages.
   std::uint64_t flit_hops = 0;  ///< Engine channel traversals for the run.
+  // --- fault-timeline outcomes (all zero on a fault-free run) ---
+  /// Messages that lost >= 1 packet to a fault drop (can never complete).
+  std::uint64_t failed_messages = 0;
+  /// Messages that can never issue: a dependency failed/orphaned, or their
+  /// chip died before they started. Counted transitively, so the run
+  /// terminates instead of waiting on an unreachable dependency chain.
+  std::uint64_t orphaned_messages = 0;
+  std::uint64_t dropped_packets = 0;   ///< Engine drops (lost, accounted).
+  std::uint64_t rescued_packets = 0;   ///< Engine source-retransmissions.
   double avg_msg_cycles = 0.0;  ///< Mean ready -> complete message latency.
   double max_msg_cycles = 0.0;
   /// Payload GB/s per participating chip:

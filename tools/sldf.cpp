@@ -15,6 +15,10 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,8 +37,8 @@ using namespace sldf;
 namespace {
 
 const std::vector<std::string> kDriverFlags = {
-    "config",   "out",   "series-threads", "list",
-    "doc-keys", "print", "emit-trace",     "help"};
+    "config",   "out",   "series-threads", "list", "doc-keys",
+    "print",    "serve", "emit-trace",     "help"};
 
 void print_usage() {
   std::printf(
@@ -50,6 +54,13 @@ void print_usage() {
       "  --doc-keys           print the generated Markdown scenario\n"
       "                       reference (the README embeds it verbatim)\n"
       "  --print              print the resolved spec(s) and exit\n"
+      "  --serve              batch mode: read one request per stdin line\n"
+      "                       (whitespace-separated key=value scenario keys,\n"
+      "                       CLI keys as the base); finalized networks are\n"
+      "                       cached across requests that share topology/\n"
+      "                       mode/scheme/topo.*/fault.* keys. An empty\n"
+      "                       line or 'quit' exits; request errors are\n"
+      "                       reported per request, not fatal\n"
       "  --emit-trace FILE    write the (single) series' workload graph as\n"
       "                       an sldf-trace file instead of running it\n"
       "  --help               this text\n"
@@ -116,6 +127,103 @@ void print_registries() {
       "VC schemes:   baseline | reduced | reduced-safe\n");
 }
 
+/// The scenario keys that shape the finalized network (everything
+/// build_network consumes). Requests sharing this canonical subset reuse
+/// one cached Network in serve mode; per-run keys (traffic, rates, seed,
+/// workload, ...) deliberately do not key the cache.
+std::string network_cache_key(const core::ScenarioSpec& spec) {
+  std::string key;
+  for (const auto& [k, v] : spec.to_kv()) {
+    if (k == "topology" || k == "mode" || k == "scheme" ||
+        k.rfind("topo.", 0) == 0 || k.rfind("fault.", 0) == 0)
+      key += k + "=" + v + ";";
+  }
+  return key;
+}
+
+/// `sldf --serve`: one request per stdin line, each a whitespace-separated
+/// list of key=value scenario settings applied over the CLI base spec.
+/// Finalized networks are cached across requests (a fault timeline is
+/// cache-safe: runs restore the captured cycle-0 baseline on reset).
+int run_serve(const Cli& cli) {
+  const core::ScenarioSpec base = core::spec_from_cli(cli, {}, nullptr);
+  std::map<std::string, std::unique_ptr<sim::Network>> cache;
+  std::printf(
+      "sldf: serve mode (one key=value request per line; empty line or "
+      "'quit' exits)\n");
+  std::string line;
+  std::size_t reqno = 0;
+  while (std::getline(std::cin, line)) {
+    const std::string req = Cli::trim(line);
+    if (req.empty() || req == "quit") break;
+    ++reqno;
+    try {
+      core::ScenarioSpec spec = base;
+      std::stringstream ss(req);
+      std::string tok;
+      while (ss >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+          throw std::invalid_argument("serve request token '" + tok +
+                                      "' expects key=value");
+        spec.set(tok.substr(0, eq), tok.substr(eq + 1));
+      }
+      if (spec.tenants > 0)
+        throw std::invalid_argument(
+            "serve mode does not run multi-tenant series; use a config "
+            "file");
+      const std::string key = network_cache_key(spec);
+      auto it = cache.find(key);
+      if (it == cache.end()) {
+        auto net = std::make_unique<sim::Network>();
+        core::build_network(*net, spec);
+        it = cache.emplace(key, std::move(net)).first;
+        std::printf("request %zu [%s]: network-cache miss (%zu cached)\n",
+                    reqno, spec.label.c_str(), cache.size());
+      } else {
+        std::printf("request %zu [%s]: network-cache hit\n", reqno,
+                    spec.label.c_str());
+      }
+      sim::Network& net = *it->second;
+      if (!spec.workload.empty()) {
+        core::KvMap gen_opts;
+        const workload::WorkloadRunConfig rc =
+            core::workload_run_config(spec, &gen_opts);
+        workload::WorkloadEnv env;
+        env.flit_bytes = rc.flit_bytes;
+        env.trace_file = spec.trace_file;
+        env.trace_seed = spec.trace_seed;
+        const workload::WorkloadGraph graph =
+            workload::make_workload(spec.workload, net, gen_opts, env);
+        core::print_workload(
+            {spec.label, spec.workload,
+             workload::run_workload(net, graph, rc)});
+      } else {
+        const auto pattern =
+            traffic::make_pattern(spec.traffic, net, spec.traffic_opts);
+        for (const double rate : spec.effective_rates()) {
+          sim::SimConfig sc = spec.sim;
+          sc.inj_rate_per_chip = rate;
+          const sim::SimResult res = sim::run_sim(net, sc, *pattern);
+          std::printf(
+              "  rate=%.4f accepted=%.4f avg_latency=%.2f p99=%.2f "
+              "delivered=%llu dropped=%llu drained=%d\n",
+              res.offered, res.accepted, res.avg_latency, res.p99_latency,
+              static_cast<unsigned long long>(res.delivered_measured),
+              static_cast<unsigned long long>(res.dropped_packets),
+              res.drained ? 1 : 0);
+        }
+      }
+      std::fflush(stdout);
+    } catch (const std::exception& e) {
+      // Per-request isolation: report and keep serving.
+      std::fprintf(stderr, "sldf: error: %s\n", e.what());
+      std::fflush(stderr);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,6 +241,7 @@ int main(int argc, char** argv) {
       std::fputs(core::render_scenario_reference().c_str(), stdout);
       return 0;
     }
+    if (cli.has("serve")) return run_serve(cli);
 
     // Warn about flags that are neither driver flags nor scenario keys.
     std::vector<std::string> known = kDriverFlags;
@@ -307,6 +416,15 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", cli.get("out").c_str());
     }
     return failures > 0 ? 1 : 0;
+  } catch (const topo::FaultError& e) {
+    std::fprintf(stderr, "sldf: error: fault timeline: %s\n", e.what());
+    return 1;
+  } catch (const trace::TraceError& e) {
+    std::fprintf(stderr, "sldf: error: trace: %s\n", e.what());
+    return 1;
+  } catch (const ScenarioError& e) {
+    std::fprintf(stderr, "sldf: error: scenario: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sldf: error: %s\n", e.what());
     return 1;

@@ -14,6 +14,9 @@
 
 #include "bench/perf_engine.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
+#include "topo/faults.hpp"
+#include "trace/trace.hpp"
 
 using namespace sldf;
 
@@ -53,6 +56,15 @@ int main(int argc, char** argv) {
     bench::write_bench_json(out, results, quick);
     std::printf("wrote %s\n", out.c_str());
     return 0;
+  } catch (const topo::FaultError& e) {
+    std::fprintf(stderr, "sldf-bench: error: fault timeline: %s\n", e.what());
+    return 1;
+  } catch (const trace::TraceError& e) {
+    std::fprintf(stderr, "sldf-bench: error: trace: %s\n", e.what());
+    return 1;
+  } catch (const ScenarioError& e) {
+    std::fprintf(stderr, "sldf-bench: error: scenario: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sldf-bench: error: %s\n", e.what());
     return 1;
