@@ -1,0 +1,137 @@
+// Fig 19 (multi-plane fabrics, beyond the paper's single fabric): K = 2
+// switch-less planes sharing the logical chip space vs one fabric of the
+// same diameter and vs a "fat" single fabric (doubled on-wafer mesh width
+// and VC buffering — more bandwidth where it is cheap, none where it is
+// not).
+//
+// (a) uniform-traffic throughput sweep: the plane pair splits every
+//     source's load across two disjoint rails, so saturation moves out by
+//     ~2x while the fat fabric only widens the intra-C-group section of
+//     the path.
+// (b) ring-AllReduce time-to-completion (closed loop): the collective
+//     plane policy pins each phase to one rail, so neighbouring phases
+//     stream over disjoint cables.
+// (c) per-plane fault resilience: fail 40% of the *global* cables of plane
+//     0 only (fault.plane = 0, rescue off) and compare drop/delivery
+//     counts against the same fault fraction on the single fabrics — the
+//     untouched plane keeps carrying its share, so the plane set loses
+//     packets at roughly half the single-fabric rate.
+//
+// Equivalent driver invocations use plane.count / plane.mix / plane.policy
+// (see the scenario-key reference in the README).
+#include "bench_common.hpp"
+
+using namespace sldf;
+using namespace sldf::bench;
+
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 7;
+
+struct Series {
+  const char* label;
+  int planes;      ///< 0 = classic single-fabric build path.
+  bool fat;        ///< Widen the single fabric (mesh_width, vc_buf x2).
+};
+
+core::ScenarioSpec series_spec(const BenchEnv& env, const Series& ser,
+                               const char* traffic) {
+  auto s = env.spec(ser.label, "tiny-swless", traffic);
+  if (ser.planes > 0) {
+    s.plane_count = ser.planes;
+    s.plane_policy = route::PlanePolicy::Hash;
+  }
+  if (ser.fat) {
+    s.topo["mesh_width"] = "2";
+    s.topo["vc_buf"] = "64";
+  }
+  return s;
+}
+
+int bench_main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchEnv env(cli);
+  banner("Fig 19(a-c): two fabric planes vs one (fat) single fabric");
+
+  const Series series[] = {{"single", 0, false},
+                           {"fat-single", 0, true},
+                           {"planes-k2", 2, false}};
+
+  // --- (a) uniform throughput sweep ---
+  {
+    CsvWriter csv = env.csv("fig19a_planes_throughput.csv");
+    std::printf("--- fig19a (uniform throughput, 2 planes vs 1) ---\n");
+    for (const auto& ser : series) {
+      auto s = series_spec(env, ser, "uniform");
+      s.max_rate = 1.0;
+      s.points = env.points(6);
+      run_spec(csv, s);
+    }
+  }
+
+  // --- (b) ring-AllReduce time-to-completion ---
+  {
+    CsvWriter csv(env.out_dir + "/fig19b_planes_ttc.csv",
+                  {"series", "chips", "messages", "cycles", "gbps_per_chip",
+                   "completed"});
+    std::printf("--- fig19b (ring-AllReduce TTC, 2 planes vs 1) ---\n");
+    for (const auto& ser : series) {
+      auto s = series_spec(env, ser, "uniform");
+      if (ser.planes > 0) s.plane_policy = route::PlanePolicy::Collective;
+      s.workload = "ring-allreduce";
+      s.workload_opts["scope"] = "system";
+      s.workload_opts["kib"] = env.quick ? "4" : "16";
+      const core::WorkloadRun run = core::run_workload_scenario(s);
+      core::print_workload(run);
+      const auto& r = run.result;
+      csv.row(std::vector<std::string>{
+          ser.label, std::to_string(r.chips), std::to_string(r.messages),
+          std::to_string(r.cycles), CsvWriter::format_num(r.gbps_per_chip),
+          r.completed ? "1" : "0"});
+    }
+  }
+
+  // --- (c) resilience: 40% of global cables die at one fault step ---
+  {
+    CsvWriter csv(env.out_dir + "/fig19c_planes_resilience.csv",
+                  {"series", "accepted", "delivered", "dropped",
+                   "plane0_dropped", "plane1_dropped", "drained"});
+    std::printf("--- fig19c (40%% dead globals: one plane vs the fabric) "
+                "---\n");
+    for (const auto& ser : series) {
+      auto s = series_spec(env, ser, "uniform");
+      s.topo["fault_tolerant"] = "1";
+      s.rates = {0.5};
+      s.fault.seed = kFaultSeed;
+      s.fault.rescue = false;
+      s.fault.events =
+          "fail@" + std::to_string(s.sim.warmup) + ":global=0.4";
+      // The plane set localizes the failure wave to rail 0; the single
+      // fabrics have no second rail to keep clean.
+      if (ser.planes > 0) s.fault.plane = 0;
+      const auto run = core::run_scenario(s);
+      core::print_series(run);
+      for (const auto& pt : run.points) {
+        const auto& r = pt.res;
+        const auto pd = [&](std::size_t p) {
+          return p < r.plane_dropped.size()
+                     ? std::to_string(r.plane_dropped[p])
+                     : std::string("0");
+        };
+        csv.row(std::vector<std::string>{
+            ser.label, CsvWriter::format_num(r.accepted),
+            std::to_string(r.delivered_total),
+            std::to_string(r.dropped_packets), pd(0), pd(1),
+            r.drained ? "1" : "0"});
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sldf::bench::guarded("fig19_planes",
+                              [&] { return bench_main(argc, argv); });
+}

@@ -158,6 +158,18 @@ core::ScenarioSpec tenants_spec(bool quick, std::uint64_t seed) {
   return s;
 }
 
+/// Multi-plane preset: the tiny switch-less fabric instantiated twice as
+/// independent planes (hash plane selection), uniform traffic at 0.5 —
+/// tracks the PlaneSet build path, twin remapping, and the per-plane
+/// counter plumbing run over run.
+core::ScenarioSpec planes_spec(bool quick, std::uint64_t seed) {
+  core::ScenarioSpec s = point_spec("tiny-swless", 0.5, quick, seed);
+  s.label = "planes-k2";
+  s.plane_count = 2;
+  s.plane_policy = route::PlanePolicy::Hash;
+  return s;
+}
+
 PerfResult run_tenants_preset(const std::string& preset,
                               const core::ScenarioSpec& spec) {
   PerfResult r;
@@ -171,6 +183,7 @@ PerfResult run_tenants_preset(const std::string& preset,
   r.cycles = run.cycles;
   for (const auto& t : run.tenants) r.cycles += t.isolated_ttc;
   r.flit_hops = run.flit_hops;
+  r.delivered = run.packets_delivered;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   if (r.wall_s > 0.0) {
     r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_s;
@@ -297,6 +310,14 @@ const std::vector<PresetDef>& preset_defs() {
                  [](bool quick, std::uint64_t seed) {
                    return run_tenants_preset("tenants-mix3",
                                              tenants_spec(quick, seed));
+                 }});
+    d.push_back({{"planes-k2", "quick+full",
+                  "multi-plane engine path: the tiny switch-less fabric as "
+                  "two independent planes with hash per-packet plane "
+                  "selection, uniform traffic at offered load 0.5"},
+                 true,
+                 [](bool quick, std::uint64_t seed) {
+                   return run_specs("planes-k2", {planes_spec(quick, seed)});
                  }});
     d.push_back({{"radix32-low", "full",
                   "latency-regime throughput at the paper's radix-32 scale, "

@@ -175,7 +175,7 @@ TopologyBuilder swless_preset(topo::SwlessParams (*base)(),
   return [base, name](sim::Network& net, const TopoConfig& cfg) {
     auto p = base();
     apply(p, cfg, name);
-    topo::build_swless_dragonfly(net, p);
+    return topo::wire_swless_dragonfly(net, p);
   };
 }
 
@@ -184,7 +184,7 @@ TopologyBuilder swdf_preset(topo::SwDragonflyParams (*base)(),
   return [base, name](sim::Network& net, const TopoConfig& cfg) {
     auto p = base();
     apply(p, cfg, name);
-    topo::build_sw_dragonfly(net, p);
+    return topo::wire_sw_dragonfly(net, p);
   };
 }
 
@@ -327,7 +327,7 @@ topo::SwlessParams tiny_swless() {
   return p;
 }
 
-void build_cgroup_mesh(sim::Network& net, const TopoConfig& cfg) {
+topo::WiredFabric build_cgroup_mesh(sim::Network& net, const TopoConfig& cfg) {
   topo::CGroupShape s;
   int num_vcs = kCgroupMeshNumVcs;
   int vc_buf = kCgroupMeshVcBuf;
@@ -348,10 +348,11 @@ void build_cgroup_mesh(sim::Network& net, const TopoConfig& cfg) {
   require_default_mode(cfg, "cgroup-mesh");
   require_default_scheme(cfg, "cgroup-mesh", "XY routing needs no scheme");
   require_no_faults(cfg, "cgroup-mesh");
-  topo::build_mesh_network(net, s, num_vcs, vc_buf);
+  return topo::wire_mesh_network(net, s, num_vcs, vc_buf);
 }
 
-void build_crossbar_net(sim::Network& net, const TopoConfig& cfg) {
+topo::WiredFabric build_crossbar_net(sim::Network& net,
+                                     const TopoConfig& cfg) {
   int terminals = kCrossbarTerminals;
   int term_latency = kCrossbarTermLatency;
   KvReader o(cfg.params, "topology 'crossbar'");
@@ -361,7 +362,7 @@ void build_crossbar_net(sim::Network& net, const TopoConfig& cfg) {
   require_default_mode(cfg, "crossbar");
   require_default_scheme(cfg, "crossbar", "a single switch has no scheme");
   require_no_faults(cfg, "crossbar");
-  topo::build_crossbar(net, terminals, term_latency);
+  return topo::wire_crossbar(net, terminals, term_latency);
 }
 
 }  // namespace

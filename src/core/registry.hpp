@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "route/routing_modes.hpp"
+#include "topo/fabric.hpp"
 
 namespace sldf::sim {
 class Network;
@@ -134,7 +135,12 @@ struct TopoConfig {
   bool fault_tolerant = false;
 };
 
-using TopologyBuilder = std::function<void(sim::Network&, const TopoConfig&)>;
+/// A registered topology entry *wires* its routers/channels/terminals into
+/// the Network and returns the fabric (info/routing/VC geometry) without
+/// finalizing — so the plane builder can wire K entries into one Network.
+/// The classic single-fabric path is build() = wire + install_fabric.
+using TopologyBuilder =
+    std::function<topo::WiredFabric(sim::Network&, const TopoConfig&)>;
 
 /// Named topology presets: the paper's radix-16/radix-32 switch-less and
 /// switch-based networks, the raw parameter structs, the standalone C-group
@@ -160,10 +166,17 @@ class TopologyRegistry {
   [[nodiscard]] const RegistryDoc& doc(const std::string& name) const {
     return reg_.doc(name);
   }
+  /// Wires the named preset into `net` (applying overrides/mode/scheme)
+  /// without installing or finalizing; the caller owns the returned fabric.
+  [[nodiscard]] topo::WiredFabric wire(const std::string& name,
+                                       sim::Network& net,
+                                       const TopoConfig& cfg) const {
+    return reg_.at(name, "topology")(net, cfg);
+  }
   /// Builds the named preset into `net`, applying overrides/mode/scheme.
   void build(const std::string& name, sim::Network& net,
              const TopoConfig& cfg) const {
-    reg_.at(name, "topology")(net, cfg);
+    topo::install_fabric(net, wire(name, net, cfg));
   }
 
  private:

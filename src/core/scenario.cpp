@@ -10,6 +10,7 @@
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/network.hpp"
+#include "topo/plane_set.hpp"
 #include "traffic/pattern.hpp"
 #include "workload/registry.hpp"
 
@@ -152,6 +153,43 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     fault.rescue = n != 0;
     return;
   }
+  if (key == "fault.plane") {
+    const long n = to_long(key, value);
+    if (n < -1)
+      throw std::invalid_argument(
+          "scenario key 'fault.plane' expects a plane index >= 0, or -1 "
+          "for all planes");
+    fault.plane = static_cast<int>(n);
+    return;
+  }
+  if (key == "plane.count") {
+    const long n = to_long(key, value);
+    if (n < 1)
+      throw std::invalid_argument(
+          "scenario key 'plane.count' expects a count >= 1");
+    plane_count = static_cast<int>(n);
+    return;
+  }
+  if (key == "plane.mix") {
+    plane_mix.clear();
+    std::stringstream ms(value);
+    std::string item;
+    while (std::getline(ms, item, ',')) {
+      item = Cli::trim(item);
+      if (item.empty())
+        throw std::invalid_argument(
+            "scenario key 'plane.mix' has an empty topology name");
+      plane_mix.push_back(item);
+    }
+    if (plane_mix.empty())
+      throw std::invalid_argument(
+          "scenario key 'plane.mix' expects comma-separated topology names");
+    return;
+  }
+  if (key == "plane.policy") {
+    plane_policy = route::parse_plane_policy(value);
+    return;
+  }
   if (key == "trace.file") {
     trace_file = value;
     return;
@@ -285,6 +323,20 @@ KvMap ScenarioSpec::to_kv() const {
   if (!fault.events.empty()) kv["fault.events"] = fault.events;
   if (!fault.schedule.empty()) kv["fault.schedule"] = fault.schedule;
   if (!fault.rescue) kv["fault.rescue"] = "0";
+  if (fault.plane >= 0) kv["fault.plane"] = std::to_string(fault.plane);
+  // Plane keys serialize only when engaged (count 0 = classic build path).
+  if (plane_count > 0) {
+    kv["plane.count"] = std::to_string(plane_count);
+    kv["plane.policy"] = std::string(route::to_string(plane_policy));
+    if (!plane_mix.empty()) {
+      std::string joined;
+      for (const std::string& t : plane_mix) {
+        if (!joined.empty()) joined += ",";
+        joined += t;
+      }
+      kv["plane.mix"] = joined;
+    }
+  }
   // Tenant/trace keys serialize only when set, mirroring the fault keys.
   if (tenants > 0) kv["tenants"] = std::to_string(tenants);
   if (!tenants_isolation) kv["tenants.isolation"] = "0";
@@ -404,6 +456,21 @@ const std::vector<ScenarioKeyDoc>& scenario_key_docs() {
          "Retransmit packets torn by an online failure (`0`: drop and "
          "count them)",
          d.fault.rescue ? "1" : "0"},
+        {"fault.plane",
+         "Restrict cable failures to one plane of a multi-plane fabric "
+         "(`-1` = all planes; `fault.chips` always spans planes)",
+         "-1 (all planes)"},
+        {"plane.count",
+         "Independent fabric planes (rails) sharing the logical chips; "
+         "packets pick a plane at injection (see Multi-plane fabrics)",
+         "unset (classic single-fabric build)"},
+        {"plane.mix",
+         "Per-plane topology registry names, comma-separated (length = "
+         "`plane.count`)",
+         "`plane.count` copies of `topology`"},
+        {"plane.policy",
+         "Plane selection: `hash` \\| `rr` \\| `adaptive` \\| `collective`",
+         std::string(route::to_string(d.plane_policy))},
         {"tenants",
          "Concurrent tenant jobs; > 0 switches to one shared multi-tenant "
          "serving run (see Multi-tenancy)",
@@ -457,6 +524,7 @@ ScenarioSpec spec_from_cli(const Cli& cli, const ScenarioSpec& defaults,
                           key.rfind("traffic.", 0) == 0 ||
                           key.rfind("workload.", 0) == 0 ||
                           key.rfind("fault.", 0) == 0 ||
+                          key.rfind("plane.", 0) == 0 ||
                           key.rfind("trace.", 0) == 0 ||
                           key.rfind("tenant", 0) == 0;
     const auto& keys = scenario_keys();
@@ -544,7 +612,34 @@ std::vector<ScenarioSpec> load_scenario_file(const std::string& path,
 }
 
 void build_network(sim::Network& net, const ScenarioSpec& spec) {
-  TopologyRegistry::instance().build(spec.topology, net, spec.topo_config());
+  if (spec.plane_count > 0) {
+    // Multi-plane build: every plane wires its own rail through the same
+    // registry path (plane.mix picks per-plane presets; default = K copies
+    // of `topology`), then the PlaneSet layer validates, aggregates, and
+    // seals the partition. plane.count = 1 goes through here too — the
+    // structural result is bit-identical to the classic path, and tests
+    // hold it to that.
+    std::vector<std::string> names = spec.plane_mix;
+    if (names.empty()) {
+      names.assign(static_cast<std::size_t>(spec.plane_count),
+                   spec.topology);
+    } else if (static_cast<int>(names.size()) != spec.plane_count) {
+      throw std::invalid_argument(
+          "plane.mix names " + std::to_string(names.size()) +
+          " topologies but plane.count is " +
+          std::to_string(spec.plane_count));
+    }
+    const TopoConfig cfg = spec.topo_config();
+    topo::build_plane_set(
+        net, spec.plane_count, static_cast<int>(spec.plane_policy),
+        [&](int plane, sim::Network& n) {
+          return TopologyRegistry::instance().wire(
+              names[static_cast<std::size_t>(plane)], n, cfg);
+        });
+  } else {
+    TopologyRegistry::instance().build(spec.topology, net,
+                                       spec.topo_config());
+  }
   if (spec.fault.active()) {
     const topo::FaultReport rep = topo::inject_faults(net, spec.fault);
     log_debug("%s", rep.to_string().c_str());

@@ -14,6 +14,7 @@
 #include "common/csv.hpp"
 #include "core/experiment.hpp"
 #include "core/registry.hpp"
+#include "route/plane_select.hpp"
 #include "route/routing_modes.hpp"
 #include "topo/faults.hpp"
 #include "workload/workload.hpp"
@@ -38,6 +39,20 @@ struct ScenarioSpec {
   /// fault-tolerant and build_network() injects the faults after the build;
   /// an inactive spec leaves the network bit-identical to a fault-free one.
   topo::FaultSpec fault;
+
+  /// Multi-plane fabric (config keys `plane.count` / `plane.mix` /
+  /// `plane.policy`). plane_count = 0 is the unset sentinel: the network
+  /// builds through the classic single-fabric path. An explicit
+  /// `plane.count = 1` builds through the PlaneSet layer (bit-identical
+  /// results, exercised by tests); >= 2 instantiates that many rails
+  /// sharing the logical chip space, with per-packet plane selection.
+  int plane_count = 0;
+  /// `plane.mix`: comma-separated topology registry names, one per plane
+  /// (empty = plane_count copies of `topology`). Length must equal
+  /// plane.count when both are set.
+  std::vector<std::string> plane_mix;
+  /// `plane.policy`: per-packet plane selection (route::PlanePolicy).
+  route::PlanePolicy plane_policy = route::PlanePolicy::Hash;
 
   /// Per-tenant keys of the multi-tenant serving mode (`tenant<i>.*`).
   /// Free-form strings here; trace::tenant_specs() parses and validates

@@ -61,6 +61,11 @@ int gateway_occupancy(const sim::Network& net, const SwDfTopo& T,
 
 }  // namespace
 
+void DragonflyRouting::bind_topo(const sim::TopoInfo& info, int num_vcs) {
+  topo_ = dynamic_cast<const SwDfTopo*>(&info);
+  own_vcs_ = num_vcs;
+}
+
 void DragonflyRouting::init_packet(const sim::Network& net, sim::Packet& pkt,
                                    Rng& rng) {
   pkt.vc_class = 0;
@@ -136,7 +141,8 @@ sim::RouteDecision DragonflyRouting::route(const sim::Network& net,
   // ladder past the reserve — a clamped class may cost deadlock freedom
   // (the audit reports it) but never an out-of-range VC.
   const auto vcix = [&] {
-    const int top = static_cast<int>(net.num_vcs()) / vcs_per_class_ - 1;
+    const int nv = own_vcs_ > 0 ? own_vcs_ : static_cast<int>(net.num_vcs());
+    const int top = nv / vcs_per_class_ - 1;
     return static_cast<VcIx>(std::min<int>(pkt.vc_class, top) *
                                  vcs_per_class_ +
                              static_cast<int>(pkt.dst) % vcs_per_class_);

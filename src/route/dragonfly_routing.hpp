@@ -18,6 +18,7 @@ class DragonflyRouting final : public sim::RoutingAlgorithm {
   explicit DragonflyRouting(RouteMode mode, int vcs_per_class = 1)
       : mode_(mode), vcs_per_class_(vcs_per_class) {}
 
+  void bind_topo(const sim::TopoInfo& info, int num_vcs) override;
   void init_packet(const sim::Network& net, sim::Packet& pkt,
                    Rng& rng) override;
   sim::RouteDecision route(const sim::Network& net, NodeId router,
@@ -35,9 +36,12 @@ class DragonflyRouting final : public sim::RoutingAlgorithm {
  private:
   RouteMode mode_;
   int vcs_per_class_;
-  /// Topo-info downcast cached on first use (per-flit dynamic_cast is too
-  /// expensive); stable for the owning network's lifetime.
+  /// Topo-info downcast, set by bind_topo() at install time or cached on
+  /// first use (per-flit dynamic_cast is too expensive); stable for the
+  /// owning network's lifetime.
   const topo::SwDfTopo* topo_ = nullptr;
+  /// VC budget sized for this fabric (bind_topo); 0 = use Network::num_vcs().
+  int own_vcs_ = 0;
 };
 
 }  // namespace sldf::route

@@ -86,6 +86,10 @@ MonotoneTables::MonotoneTables(int mx, int my,
   }
 }
 
+void XyMeshRouting::bind_topo(const sim::TopoInfo& info, int /*num_vcs*/) {
+  topo_ = dynamic_cast<const topo::MeshTopo*>(&info);
+}
+
 void XyMeshRouting::init_packet(const sim::Network&, sim::Packet& pkt, Rng&) {
   pkt.vc_class = 0;
 }

@@ -55,6 +55,7 @@ class MonotoneTables {
 /// (topology info: topo::MeshTopo). Deadlock-free on one VC.
 class XyMeshRouting final : public sim::RoutingAlgorithm {
  public:
+  void bind_topo(const sim::TopoInfo& info, int num_vcs) override;
   void init_packet(const sim::Network& net, sim::Packet& pkt,
                    Rng& rng) override;
   sim::RouteDecision route(const sim::Network& net, NodeId router,

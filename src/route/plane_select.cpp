@@ -1,0 +1,29 @@
+#include "route/plane_select.hpp"
+
+#include <stdexcept>
+
+namespace sldf::route {
+
+PlanePolicy parse_plane_policy(const std::string& s) {
+  if (s == "hash") return PlanePolicy::Hash;
+  if (s == "rr" || s == "round-robin") return PlanePolicy::RoundRobin;
+  if (s == "adaptive") return PlanePolicy::Adaptive;
+  if (s == "collective") return PlanePolicy::Collective;
+  throw std::invalid_argument("plane.policy: expected " +
+                              std::string(plane_policy_names()) + ", got '" +
+                              s + "'");
+}
+
+const char* to_string(PlanePolicy p) {
+  switch (p) {
+    case PlanePolicy::Hash: return "hash";
+    case PlanePolicy::RoundRobin: return "rr";
+    case PlanePolicy::Adaptive: return "adaptive";
+    case PlanePolicy::Collective: return "collective";
+  }
+  return "?";
+}
+
+const char* plane_policy_names() { return "hash|rr|adaptive|collective"; }
+
+}  // namespace sldf::route

@@ -264,8 +264,9 @@ void SwlessRouting::plan_leg(const sim::Network& net, const SwlessTopo& T,
   // Clamp to the installed budget: pathological fault sets can push the
   // Baseline class ladder past the fault-tolerant reserve; a clamped class
   // may cost deadlock freedom (the audit reports it) but never an OOB VC.
-  pkt.next_class = static_cast<std::uint8_t>(
-      std::min<int>(class_for(np, pkt.vc_class), net.num_vcs() - 1));
+  pkt.next_class = static_cast<std::uint8_t>(std::min<int>(
+      class_for(np, pkt.vc_class),
+      (own_vcs_ > 0 ? own_vcs_ : net.num_vcs()) - 1));
 }
 
 int SwlessRouting::mesh_dir(const SwlessTopo& T, const sim::Packet& pkt,

@@ -24,6 +24,10 @@ class SwlessRouting final : public sim::RoutingAlgorithm {
   SwlessRouting(VcScheme scheme, RouteMode mode)
       : scheme_(scheme), mode_(mode) {}
 
+  void bind_topo(const sim::TopoInfo& info, int num_vcs) override {
+    topo_ = dynamic_cast<const topo::SwlessTopo*>(&info);
+    own_vcs_ = num_vcs;
+  }
   void init_packet(const sim::Network& net, sim::Packet& pkt,
                    Rng& rng) override;
   sim::RouteDecision route(const sim::Network& net, NodeId router,
@@ -52,9 +56,12 @@ class SwlessRouting final : public sim::RoutingAlgorithm {
 
   VcScheme scheme_;
   RouteMode mode_;
-  /// Topo-info downcast cached on first use (per-flit dynamic_cast is too
-  /// expensive); stable for the owning network's lifetime.
+  /// Topo-info downcast, set by bind_topo() at install time or cached on
+  /// first use (per-flit dynamic_cast is too expensive); stable for the
+  /// owning network's lifetime.
   const topo::SwlessTopo* topo_ = nullptr;
+  /// VC budget sized for this fabric (bind_topo); 0 = use Network::num_vcs().
+  int own_vcs_ = 0;
 };
 
 }  // namespace sldf::route

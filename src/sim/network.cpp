@@ -5,6 +5,7 @@
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace sldf::sim {
 
@@ -422,6 +423,68 @@ std::vector<std::uint32_t> Network::shard_bounds(int shards) const {
         std::max(b, bounds[static_cast<std::size_t>(k) - 1]);
   }
   return bounds;
+}
+
+void Network::begin_plane() {
+  if (planes_sealed_)
+    throw std::logic_error("begin_plane: planes already sealed");
+  plane_node_base_.push_back(static_cast<std::uint32_t>(routers_.size()));
+  plane_term_base_.push_back(
+      static_cast<std::uint32_t>(terminal_nodes_.size()));
+}
+
+void Network::seal_planes(int policy) {
+  if (planes_sealed_) throw std::logic_error("seal_planes: already sealed");
+  if (plane_node_base_.empty())
+    throw std::logic_error("seal_planes: no begin_plane() marks");
+  if (!finalized())
+    throw std::logic_error("seal_planes: network not finalized");
+  plane_node_base_.push_back(static_cast<std::uint32_t>(routers_.size()));
+  plane_term_base_.push_back(
+      static_cast<std::uint32_t>(terminal_nodes_.size()));
+  planes_sealed_ = true;  // arms plane_of_node for the scans below
+  plane_policy_ = policy;
+  const int K = num_planes();
+
+  logical_terminals_.assign(
+      terminal_nodes_.begin(),
+      terminal_nodes_.begin() + static_cast<std::ptrdiff_t>(
+                                    plane_term_base_[1]));
+
+  // Per-chip plane segments: chip_nodes entries arrive in plane build
+  // order, so each plane's nodes form one contiguous run per chip.
+  chip_plane_off_.assign(
+      num_chips() * (static_cast<std::size_t>(K) + 1), 0);
+  node_plane_slot_.assign(routers_.size(), 0);
+  std::vector<std::uint32_t> seen(static_cast<std::size_t>(K));
+  for (std::size_t c = 0; c < num_chips(); ++c) {
+    std::uint32_t* off =
+        &chip_plane_off_[c * (static_cast<std::size_t>(K) + 1)];
+    std::fill(seen.begin(), seen.end(), 0u);
+    int prev = 0;
+    for (const NodeId n : chip_nodes_[c]) {
+      const int p = plane_of_node(n);
+      if (p < prev) {
+        planes_sealed_ = false;
+        throw std::logic_error(
+            "seal_planes: chip node list is not plane-contiguous");
+      }
+      prev = p;
+      node_plane_slot_[static_cast<std::size_t>(n)] =
+          seen[static_cast<std::size_t>(p)]++;
+      ++off[p + 1];
+    }
+    for (int p = 0; p < K; ++p) {
+      off[p + 1] += off[p];
+      if (off[p + 1] == off[p]) {
+        planes_sealed_ = false;
+        throw std::invalid_argument(
+            "seal_planes: plane " + std::to_string(p) +
+            " has no terminal node on chip " + std::to_string(c) +
+            " (every plane must cover every logical chip)");
+      }
+    }
+  }
 }
 
 std::size_t Network::num_dead_channels() const { return dead_channels_; }

@@ -214,6 +214,77 @@ class Network {
   /// Requires finalize().
   [[nodiscard]] std::vector<std::uint32_t> shard_bounds(int shards) const;
 
+  // ---- multi-plane partition (topo/plane_set.hpp builds it) --------------
+  // K independent rails wired into this one network, sharing the logical
+  // chip id space: every plane attaches its own terminal(s) to every chip,
+  // appended to chip_nodes() in plane order. "Logical" accessors expose the
+  // plane-0 view, which is what chip-level consumers (traffic patterns,
+  // workload striping, placement) operate on; the Simulator remaps each
+  // packet onto its selected plane's twin terminals at injection.
+
+  /// Marks the start of the next plane: routers/channels/terminals added
+  /// after this call belong to it. Call once per rail, before wiring it.
+  void begin_plane();
+  /// Seals the plane partition after the last rail is wired and the network
+  /// is finalized: freezes the per-plane id ranges, the per-chip plane
+  /// segments, and the selection policy (an opaque route::PlanePolicy
+  /// value). Validates that every plane owns at least one terminal node on
+  /// every chip and that each chip's node list is plane-contiguous.
+  void seal_planes(int policy);
+  [[nodiscard]] bool has_planes() const { return planes_sealed_; }
+  /// Number of planes (1 for classic single-fabric builds).
+  [[nodiscard]] int num_planes() const {
+    return planes_sealed_
+               ? static_cast<int>(plane_node_base_.size()) - 1
+               : 1;
+  }
+  /// The sealed plane-selection policy (route::PlanePolicy as int).
+  [[nodiscard]] int plane_policy() const { return plane_policy_; }
+  /// Plane owning node `n` (0 for single-fabric builds). K is tiny, so a
+  /// linear scan over the prefix bases beats a branchy binary search.
+  [[nodiscard]] int plane_of_node(NodeId n) const {
+    if (!planes_sealed_) return 0;
+    const auto u = static_cast<std::uint32_t>(n);
+    int p = 0;
+    while (p + 2 < static_cast<int>(plane_node_base_.size()) &&
+           u >= plane_node_base_[static_cast<std::size_t>(p) + 1])
+      ++p;
+    return p;
+  }
+  /// Plane owning channel `c` (channels never cross planes).
+  [[nodiscard]] int plane_of_chan(ChanId c) const {
+    return plane_of_node(chan(c).src);
+  }
+  /// The logical (plane-0) terminal list: what traffic patterns draw
+  /// sources/destinations from. Identical to terminals() when single-plane.
+  [[nodiscard]] const std::vector<NodeId>& logical_terminals() const {
+    return planes_sealed_ ? logical_terminals_ : terminal_nodes_;
+  }
+  /// Number of logical (plane-0) nodes of `chip` — they are the first
+  /// entries of chip_nodes(chip), so indexing [0, logical_chip_size) of
+  /// that list addresses the logical view in place.
+  [[nodiscard]] std::size_t logical_chip_size(ChipId chip) const {
+    if (!planes_sealed_) return chip_nodes(chip).size();
+    const auto base =
+        static_cast<std::size_t>(chip) *
+        (static_cast<std::size_t>(num_planes()) + 1);
+    return chip_plane_off_[base + 1] - chip_plane_off_[base];
+  }
+  /// The plane-`plane` twin of terminal `n`: the node at the same slot
+  /// (mod the plane's per-chip node count) of the same logical chip.
+  /// Identity for plane 0 and for single-fabric builds.
+  [[nodiscard]] NodeId plane_twin(NodeId n, int plane) const {
+    if (!planes_sealed_ || plane == 0) return n;
+    const auto chip = static_cast<std::size_t>(chip_of(n));
+    const auto base = chip * (static_cast<std::size_t>(num_planes()) + 1) +
+                      static_cast<std::size_t>(plane);
+    const std::uint32_t off = chip_plane_off_[base];
+    const std::uint32_t cnt = chip_plane_off_[base + 1] - off;
+    const std::uint32_t slot =
+        node_plane_slot_[static_cast<std::size_t>(n)] % cnt;
+    return chip_nodes_[chip][off + slot];
+  }
+
  private:
   /// (Re)initializes the dynamic words of every per-port record.
   void init_port_dynamic_state();
@@ -472,6 +543,17 @@ class Network {
   std::vector<std::uint8_t> baseline_chan_alive_;
   std::vector<std::uint8_t> baseline_node_alive_;
   std::uint64_t fault_epoch_ = 0;
+  // Multi-plane partition (static topology metadata; see seal_planes()).
+  std::vector<std::uint32_t> plane_node_base_;  ///< Starts; +sentinel sealed.
+  std::vector<std::uint32_t> plane_term_base_;  ///< Into terminal_nodes_.
+  std::vector<NodeId> logical_terminals_;       ///< Plane-0 terminal list.
+  /// Per chip: K+1 offsets into chip_nodes(chip) bounding each plane's
+  /// segment (flattened [chip * (K+1) + plane]).
+  std::vector<std::uint32_t> chip_plane_off_;
+  /// Per node: its slot within its chip's plane segment (terminals only).
+  std::vector<std::uint32_t> node_plane_slot_;
+  bool planes_sealed_ = false;
+  int plane_policy_ = 0;
 };
 
 }  // namespace sldf::sim

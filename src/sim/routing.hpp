@@ -9,6 +9,7 @@
 namespace sldf::sim {
 
 class Network;
+struct TopoInfo;
 
 struct RouteDecision {
   PortIx out_port = kInvalidPort;
@@ -18,6 +19,17 @@ struct RouteDecision {
 class RoutingAlgorithm {
  public:
   virtual ~RoutingAlgorithm() = default;
+
+  /// Binds the topology metadata this algorithm routes over, plus the VC
+  /// budget that was sized for it. Called once at install time (before
+  /// finalize). Algorithms that cache a TopoInfo downcast override this:
+  /// under multi-plane builds `net.topo<T>()` holds the *aggregate* info,
+  /// so lazy first-use downcasting would fail — the plane dispatcher hands
+  /// each child its own info here instead. `num_vcs` is the budget computed
+  /// for this fabric; the finalized network may carry more VCs (mixed
+  /// planes finalize with the max), so per-fabric VC clamps should use it
+  /// rather than Network::num_vcs(). Default: no-op.
+  virtual void bind_topo(const TopoInfo& /*info*/, int /*num_vcs*/) {}
 
   /// Called at packet creation so the algorithm can seed per-packet routing
   /// state (initial VC class, Valiant intermediate group, ...).

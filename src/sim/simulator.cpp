@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "route/plane_select.hpp"
+
 namespace sldf::sim {
 
 namespace {
@@ -242,11 +244,22 @@ void Simulator::init() {
   if (net_.num_chips() == 0)
     throw std::logic_error("Simulator: network has no chips");
 
+  // Offered load is defined over the LOGICAL chip space: on a multi-plane
+  // network only the plane-0 terminals draw generation clocks (packets fan
+  // out to other planes at injection), so the per-node rate divides by the
+  // logical terminal count — using terminals().size() here would silently
+  // cut offered load by the plane count.
   const double nodes_per_chip =
-      static_cast<double>(net_.terminals().size()) /
+      static_cast<double>(net_.logical_terminals().size()) /
       static_cast<double>(net_.num_chips());
   per_node_pkt_rate_ = cfg_.inj_rate_per_chip / nodes_per_chip /
                        static_cast<double>(cfg_.pkt_len);
+
+  num_planes_ = net_.num_planes();
+  plane_policy_ = net_.plane_policy();
+  plane_generated_.assign(static_cast<std::size_t>(num_planes_), 0);
+  plane_delivered_.assign(static_cast<std::size_t>(num_planes_), 0);
+  plane_dropped_.assign(static_cast<std::size_t>(num_planes_), 0);
 
   wheel_mask_ = prepare_context(*ctx_, net_);
 
@@ -257,7 +270,12 @@ void Simulator::init() {
     t.node = net_.terminals()[i];
     ctx_->term_of_node[static_cast<std::size_t>(t.node)] =
         static_cast<std::int32_t>(i);
-    t.next_gen = per_node_pkt_rate_ > 0.0
+    // Only logical (plane-0) terminals carry generation clocks; plane>0
+    // twins receive remapped packets at injection and must NOT draw from
+    // the RNG, so the plane-0 stream matches a single-fabric run bit for
+    // bit.
+    const bool generates = net_.plane_of_node(t.node) == 0;
+    t.next_gen = (generates && per_node_pkt_rate_ > 0.0)
                      ? rng_.geometric_skip(per_node_pkt_rate_)
                      : ~0ULL;
     // Dead terminals (fault mask) never generate. The skip above still
@@ -269,6 +287,7 @@ void Simulator::init() {
     t.inj_vc = 0;
     t.pushed = 0;
   }
+  rr_plane_.assign(ctx_->terms.size(), 0);
 
   // Online fault timeline: steps are applied at the top of step() as now_
   // reaches them. A schedule without a captured baseline would leak online
@@ -300,6 +319,7 @@ void Simulator::init() {
       sc.runs.clear();
       sc.flit_hops = 0;
       sc.accepted_flits = 0;
+      sc.ejected_flits = 0;
     }
     team_ = std::make_unique<ShardTeam>(*this, shards_);
   }
@@ -324,18 +344,56 @@ void Simulator::generate_and_inject() {
       // Dead destinations (fault mask) suppress generation like a pattern
       // returning kInvalidNode; traffic sources stay fault-oblivious.
       if (dst == kInvalidNode || !net_.node_live(dst)) continue;
+      // Plane selection: open-loop traffic carries no rail hint, so the
+      // collective policy degrades to hash inside select_plane(). The
+      // packet is remapped to the chosen plane's twin terminals and the
+      // TWIN's source queue takes the backpressure check (the logical
+      // queue was already checked above, which keeps the K=1 path
+      // bit-identical).
+      NodeId src = t.node;
+      NodeId pdst = dst;
+      TerminalState* tq = &t;
+      int plane = 0;
+      if (num_planes_ > 1) {
+        const std::size_t ti =
+            static_cast<std::size_t>(&t - ctx_->terms.data());
+        plane = route::select_plane(
+            static_cast<route::PlanePolicy>(plane_policy_), num_planes_,
+            net_.chip_of(t.node), net_.chip_of(dst), 0, false, rr_plane_[ti],
+            [&](int pl) {
+              const NodeId tw = net_.plane_twin(t.node, pl);
+              return ctx_->terms[static_cast<std::size_t>(
+                                     ctx_->term_of_node[static_cast<
+                                         std::size_t>(tw)])]
+                  .queue.size();
+            });
+        if (plane != 0) {
+          src = net_.plane_twin(t.node, plane);
+          pdst = net_.plane_twin(dst, plane);
+          tq = &ctx_->terms[static_cast<std::size_t>(
+              ctx_->term_of_node[static_cast<std::size_t>(src)])];
+          if (static_cast<int>(tq->queue.size()) >= cfg_.max_src_queue) {
+            ++suppressed_;
+            continue;
+          }
+          if (!net_.node_live(src) || !net_.node_live(pdst)) continue;
+        }
+      }
       const PacketId pid = pool.acquire();
       Packet& p = pool[pid];
-      p.src = t.node;
-      p.dst = dst;
-      p.src_chip = net_.chip_of(t.node);
-      p.dst_chip = net_.chip_of(dst);
+      p.src = src;
+      p.dst = pdst;
+      p.src_chip = net_.chip_of(src);
+      p.dst_chip = net_.chip_of(pdst);
       p.len = static_cast<std::uint16_t>(cfg_.pkt_len);
       p.t_gen = when;
       p.measured = (when >= cfg_.warmup && when < gen_end) ? 1 : 0;
       if (p.measured) ++generated_measured_;
+      ++generated_packets_;
+      generated_flits_ += p.len;
+      ++plane_generated_[static_cast<std::size_t>(plane)];
       net_.routing()->init_packet(net_, p, rng_);
-      t.queue.push_back(pid);
+      tq->queue.push_back(pid);
     }
     // --- injection: one flit per cycle into the injection port ---
     if (t.queue.empty()) continue;
@@ -370,11 +428,29 @@ void Simulator::generate_and_inject() {
 }
 
 bool Simulator::inject_packet(NodeId src, NodeId dst, int len,
-                              std::uint32_t tag) {
+                              std::uint32_t tag, std::uint32_t rail_hint) {
   const std::int32_t ti = ctx_->term_of_node[static_cast<std::size_t>(src)];
   if (ti < 0)
     throw std::invalid_argument("inject_packet: source is not a terminal");
-  TerminalState& t = ctx_->terms[static_cast<std::size_t>(ti)];
+  int plane = 0;
+  if (num_planes_ > 1) {
+    plane = route::select_plane(
+        static_cast<route::PlanePolicy>(plane_policy_), num_planes_,
+        net_.chip_of(src), net_.chip_of(dst), rail_hint, true,
+        rr_plane_[static_cast<std::size_t>(ti)], [&](int pl) {
+          const NodeId tw = net_.plane_twin(src, pl);
+          return ctx_
+              ->terms[static_cast<std::size_t>(
+                  ctx_->term_of_node[static_cast<std::size_t>(tw)])]
+              .queue.size();
+        });
+    if (plane != 0) {
+      src = net_.plane_twin(src, plane);
+      dst = net_.plane_twin(dst, plane);
+    }
+  }
+  TerminalState& t = ctx_->terms[static_cast<std::size_t>(
+      ctx_->term_of_node[static_cast<std::size_t>(src)])];
   if (static_cast<int>(t.queue.size()) >= cfg_.max_src_queue) return false;
   const PacketId pid = ctx_->pool.acquire();
   Packet& p = ctx_->pool[pid];
@@ -387,6 +463,9 @@ bool Simulator::inject_packet(NodeId src, NodeId dst, int len,
   p.tag = tag;
   p.measured = 1;
   ++generated_measured_;
+  ++generated_packets_;
+  generated_flits_ += p.len;
+  ++plane_generated_[static_cast<std::size_t>(plane)];
   net_.routing()->init_packet(net_, p, rng_);
   t.queue.push_back(pid);
   return true;
@@ -456,6 +535,7 @@ void Simulator::deliver_channels() {
 void Simulator::commit_tail(PacketId pid) {
   Packet& p = ctx_->pool[pid];
   ++delivered_total_;
+  ++plane_delivered_[static_cast<std::size_t>(net_.plane_of_node(p.src))];
   if (p.measured) {
     ++delivered_measured_;
     const auto lat = static_cast<double>(p.latency());
@@ -472,6 +552,7 @@ void Simulator::commit_tail(PacketId pid) {
 void Simulator::handle_eject(const Flit& f) {
   Packet& p = ctx_->pool[f.pkt];
   ++p.flits_ejected;
+  ++ejected_flits_;
   const bool in_window =
       now_ >= cfg_.warmup && now_ < cfg_.warmup + cfg_.measure;
   if (in_window) ++accepted_flits_;
@@ -491,6 +572,10 @@ void Simulator::drop_packet(PacketId pid) {
   Packet& p = ctx_->pool[pid];
   ++dropped_packets_;
   dropped_flits_ += p.len;
+  // Conservation: only the not-yet-ejected flits are lost; the ejected
+  // prefix was already counted into ejected_flits_.
+  lost_flits_ += static_cast<std::uint64_t>(p.len) - p.flits_ejected;
+  ++plane_dropped_[static_cast<std::size_t>(net_.plane_of_node(p.src))];
   if (p.measured) ++dropped_measured_;
   // The listener may inject (pool.acquire) — don't touch `p` after it.
   if (listener_) listener_->on_packet_dropped(p, now_);
@@ -796,6 +881,9 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
       pk.mid_wgroup = -1;
       pk.phase = pk.next_phase = RoutePhase::SrcCGroup;
       pk.vc_class = pk.next_class = 0;
+      // Conservation: the retransmission re-sends the already-ejected
+      // prefix, so those flits are owed to the network a second time.
+      generated_flits_ += pk.flits_ejected;
       pk.flits_ejected = 0;
       net_.routing()->init_packet(net_, pk, rng_);
       if (pos == 0)
@@ -824,7 +912,10 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
       TerminalState& t = ctx_->terms[static_cast<std::size_t>(ti)];
       t.pushed = 0;
       t.inj_vc = 0;
-      if (per_node_pkt_rate_ > 0.0) {
+      // Generation re-arms only on logical (plane-0) terminals; a revived
+      // plane>0 twin just resumes forwarding remapped packets. The RNG is
+      // not drawn for twins, matching the init()-time convention.
+      if (per_node_pkt_rate_ > 0.0 && net_.plane_of_node(n) == 0) {
         const auto skip = rng_.geometric_skip(per_node_pkt_rate_);
         t.next_gen = (skip >= ~0ULL - now_ - 1) ? ~0ULL : now_ + 1 + skip;
       } else {
@@ -1008,6 +1099,7 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
             // deferred so the commit pass replays it in snapshot order.
             Packet& p = ctx_->pool[f.pkt];
             ++p.flits_ejected;
+            ++ss->ejected_flits;
             if (now_ >= cfg_.warmup && now_ < cfg_.warmup + cfg_.measure)
               ++ss->accepted_flits;
             if (f.tail) {
@@ -1161,6 +1253,7 @@ void Simulator::step_sharded() {
     sc.runs.clear();
     sc.flit_hops = 0;
     sc.accepted_flits = 0;
+    sc.ejected_flits = 0;
     sc.run_cur = sc.ev_cur = sc.tail_cur = 0;
   }
   for (NodeId rid : ctx_->scratch) {
@@ -1177,6 +1270,7 @@ void Simulator::step_sharded() {
   for (const auto& sc : ctx_->shard_scratch) {
     flit_hops_ += sc.flit_hops;
     accepted_flits_ += sc.accepted_flits;
+    ejected_flits_ += sc.ejected_flits;
   }
   for (NodeId rid : ctx_->scratch) {
     ShardScratch& sc =
@@ -1267,6 +1361,32 @@ SimResult Simulator::run() {
   res.dropped_packets = dropped_packets_;
   res.dropped_flits = dropped_flits_;
   res.rescued_packets = rescued_packets_;
+  // Conservation ledger + per-plane split. Live packets are found by
+  // scanning the pool (free-list ids marked, the rest are in flight).
+  res.generated_packets = generated_packets_;
+  res.generated_flits = generated_flits_;
+  res.ejected_flits = ejected_flits_;
+  res.lost_flits = lost_flits_;
+  res.plane_generated = plane_generated_;
+  res.plane_delivered = plane_delivered_;
+  res.plane_dropped = plane_dropped_;
+  res.plane_inflight.assign(static_cast<std::size_t>(num_planes_), 0);
+  {
+    const PacketPool& pool = ctx_->pool;
+    std::vector<char> is_free(pool.capacity(), 0);
+    for (const PacketId id : pool.free_list())
+      is_free[static_cast<std::size_t>(id)] = 1;
+    const Packet* slots = pool.slots_data();
+    for (std::size_t i = 0; i < pool.capacity(); ++i) {
+      if (is_free[i]) continue;
+      const Packet& p = slots[i];
+      ++res.inflight_packets;
+      res.inflight_flits +=
+          static_cast<std::uint64_t>(p.len) - p.flits_ejected;
+      ++res.plane_inflight[static_cast<std::size_t>(
+          net_.plane_of_node(p.src))];
+    }
+  }
   double total = 0.0;
   if (delivered_measured_ > 0) {
     for (int h = 0; h < kNumLinkTypes; ++h) {
@@ -1318,6 +1438,14 @@ void Simulator::save_checkpoint(std::ostream& out) const {
   ck_put_v(out, dropped_flits_);
   ck_put_v(out, dropped_measured_);
   ck_put_v(out, rescued_packets_);
+  ck_put_v(out, generated_packets_);
+  ck_put_v(out, generated_flits_);
+  ck_put_v(out, ejected_flits_);
+  ck_put_v(out, lost_flits_);
+  ck_put_vec(out, plane_generated_);
+  ck_put_vec(out, plane_delivered_);
+  ck_put_vec(out, plane_dropped_);
+  ck_put_vec(out, rr_plane_);
   ck_put_v(out, static_cast<std::uint64_t>(next_fault_));
   ck_put(out, hop_sum_, sizeof(hop_sum_));
 
@@ -1394,6 +1522,14 @@ void Simulator::restore_checkpoint(std::istream& in) {
   dropped_flits_ = ck_get_v<std::uint64_t>(in);
   dropped_measured_ = ck_get_v<std::uint64_t>(in);
   rescued_packets_ = ck_get_v<std::uint64_t>(in);
+  generated_packets_ = ck_get_v<std::uint64_t>(in);
+  generated_flits_ = ck_get_v<std::uint64_t>(in);
+  ejected_flits_ = ck_get_v<std::uint64_t>(in);
+  lost_flits_ = ck_get_v<std::uint64_t>(in);
+  ck_get_vec(in, plane_generated_);
+  ck_get_vec(in, plane_delivered_);
+  ck_get_vec(in, plane_dropped_);
+  ck_get_vec(in, rr_plane_);
   next_fault_ = static_cast<std::size_t>(ck_get_v<std::uint64_t>(in));
   ck_get(in, hop_sum_, sizeof(hop_sum_));
 

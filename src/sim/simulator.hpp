@@ -95,6 +95,24 @@ struct SimResult {
   std::uint64_t dropped_packets = 0;  ///< Destroyed by fault events, unrescued.
   std::uint64_t dropped_flits = 0;    ///< Flits those packets carried.
   std::uint64_t rescued_packets = 0;  ///< Re-queued at their source instead.
+  // --- conservation ledger (tests/test_fixtures.hpp audits it) ---
+  // Invariants at any cycle boundary, so at the end of a run:
+  //   generated_packets == delivered_total + dropped_packets
+  //                        + inflight_packets
+  //   generated_flits   == ejected_flits + lost_flits + inflight_flits
+  // (a rescue re-credits the already-ejected flits it retransmits into
+  // generated_flits, so the flit ledger stays balanced).
+  std::uint64_t generated_packets = 0;  ///< Pool acquisitions (all traffic).
+  std::uint64_t inflight_packets = 0;   ///< Live pool packets at run end.
+  std::uint64_t generated_flits = 0;    ///< Flits owed to the network.
+  std::uint64_t ejected_flits = 0;      ///< Flits consumed at destinations.
+  std::uint64_t lost_flits = 0;         ///< Unejected flits of dropped pkts.
+  std::uint64_t inflight_flits = 0;     ///< Unejected flits of live pkts.
+  // --- per-plane accounting (size num_planes(); one entry single-plane) ---
+  std::vector<std::uint64_t> plane_generated;
+  std::vector<std::uint64_t> plane_delivered;
+  std::vector<std::uint64_t> plane_dropped;
+  std::vector<std::uint64_t> plane_inflight;
 };
 
 /// One timing-wheel record: a flit arriving at an input VC, or (when
@@ -144,6 +162,7 @@ struct alignas(64) ShardScratch {
   std::vector<ShardRun> runs;        ///< Per processed router, in order.
   std::uint64_t flit_hops = 0;       ///< Order-insensitive counters, summed
   std::uint64_t accepted_flits = 0;  ///< into the globals at commit.
+  std::uint64_t ejected_flits = 0;   ///< Same (conservation ledger).
   // Commit-pass consumption cursors (only the committing thread moves them).
   std::size_t run_cur = 0;
   std::size_t ev_cur = 0;
@@ -244,8 +263,13 @@ class Simulator {
   /// inj_rate_per_chip = 0 for purely closed-loop runs). Returns false —
   /// and creates nothing — when the queue is at max_src_queue, so callers
   /// can retry next cycle; the refusal is the closed-loop backpressure
-  /// signal, not an error. `src` must be a terminal node.
-  bool inject_packet(NodeId src, NodeId dst, int len, std::uint32_t tag);
+  /// signal, not an error. `src` must be a terminal node. On a multi-plane
+  /// network `src`/`dst` are logical (plane-0) nodes; the packet is remapped
+  /// to its selected plane's twin terminals before queueing. `rail_hint`
+  /// feeds the collective-aware plane policy (callers pass a phase or rail
+  /// index; ignored by the other policies and on single-plane networks).
+  bool inject_packet(NodeId src, NodeId dst, int len, std::uint32_t tag,
+                     std::uint32_t rail_hint = 0);
 
   /// Running engine counters (valid mid-run; run() also reports them).
   /// Sharded runs update them at each cycle's commit, so mid-cycle
@@ -370,6 +394,20 @@ class Simulator {
   std::uint64_t dropped_flits_ = 0;
   std::uint64_t dropped_measured_ = 0;  ///< Measured packets among the drops.
   std::uint64_t rescued_packets_ = 0;
+  // Conservation ledger (see SimResult field docs for the invariants).
+  std::uint64_t generated_packets_ = 0;
+  std::uint64_t generated_flits_ = 0;
+  std::uint64_t ejected_flits_ = 0;
+  std::uint64_t lost_flits_ = 0;
+  // Plane bookkeeping (sized num_planes(); single entry without planes).
+  std::vector<std::uint64_t> plane_generated_;
+  std::vector<std::uint64_t> plane_delivered_;
+  std::vector<std::uint64_t> plane_dropped_;
+  /// Per-terminal round-robin plane cursor (indexed by terminal index;
+  /// only logical terminals advance theirs). Checkpointed.
+  std::vector<std::uint32_t> rr_plane_;
+  int num_planes_ = 1;    ///< Cached net_.num_planes() (init()).
+  int plane_policy_ = 0;  ///< Cached net_.plane_policy() (init()).
   double hop_sum_[kNumLinkTypes] = {};
 };
 

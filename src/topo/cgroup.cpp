@@ -142,8 +142,8 @@ CGroupInstance build_cgroup(sim::Network& net, const CGroupShape& shape,
   return cg;
 }
 
-void build_mesh_network(sim::Network& net, const CGroupShape& shape,
-                        int num_vcs, int vc_buf) {
+WiredFabric wire_mesh_network(sim::Network& net, const CGroupShape& shape,
+                              int num_vcs, int vc_buf) {
   auto info = std::make_unique<MeshTopo>();
   info->shape = shape;
   info->cg = build_cgroup(net, shape, 0);
@@ -161,9 +161,17 @@ void build_mesh_network(sim::Network& net, const CGroupShape& shape,
   for (std::size_t i = 0; i < ring.size(); ++i)
     info->chip_ring_rank[static_cast<std::size_t>(ring[i])] =
         static_cast<std::int32_t>(i);
-  net.set_topo_info(std::move(info));
-  net.set_routing(std::make_unique<route::XyMeshRouting>());
-  net.finalize(num_vcs, vc_buf);
+  WiredFabric f;
+  f.info = std::move(info);
+  f.routing = std::make_unique<route::XyMeshRouting>();
+  f.num_vcs = num_vcs;
+  f.vc_buf = vc_buf;
+  return f;
+}
+
+void build_mesh_network(sim::Network& net, const CGroupShape& shape,
+                        int num_vcs, int vc_buf) {
+  install_fabric(net, wire_mesh_network(net, shape, num_vcs, vc_buf));
 }
 
 }  // namespace sldf::topo

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/network.hpp"
+#include "topo/fabric.hpp"
 #include "topo/hier.hpp"
 #include "topo/labeling.hpp"
 
@@ -80,6 +81,11 @@ struct MeshTopo : HierTopo {
   CGroupInstance cg;
   std::vector<std::int32_t> node_pos;  ///< Position (y*mx+x) per router id.
 };
+
+/// Wires a standalone single-C-group mesh into `net` (XY routing) and
+/// returns its fabric without installing or finalizing.
+WiredFabric wire_mesh_network(sim::Network& net, const CGroupShape& shape,
+                              int num_vcs, int vc_buf);
 
 /// Builds a standalone single-C-group mesh network with XY routing and
 /// `num_vcs` VCs (1 is sufficient for deadlock freedom with XY).

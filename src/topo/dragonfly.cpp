@@ -18,7 +18,7 @@ void SwDragonflyParams::validate() const {
         "SwDragonflyParams: multi-group network needs global ports");
 }
 
-void build_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p) {
+WiredFabric wire_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p) {
   p.validate();
   auto info = std::make_unique<SwDfTopo>();
   info->p = p;
@@ -116,17 +116,23 @@ void build_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p) {
     info->chip_ring_rank[static_cast<std::size_t>(c)] = c % T;
   }
 
-  const auto mode = p.mode;
   const int vpc = std::max(1, p.vcs_per_class);
-  net.set_topo_info(std::move(info));
-  net.set_routing(std::make_unique<route::DragonflyRouting>(mode, vpc));
-  net.finalize((p.fault_tolerant ? route::swdf_fault_num_vcs(mode)
-                                 : route::swdf_num_vcs(mode)) *
-                   vpc,
-               p.vc_buf);
+  WiredFabric f;
+  f.info = std::move(info);
+  f.routing = std::make_unique<route::DragonflyRouting>(p.mode, vpc);
+  f.num_vcs = (p.fault_tolerant ? route::swdf_fault_num_vcs(p.mode)
+                                : route::swdf_num_vcs(p.mode)) *
+              vpc;
+  f.vc_buf = p.vc_buf;
+  return f;
 }
 
-void build_crossbar(sim::Network& net, int terminals, int term_latency) {
+void build_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p) {
+  install_fabric(net, wire_sw_dragonfly(net, p));
+}
+
+WiredFabric wire_crossbar(sim::Network& net, int terminals,
+                          int term_latency) {
   SwDragonflyParams p;
   p.switches_per_group = 1;
   p.terminals_per_switch = terminals;
@@ -136,7 +142,11 @@ void build_crossbar(sim::Network& net, int terminals, int term_latency) {
   p.local_latency = term_latency;
   p.global_latency = term_latency;
   p.mode = route::RouteMode::Minimal;
-  build_sw_dragonfly(net, p);
+  return wire_sw_dragonfly(net, p);
+}
+
+void build_crossbar(sim::Network& net, int terminals, int term_latency) {
+  install_fabric(net, wire_crossbar(net, terminals, term_latency));
 }
 
 }  // namespace sldf::topo

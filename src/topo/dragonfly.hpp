@@ -9,6 +9,7 @@
 
 #include "route/routing_modes.hpp"
 #include "sim/network.hpp"
+#include "topo/fabric.hpp"
 #include "topo/hier.hpp"
 
 namespace sldf::topo {
@@ -74,11 +75,17 @@ struct SwDfTopo : HierTopo {
   }
 };
 
+/// Wires switches/terminals/links into `net` and returns the fabric's
+/// topology info / routing / VC geometry without installing or finalizing
+/// — the multi-plane builder calls this once per rail.
+WiredFabric wire_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p);
+
 /// Builds the network (topology info + routing + finalize).
 void build_sw_dragonfly(sim::Network& net, const SwDragonflyParams& p);
 
 /// Single ideal crossbar switch with `terminals` endpoints (Fig 10a
 /// baseline): a Dragonfly degenerate case with one group and one switch.
+WiredFabric wire_crossbar(sim::Network& net, int terminals, int term_latency);
 void build_crossbar(sim::Network& net, int terminals, int term_latency);
 
 }  // namespace sldf::topo

@@ -55,6 +55,15 @@ bool is_candidate(const sim::Network& net, const sim::Channel& ch,
   return false;
 }
 
+/// fault.plane filter: -1 admits every plane. Both the static injector and
+/// the online-timeline candidate list (permuted_cables) apply the same
+/// predicate in the same enumeration order, so the superset-prefix property
+/// of the seeded shuffle holds per plane exactly as it does globally.
+bool plane_admits(const sim::Network& net, const sim::Channel& ch,
+                  int plane) {
+  return plane < 0 || net.plane_of_node(ch.src) == plane;
+}
+
 }  // namespace
 
 FaultReport inject_faults(sim::Network& net, const FaultSpec& spec) {
@@ -73,6 +82,7 @@ FaultReport inject_faults(sim::Network& net, const FaultSpec& spec) {
     const auto c = static_cast<ChanId>(i);
     const sim::Channel& ch = net.chan(c);
     if (!is_candidate(net, ch, spec.kind)) continue;
+    if (!plane_admits(net, ch, spec.plane)) continue;
     cables[{std::min(ch.src, ch.dst), std::max(ch.src, ch.dst)}].push_back(c);
   }
   std::vector<const std::vector<ChanId>*> candidates;
@@ -122,6 +132,9 @@ FaultAudit audit_fault_routing(const sim::Network& net,
   for (const NodeId src : net.terminals()) {
     for (const NodeId dst : net.terminals()) {
       if (src == dst) continue;
+      // Planes are disjoint rails: no route crosses planes, so only
+      // same-plane pairs are meaningful walks (single-plane: always true).
+      if (net.plane_of_node(src) != net.plane_of_node(dst)) continue;
       if (!net.node_live(src) || !net.node_live(dst)) {
         ++audit.skipped_dead;
         continue;
@@ -382,12 +395,14 @@ namespace {
 /// and position i is finalized at step i, so prefixes coincide.
 std::vector<std::vector<ChanId>> permuted_cables(const sim::Network& net,
                                                  FaultKind kind,
-                                                 std::uint64_t seed) {
+                                                 std::uint64_t seed,
+                                                 int plane) {
   std::map<std::pair<NodeId, NodeId>, std::vector<ChanId>> cables;
   for (std::size_t i = 0; i < net.num_channels(); ++i) {
     const auto c = static_cast<ChanId>(i);
     const sim::Channel& ch = net.chan(c);
     if (!is_candidate(net, ch, kind)) continue;
+    if (!plane_admits(net, ch, plane)) continue;
     cables[{std::min(ch.src, ch.dst), std::max(ch.src, ch.dst)}].push_back(c);
   }
   std::vector<std::vector<ChanId>> out;
@@ -420,7 +435,10 @@ sim::FaultSchedule resolve_timeline(const sim::Network& net,
   const auto kind_state = [&](FaultKind k) -> KindState& {
     auto it = kinds.find(k);
     if (it == kinds.end())
-      it = kinds.emplace(k, KindState{permuted_cables(net, k, base.seed), 0})
+      it = kinds
+               .emplace(k, KindState{permuted_cables(net, k, base.seed,
+                                                     base.plane),
+                                     0})
                .first;
     return it->second;
   };

@@ -49,6 +49,10 @@ struct FaultSpec {
   std::string events;    ///< Inline timeline (parse_fault_events grammar).
   std::string schedule;  ///< Path of a `sldf-faults 1` schedule file.
   bool rescue = true;    ///< Retransmit torn packets (false: drop + count).
+  /// Restrict CABLE failures to one plane of a multi-plane network
+  /// (scenario key `fault.plane`; -1 = all planes). Whole-chip failures
+  /// (`fault.chips`) always span every plane — a chip dies as a unit.
+  int plane = -1;
 
   /// An inactive spec injects nothing and leaves the network untouched
   /// (bit-identical to a build that never heard of faults).

@@ -1,0 +1,71 @@
+#include "topo/plane_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "route/plane_select.hpp"
+
+namespace sldf::topo {
+
+void build_plane_set(sim::Network& net, int count, int policy,
+                     const RailWirer& wire_rail) {
+  if (count < 1)
+    throw std::invalid_argument("plane.count must be >= 1, got " +
+                                std::to_string(count));
+  if (net.num_routers() != 0)
+    throw std::invalid_argument(
+        "build_plane_set: network already has routers");
+
+  auto agg = std::make_unique<PlaneSetTopo>();
+  std::vector<std::unique_ptr<sim::RoutingAlgorithm>> routings;
+  routings.reserve(static_cast<std::size_t>(count));
+  std::size_t chips_after_first = 0;
+  int num_vcs = 0;
+  int vc_buf = 0;
+
+  for (int p = 0; p < count; ++p) {
+    net.begin_plane();
+    WiredFabric f = wire_rail(p, net);
+    if (f.info == nullptr || f.routing == nullptr || f.num_vcs < 1 ||
+        f.vc_buf < 1)
+      throw std::invalid_argument("plane " + std::to_string(p) +
+                                  ": rail wirer returned an empty fabric");
+    if (p == 0) {
+      chips_after_first = net.num_chips();
+      vc_buf = f.vc_buf;
+      const auto* hier = dynamic_cast<const HierTopo*>(f.info.get());
+      if (hier == nullptr)
+        throw std::invalid_argument(
+            "plane 0 fabric has no hierarchy metadata (HierTopo); it cannot "
+            "anchor a plane set");
+      static_cast<HierTopo&>(*agg) = *hier;  // shared logical hierarchy
+    } else {
+      if (net.num_chips() != chips_after_first)
+        throw std::invalid_argument(
+            "plane " + std::to_string(p) + " spans " +
+            std::to_string(net.num_chips()) + " chips, plane 0 spans " +
+            std::to_string(chips_after_first) +
+            " (all planes must cover the same logical chips)");
+      if (f.vc_buf != vc_buf)
+        throw std::invalid_argument(
+            "plane " + std::to_string(p) + " wants vc_buf=" +
+            std::to_string(f.vc_buf) + ", plane 0 wants vc_buf=" +
+            std::to_string(vc_buf) +
+            " (finalize() applies one depth network-wide)");
+    }
+    num_vcs = std::max(num_vcs, f.num_vcs);
+    f.routing->bind_topo(*f.info, f.num_vcs);
+    agg->plane_num_vcs.push_back(f.num_vcs);
+    agg->planes.push_back(std::move(f.info));
+    routings.push_back(std::move(f.routing));
+  }
+
+  net.set_topo_info(std::move(agg));
+  net.set_routing(std::make_unique<route::PlaneRouting>(std::move(routings)));
+  net.finalize(num_vcs, vc_buf);
+  net.seal_planes(policy);
+}
+
+}  // namespace sldf::topo

@@ -1,0 +1,45 @@
+// Multi-plane fabrics (ROADMAP item 3, booksim-DragonTree-style): K
+// independent rails wired into ONE sim::Network, sharing the logical chip
+// id space. Every plane attaches its own terminal node(s) to the same
+// logical chips, so chip-level consumers — accepted-traffic normalization,
+// workload chip validation, tenant placement, hierarchy tables — see the
+// pre-plane network unchanged. Packets pick a plane at injection
+// (route/plane_select.hpp) and are remapped to the plane's twin terminals;
+// wiring is plane-disjoint, so a packet never leaves its plane.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "topo/fabric.hpp"
+#include "topo/hier.hpp"
+
+namespace sldf::topo {
+
+/// Aggregate topology info of a plane set. The HierTopo slice is copied
+/// from plane 0 (all planes share the logical chip space; plane 0 defines
+/// the hierarchy traffic generators and placement consult), and the
+/// per-plane child infos are kept alive here for their routings.
+struct PlaneSetTopo : HierTopo {
+  std::vector<std::unique_ptr<sim::TopoInfo>> planes;
+  std::vector<int> plane_num_vcs;  ///< Each rail's own VC budget.
+
+  [[nodiscard]] int count() const { return static_cast<int>(planes.size()); }
+};
+
+/// Wires rail `p` into `net` and returns its fabric (the scenario layer
+/// passes a TopologyRegistry::wire call; tests can hand-wire).
+using RailWirer = std::function<WiredFabric(int plane, sim::Network& net)>;
+
+/// Builds a K-plane network: wires each rail between begin_plane() marks,
+/// validates that every rail spans the same logical chips and agrees on
+/// vc_buf, assembles the aggregate info + dispatcher routing, finalizes
+/// with the max per-rail VC budget, and seals the plane partition with
+/// `policy` (an opaque route::PlanePolicy value). Throws
+/// std::invalid_argument on inconsistent rails.
+void build_plane_set(sim::Network& net, int count, int policy,
+                     const RailWirer& wire_rail);
+
+}  // namespace sldf::topo

@@ -40,7 +40,7 @@ void SwlessParams::validate() const {
         "SwlessParams: multi-W-group network needs global ports");
 }
 
-void build_swless_dragonfly(sim::Network& net, const SwlessParams& p) {
+WiredFabric wire_swless_dragonfly(sim::Network& net, const SwlessParams& p) {
   p.validate();
   auto info = std::make_unique<SwlessTopo>();
   info->p = p;
@@ -146,14 +146,17 @@ void build_swless_dragonfly(sim::Network& net, const SwlessParams& p) {
         route::MonotoneTables(info->shape.mx(), info->shape.my(), labels);
   }
 
-  const auto scheme = p.scheme;
-  const auto mode = p.mode;
-  net.set_topo_info(std::move(info));
-  net.set_routing(std::make_unique<route::SwlessRouting>(scheme, mode));
-  net.finalize(p.fault_tolerant
-                   ? route::swless_fault_num_vcs(scheme, mode)
-                   : route::swless_num_vcs(scheme, mode),
-               p.vc_buf);
+  WiredFabric f;
+  f.info = std::move(info);
+  f.routing = std::make_unique<route::SwlessRouting>(p.scheme, p.mode);
+  f.num_vcs = p.fault_tolerant ? route::swless_fault_num_vcs(p.scheme, p.mode)
+                               : route::swless_num_vcs(p.scheme, p.mode);
+  f.vc_buf = p.vc_buf;
+  return f;
+}
+
+void build_swless_dragonfly(sim::Network& net, const SwlessParams& p) {
+  install_fabric(net, wire_swless_dragonfly(net, p));
 }
 
 }  // namespace sldf::topo

@@ -12,6 +12,7 @@
 #include "route/routing_modes.hpp"
 #include "sim/network.hpp"
 #include "topo/cgroup.hpp"
+#include "topo/fabric.hpp"
 #include "topo/hier.hpp"
 
 namespace sldf::topo {
@@ -85,6 +86,11 @@ struct SwlessTopo : HierTopo {
     return peer < wg ? peer : peer - 1;
   }
 };
+
+/// Wires C-groups plus local/global links into `net` and returns the
+/// fabric's topology info / routing / VC geometry without installing or
+/// finalizing — the multi-plane builder calls this once per rail.
+WiredFabric wire_swless_dragonfly(sim::Network& net, const SwlessParams& p);
 
 /// Builds the full network: C-groups, local/global wiring, topology info,
 /// routing algorithm (per params.scheme/mode), finalize.

@@ -138,6 +138,7 @@ MultiTenantResult run_tenants(sim::Network& net,
   out.completed = shared.completed;
   out.cycles = shared.cycles;
   out.flit_hops = shared.flit_hops;
+  out.packets_delivered = shared.packets_delivered;
   out.tenants.reserve(built.size());
   for (std::size_t i = 0; i < built.size(); ++i) {
     TenantResult tr;

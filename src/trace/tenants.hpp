@@ -68,6 +68,7 @@ struct MultiTenantResult {
   bool completed = false;  ///< Every tenant completed in the shared run.
   Cycle cycles = 0;        ///< Shared-run makespan.
   std::uint64_t flit_hops = 0;
+  std::uint64_t packets_delivered = 0;  ///< Shared-run total deliveries.
   std::vector<TenantResult> tenants;
 };
 

@@ -41,10 +41,14 @@ NodeId RingAllReduceTraffic::dest(const sim::Network& net, NodeId src,
       (bidirectional_ && rng.bernoulli(0.5))
           ? pred_[static_cast<std::size_t>(chip)]
           : succ_[static_cast<std::size_t>(chip)];
+  // Destinations stay in the logical (plane-0) prefix of the neighbour
+  // chip's node list; the engine remaps to the selected plane's twin at
+  // injection. Sources are always logical, so their slot is already a
+  // logical index.
   const auto& nodes = net.chip_nodes(nbr);
   const auto slot = static_cast<std::size_t>(
       node_slot_[static_cast<std::size_t>(src)]);
-  return nodes[slot % nodes.size()];
+  return nodes[slot % net.logical_chip_size(nbr)];
 }
 
 }  // namespace sldf::traffic

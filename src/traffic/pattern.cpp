@@ -9,7 +9,7 @@
 namespace sldf::traffic {
 
 UniformTraffic::UniformTraffic(const sim::Network& net)
-    : terms_(net.terminals()) {}
+    : terms_(net.logical_terminals()) {}
 
 NodeId UniformTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
   if (terms_.size() < 2) return kInvalidNode;
@@ -21,7 +21,7 @@ NodeId UniformTraffic::dest(const sim::Network&, NodeId src, Rng& rng) {
 
 PermutationTraffic::PermutationTraffic(const sim::Network& net,
                                        Permutation kind)
-    : kind_(kind), terms_(net.terminals()) {
+    : kind_(kind), terms_(net.logical_terminals()) {
   while ((std::size_t{1} << (bits_ + 1)) <= terms_.size()) ++bits_;
   term_index_.assign(net.num_routers(), -1);
   for (std::size_t i = 0; i < terms_.size(); ++i)
@@ -78,7 +78,7 @@ HotspotTraffic::HotspotTraffic(const sim::Network& net, int hot_groups) {
       ++active_chips_;
     }
   }
-  for (NodeId n : net.terminals()) {
+  for (NodeId n : net.logical_terminals()) {
     if (chip_hot[static_cast<std::size_t>(net.chip_of(n))]) {
       is_hot_[static_cast<std::size_t>(n)] = true;
       hot_terms_.push_back(n);
@@ -100,7 +100,7 @@ WorstCaseTraffic::WorstCaseTraffic(const sim::Network& net) {
   const auto& hier = net.topo<topo::HierTopo>();
   group_terms_.resize(static_cast<std::size_t>(hier.num_wgroups));
   node_group_.assign(net.num_routers(), -1);
-  for (NodeId n : net.terminals()) {
+  for (NodeId n : net.logical_terminals()) {
     const auto wg = hier.chip_wgroup[static_cast<std::size_t>(net.chip_of(n))];
     group_terms_[static_cast<std::size_t>(wg)].push_back(n);
     node_group_[static_cast<std::size_t>(n)] = wg;

@@ -215,13 +215,20 @@ class Runner final : public sim::PacketListener {
         ++cq.head;
         continue;
       }
+      // Striping runs over the LOGICAL terminal slots of the chip pair
+      // (the plane-0 prefix of chip_nodes); on a multi-plane network the
+      // engine remaps each packet to its selected plane's twins, and the
+      // collective phase index rides along as the rail hint for the
+      // collective-aware plane policy.
       const auto& snodes = net_.chip_nodes(spec.src);
       const auto& dnodes = net_.chip_nodes(spec.dst);
+      const std::size_t ssz = net_.logical_chip_size(spec.src);
+      const std::size_t dsz = net_.logical_chip_size(spec.dst);
       const std::size_t lanes =
           spec.stripe > 0
               ? std::min<std::size_t>(static_cast<std::size_t>(spec.stripe),
-                                      std::min(snodes.size(), dnodes.size()))
-              : std::max(snodes.size(), dnodes.size());
+                                      std::min(ssz, dsz))
+              : std::max(ssz, dsz);
       const auto plen = static_cast<std::uint64_t>(cfg_.sim.pkt_len);
       while (st.pkts_sent < st.pkts_total) {
         const std::uint32_t q = st.pkts_sent;
@@ -230,13 +237,15 @@ class Runner final : public sim::PacketListener {
         // (or only the first `stripe` slots when the generator narrowed
         // the message to match an external port).
         const std::size_t slot = q % lanes;
-        const NodeId sn = snodes[slot % snodes.size()];
-        const NodeId dn = dnodes[slot % dnodes.size()];
+        const NodeId sn = snodes[slot % ssz];
+        const NodeId dn = dnodes[slot % dsz];
         int len = static_cast<int>(plen);
         if (q + 1 == st.pkts_total)
           len = static_cast<int>(spec.flits - static_cast<std::uint64_t>(q) *
                                                   plen);
-        if (!sim_->inject_packet(sn, dn, len, m)) return false;
+        if (!sim_->inject_packet(sn, dn, len, m,
+                                 static_cast<std::uint32_t>(spec.phase)))
+          return false;
         ++st.pkts_sent;
         ++in_flight_;
         ++packets_;

@@ -5,13 +5,65 @@
 // used wherever a suite needs to follow the routing function hop by hop.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
+#include <numeric>
 
 #include "sim/network.hpp"
+#include "sim/simulator.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/swless.hpp"
 
 namespace sldf::testing {
+
+/// Flit/packet conservation audit over a finished run's ledger: everything
+/// injected is delivered, dropped, or still in flight at drain — per plane
+/// and in total. Use as EXPECT_TRUE(audit_conservation(res)).
+inline ::testing::AssertionResult audit_conservation(
+    const sim::SimResult& r) {
+  const auto sum = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  if (r.generated_packets !=
+      r.delivered_total + r.dropped_packets + r.inflight_packets)
+    return ::testing::AssertionFailure()
+           << "packet ledger: generated " << r.generated_packets
+           << " != delivered " << r.delivered_total << " + dropped "
+           << r.dropped_packets << " + inflight " << r.inflight_packets;
+  if (r.generated_flits != r.ejected_flits + r.lost_flits + r.inflight_flits)
+    return ::testing::AssertionFailure()
+           << "flit ledger: generated " << r.generated_flits
+           << " != ejected " << r.ejected_flits << " + lost " << r.lost_flits
+           << " + inflight " << r.inflight_flits;
+  if (sum(r.plane_generated) != r.generated_packets)
+    return ::testing::AssertionFailure()
+           << "plane_generated sums to " << sum(r.plane_generated)
+           << ", total is " << r.generated_packets;
+  if (sum(r.plane_delivered) != r.delivered_total)
+    return ::testing::AssertionFailure()
+           << "plane_delivered sums to " << sum(r.plane_delivered)
+           << ", total is " << r.delivered_total;
+  if (sum(r.plane_dropped) != r.dropped_packets)
+    return ::testing::AssertionFailure()
+           << "plane_dropped sums to " << sum(r.plane_dropped)
+           << ", total is " << r.dropped_packets;
+  if (sum(r.plane_inflight) != r.inflight_packets)
+    return ::testing::AssertionFailure()
+           << "plane_inflight sums to " << sum(r.plane_inflight)
+           << ", total is " << r.inflight_packets;
+  // Per-plane ledgers must close individually, not just in aggregate.
+  for (std::size_t p = 0; p < r.plane_generated.size(); ++p) {
+    if (r.plane_generated[p] != r.plane_delivered[p] + r.plane_dropped[p] +
+                                    r.plane_inflight[p])
+      return ::testing::AssertionFailure()
+             << "plane " << p << " ledger: generated "
+             << r.plane_generated[p] << " != delivered "
+             << r.plane_delivered[p] << " + dropped " << r.plane_dropped[p]
+             << " + inflight " << r.plane_inflight[p];
+  }
+  return ::testing::AssertionSuccess();
+}
 
 /// The tiny switch-less instance (max g = 7; chip == router).
 inline topo::SwlessParams tiny_swless_params(

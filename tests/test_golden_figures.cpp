@@ -80,6 +80,13 @@ const std::vector<GoldenCase>& golden_cases() {
        "rates = 0.3\n",
        {{0.29999999999999999, 0.10379166666666667, 305.56489675516235, 678,
          119303}}},
+      {"fig19-planes-k2",
+       "topology = tiny-swless\nplane.count = 2\nplane.policy = hash\n"
+       "traffic = uniform\nrates = 0.2,0.4\n",
+       {{0.20000000000000001, 0.20208333333333334, 29.054231717337736, 1217,
+         73081},
+        {0.40000000000000002, 0.41170833333333334, 37.211577660008182, 2453,
+         158501}}},
   };
   return cases;
 }

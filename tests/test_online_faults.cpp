@@ -255,6 +255,7 @@ TEST(TimelineRun, FailRepairFailBitIdenticalAcrossRunsAndShards) {
   expect_bit_identical(a, c);
   EXPECT_TRUE(a.drained);
   EXPECT_GT(a.delivered_total, 0u);
+  EXPECT_TRUE(sldf::testing::audit_conservation(a));
 }
 
 TEST(TimelineRun, RescueAndDropAccountTheSameTornPackets) {
@@ -286,6 +287,10 @@ TEST(TimelineRun, RescueAndDropAccountTheSameTornPackets) {
   EXPECT_EQ(dropped.dropped_packets, rescued.rescued_packets);
   EXPECT_TRUE(rescued.drained);
   EXPECT_TRUE(dropped.drained);
+  // The ledger closes in both accounting modes: rescue re-credits the
+  // already-ejected prefix as regenerated work, drop writes it off as lost.
+  EXPECT_TRUE(sldf::testing::audit_conservation(rescued));
+  EXPECT_TRUE(sldf::testing::audit_conservation(dropped));
 }
 
 TEST(TimelineRun, ClosedLoopChipDeathSurfacesFailures) {

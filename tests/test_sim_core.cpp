@@ -8,6 +8,7 @@
 #include "core/experiment.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "test_fixtures.hpp"
 
 using namespace sldf;
 using namespace sldf::sim;
@@ -141,6 +142,7 @@ TEST(SimCore, BackpressureNeverOverflowsBuffers) {
   const auto r = run_sim(net, cfg, tr);
   EXPECT_TRUE(r.drained);
   EXPECT_EQ(r.delivered_measured, r.generated_measured);
+  EXPECT_TRUE(sldf::testing::audit_conservation(r));
 }
 
 TEST(SimCore, HopCountsRecordLinkType) {

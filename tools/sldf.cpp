@@ -135,7 +135,8 @@ std::string network_cache_key(const core::ScenarioSpec& spec) {
   std::string key;
   for (const auto& [k, v] : spec.to_kv()) {
     if (k == "topology" || k == "mode" || k == "scheme" ||
-        k.rfind("topo.", 0) == 0 || k.rfind("fault.", 0) == 0)
+        k.rfind("topo.", 0) == 0 || k.rfind("fault.", 0) == 0 ||
+        k.rfind("plane.", 0) == 0)
       key += k + "=" + v + ";";
   }
   return key;
