@@ -17,7 +17,20 @@ namespace sldf::bench {
 
 namespace {
 
-double peak_rss_mb() {
+/// Process-lifetime high-water mark: /proc/self/status VmHWM on Linux,
+/// getrusage elsewhere. Only meaningful per preset after RssTracker::reset().
+double vm_hwm_mb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    double kb = -1.0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %lf kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb >= 0.0) return kb / 1024.0;
+  }
+#endif
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage ru {};
   if (getrusage(RUSAGE_SELF, &ru) == 0) {
@@ -29,6 +42,45 @@ double peak_rss_mb() {
   }
 #endif
   return 0.0;
+}
+
+/// Per-preset peak-RSS measurement. The kernel's high-water mark is
+/// process-lifetime, so reading it after each preset made every row after
+/// the largest run silently inherit that run's peak (the pre-fix
+/// BENCH_sim.json reported ~1.29 GB for every preset after radix32-sat).
+/// reset() clears the mark by writing "5" to /proc/self/clear_refs, after
+/// which VmHWM tracks only memory touched since — peak_mb() then reports a
+/// true per-preset peak. When clear_refs is unavailable (non-Linux, locked-
+/// down kernels) it falls back to the VmHWM *delta* since the last reset:
+/// exact whenever the preset sets a new process peak, and 0 ("did not grow
+/// the peak") instead of an inherited earlier peak when it does not.
+class RssTracker {
+ public:
+  void reset() {
+    reset_ok_ = false;
+#if defined(__linux__)
+    if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+      reset_ok_ = std::fwrite("5", 1, 1, f) == 1;
+      if (std::fclose(f) != 0) reset_ok_ = false;
+    }
+#endif
+    base_mb_ = vm_hwm_mb();
+  }
+
+  [[nodiscard]] double peak_mb() const {
+    const double hwm = vm_hwm_mb();
+    if (reset_ok_) return hwm;
+    return hwm > base_mb_ ? hwm - base_mb_ : 0.0;
+  }
+
+ private:
+  bool reset_ok_ = false;
+  double base_mb_ = 0.0;
+};
+
+RssTracker& rss_tracker() {
+  static RssTracker t;
+  return t;
 }
 
 core::ScenarioSpec point_spec(const std::string& topology, double rate,
@@ -170,10 +222,18 @@ core::ScenarioSpec planes_spec(bool quick, std::uint64_t seed) {
   return s;
 }
 
+/// Folds one per-point RSS sample into the result's min/max/aggregate.
+void fold_rss(PerfResult& r, double rss, bool first) {
+  if (first || rss < r.rss_min_mb) r.rss_min_mb = rss;
+  if (first || rss > r.rss_max_mb) r.rss_max_mb = rss;
+  r.peak_rss_mb = r.rss_max_mb;
+}
+
 PerfResult run_tenants_preset(const std::string& preset,
                               const core::ScenarioSpec& spec) {
   PerfResult r;
   r.preset = preset;
+  rss_tracker().reset();
   const auto t0 = std::chrono::steady_clock::now();
   const trace::MultiTenantResult run = trace::run_tenant_scenario(spec);
   const auto t1 = std::chrono::steady_clock::now();
@@ -189,7 +249,7 @@ PerfResult run_tenants_preset(const std::string& preset,
     r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_s;
     r.flit_hops_per_sec = static_cast<double>(r.flit_hops) / r.wall_s;
   }
-  r.peak_rss_mb = peak_rss_mb();
+  fold_rss(r, rss_tracker().peak_mb(), true);
   return r;
 }
 
@@ -197,6 +257,7 @@ PerfResult run_workload_preset(const std::string& preset,
                                const core::ScenarioSpec& spec) {
   PerfResult r;
   r.preset = preset;
+  rss_tracker().reset();
   const auto t0 = std::chrono::steady_clock::now();
   const core::WorkloadRun run = core::run_workload_scenario(spec);
   const auto t1 = std::chrono::steady_clock::now();
@@ -209,7 +270,7 @@ PerfResult run_workload_preset(const std::string& preset,
     r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_s;
     r.flit_hops_per_sec = static_cast<double>(r.flit_hops) / r.wall_s;
   }
-  r.peak_rss_mb = peak_rss_mb();
+  fold_rss(r, rss_tracker().peak_mb(), true);
   return r;
 }
 
@@ -219,12 +280,30 @@ PerfResult run_specs(const std::string& preset,
   r.preset = preset;
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& spec : specs) {
-    const core::SweepSeries series = core::run_scenario(spec);
-    for (const auto& pt : series.points) {
+    // Sweep points run one spec each so the RSS tracker can be reset
+    // around every point. The split replicates run_scenario's own sweep
+    // semantics exactly — per-point seed = base seed + point index, and
+    // the early-stop rule against the series' zero-load latency — so the
+    // per-point SimResults (and hence all the counters below) are
+    // bit-identical to handing run_scenario the whole series.
+    const std::vector<double> rates = spec.effective_rates();
+    double zero_load = 0.0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      core::ScenarioSpec pt_spec = spec;
+      pt_spec.rates = {rates[i]};
+      pt_spec.sim.seed = spec.sim.seed + i;
+      rss_tracker().reset();
+      const core::SweepSeries series = core::run_scenario(pt_spec);
+      fold_rss(r, rss_tracker().peak_mb(), r.points == 0);
+      const sim::SimResult& res = series.points.at(0).res;
       ++r.points;
-      r.cycles += pt.res.cycles_run;
-      r.flit_hops += pt.res.flit_hops;
-      r.delivered += pt.res.delivered_total;
+      r.cycles += res.cycles_run;
+      r.flit_hops += res.flit_hops;
+      r.delivered += res.delivered_total;
+      if (i == 0) zero_load = res.avg_latency;
+      if (spec.stop_latency_factor > 0 && zero_load > 0 &&
+          res.avg_latency > zero_load * spec.stop_latency_factor)
+        break;  // saturated: run_scenario's series would end here too
     }
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -233,7 +312,6 @@ PerfResult run_specs(const std::string& preset,
     r.cycles_per_sec = static_cast<double>(r.cycles) / r.wall_s;
     r.flit_hops_per_sec = static_cast<double>(r.flit_hops) / r.wall_s;
   }
-  r.peak_rss_mb = peak_rss_mb();
   return r;
 }
 
@@ -262,6 +340,23 @@ const std::vector<PresetDef>& preset_defs() {
                   "uniform, offered load 0.1, serial engine"},
                  true,
                  point("radix16-low", "radix16-swless", 0.1, 1)});
+    d.push_back({{"radix16-trickle", "quick+full",
+                  "idle-dominated engine path: radix-16 switch-less at "
+                  "trace-trickle load (offered 1e-5) over a long window — "
+                  "cycles/sec is dominated by idle-cycle elision jumping "
+                  "between isolated packets"},
+                 true,
+                 [](bool quick, std::uint64_t seed) {
+                   core::ScenarioSpec s =
+                       point_spec("radix16-swless", 1e-5, quick, seed);
+                   // Long, almost-empty window: the full scan engine pays
+                   // every cycle, the event-driven engine only the ~0.3%
+                   // with work in flight.
+                   s.sim.warmup = quick ? 500 : 2000;
+                   s.sim.measure = quick ? 4000 : 40000;
+                   s.sim.drain = quick ? 1000 : 3000;
+                   return run_specs("radix16-trickle", {s});
+                 }});
     d.push_back({{"radix16-sat", "quick+full",
                   "saturation-regime engine throughput: radix-16 "
                   "switch-less, uniform, offered load 0.9, serial engine"},
@@ -392,12 +487,14 @@ void write_bench_json(const std::string& path,
                   "\"cycles\": %llu, \"flit_hops\": %llu, "
                   "\"delivered_packets\": %llu, \"wall_s\": %.3f, "
                   "\"cycles_per_sec\": %.0f, \"flit_hops_per_sec\": %.0f, "
-                  "\"peak_rss_mb\": %.1f}%s\n",
+                  "\"peak_rss_mb\": %.1f, \"rss_min_mb\": %.1f, "
+                  "\"rss_max_mb\": %.1f}%s\n",
                   r.preset.c_str(), r.points,
                   static_cast<unsigned long long>(r.cycles),
                   static_cast<unsigned long long>(r.flit_hops),
                   static_cast<unsigned long long>(r.delivered), r.wall_s,
                   r.cycles_per_sec, r.flit_hops_per_sec, r.peak_rss_mb,
+                  r.rss_min_mb, r.rss_max_mb,
                   i + 1 < results.size() ? "," : "");
     f << buf;
   }

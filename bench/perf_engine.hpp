@@ -30,7 +30,16 @@ struct PerfResult {
   double wall_s = 0.0;
   double cycles_per_sec = 0.0;
   double flit_hops_per_sec = 0.0;
-  double peak_rss_mb = 0.0;       ///< getrusage high-water mark after the run.
+  /// Peak RSS of THIS preset alone (the kernel high-water mark is reset
+  /// before the preset runs — see RssTracker in perf_engine.cpp). For a
+  /// sweep preset this is the max over its points.
+  double peak_rss_mb = 0.0;
+  /// Per-point peak-RSS spread: the mark is reset around every sweep point,
+  /// so multi-point rows (fig11a-sweep) are interpretable instead of
+  /// reporting one contaminated aggregate. Equal to peak_rss_mb for
+  /// single-point presets.
+  double rss_min_mb = 0.0;
+  double rss_max_mb = 0.0;
 };
 
 /// Documentation row of one preset — the single source the suite runner,

@@ -141,6 +141,13 @@ void ck_expect(std::istream& in, std::uint64_t want, const char* what) {
                              "network/config shape)");
 }
 
+/// Heap ordering for SimContext::gen_heap: std::push_heap and friends build
+/// a max-heap, so comparing with "fires later" keeps the EARLIEST pending
+/// generation arrival at front().
+inline bool gen_event_after(const GenEvent& a, const GenEvent& b) {
+  return a.when > b.when;
+}
+
 }  // namespace
 
 int resolve_shards(int requested) {
@@ -288,6 +295,10 @@ void Simulator::init() {
     t.pushed = 0;
   }
   rr_plane_.assign(ctx_->terms.size(), 0);
+  rebuild_gen_state();
+  // ~3 hot lines per input VC (control word, port record, flit ring)
+  // against a conservative LLC guess; see the member doc.
+  deep_prefetch_ = net_.fifos().num_fifos() >= 32768;
 
   // Online fault timeline: steps are applied at the top of step() as now_
   // reaches them. A schedule without a captured baseline would leak online
@@ -325,106 +336,227 @@ void Simulator::init() {
   }
 }
 
-void Simulator::generate_and_inject() {
+void Simulator::gen_and_inject_terminal(std::size_t ti) {
   const Cycle gen_end = cfg_.warmup + cfg_.measure;
   PacketPool& pool = ctx_->pool;
   FlitFifoArena& fifos = net_.fifos();
-  for (auto& t : ctx_->terms) {
-    // --- generation (geometric-skip Bernoulli source) ---
-    while (t.next_gen <= now_) {
-      const Cycle when = t.next_gen;
-      const auto skip = rng_.geometric_skip(per_node_pkt_rate_);
-      t.next_gen = (skip >= ~0ULL - when - 1) ? ~0ULL : when + 1 + skip;
-      if (when >= gen_end + cfg_.drain) break;  // past simulation horizon
-      if (static_cast<int>(t.queue.size()) >= cfg_.max_src_queue) {
-        ++suppressed_;
-        continue;
-      }
-      const NodeId dst = traffic_.dest(net_, t.node, rng_);
-      // Dead destinations (fault mask) suppress generation like a pattern
-      // returning kInvalidNode; traffic sources stay fault-oblivious.
-      if (dst == kInvalidNode || !net_.node_live(dst)) continue;
-      // Plane selection: open-loop traffic carries no rail hint, so the
-      // collective policy degrades to hash inside select_plane(). The
-      // packet is remapped to the chosen plane's twin terminals and the
-      // TWIN's source queue takes the backpressure check (the logical
-      // queue was already checked above, which keeps the K=1 path
-      // bit-identical).
-      NodeId src = t.node;
-      NodeId pdst = dst;
-      TerminalState* tq = &t;
-      int plane = 0;
-      if (num_planes_ > 1) {
-        const std::size_t ti =
-            static_cast<std::size_t>(&t - ctx_->terms.data());
-        plane = route::select_plane(
-            static_cast<route::PlanePolicy>(plane_policy_), num_planes_,
-            net_.chip_of(t.node), net_.chip_of(dst), 0, false, rr_plane_[ti],
-            [&](int pl) {
-              const NodeId tw = net_.plane_twin(t.node, pl);
-              return ctx_->terms[static_cast<std::size_t>(
-                                     ctx_->term_of_node[static_cast<
-                                         std::size_t>(tw)])]
-                  .queue.size();
-            });
-        if (plane != 0) {
-          src = net_.plane_twin(t.node, plane);
-          pdst = net_.plane_twin(dst, plane);
-          tq = &ctx_->terms[static_cast<std::size_t>(
-              ctx_->term_of_node[static_cast<std::size_t>(src)])];
-          if (static_cast<int>(tq->queue.size()) >= cfg_.max_src_queue) {
-            ++suppressed_;
-            continue;
-          }
-          if (!net_.node_live(src) || !net_.node_live(pdst)) continue;
-        }
-      }
-      const PacketId pid = pool.acquire();
-      Packet& p = pool[pid];
-      p.src = src;
-      p.dst = pdst;
-      p.src_chip = net_.chip_of(src);
-      p.dst_chip = net_.chip_of(pdst);
-      p.len = static_cast<std::uint16_t>(cfg_.pkt_len);
-      p.t_gen = when;
-      p.measured = (when >= cfg_.warmup && when < gen_end) ? 1 : 0;
-      if (p.measured) ++generated_measured_;
-      ++generated_packets_;
-      generated_flits_ += p.len;
-      ++plane_generated_[static_cast<std::size_t>(plane)];
-      net_.routing()->init_packet(net_, p, rng_);
-      tq->queue.push_back(pid);
+  TerminalState& t = ctx_->terms[ti];
+  // --- generation (geometric-skip Bernoulli source) ---
+  while (t.next_gen <= now_) {
+    const Cycle when = t.next_gen;
+    const auto skip = rng_.geometric_skip(per_node_pkt_rate_);
+    t.next_gen = advance_next_gen(when, skip);
+    if (cfg_.idle_skip && t.next_gen != ~0ULL) gen_heap_push(t.next_gen, ti);
+    if (when >= gen_end + cfg_.drain) break;  // past simulation horizon
+    if (static_cast<int>(t.queue.size()) >= cfg_.max_src_queue) {
+      ++suppressed_;
+      continue;
     }
-    // --- injection: one flit per cycle into the injection port ---
-    if (t.queue.empty()) continue;
-    const PacketId pid = t.queue.front();
+    const NodeId dst = traffic_.dest(net_, t.node, rng_);
+    // Dead destinations (fault mask) suppress generation like a pattern
+    // returning kInvalidNode; traffic sources stay fault-oblivious.
+    if (dst == kInvalidNode || !net_.node_live(dst)) continue;
+    // Plane selection: open-loop traffic carries no rail hint, so the
+    // collective policy degrades to hash inside select_plane(). The
+    // packet is remapped to the chosen plane's twin terminals and the
+    // TWIN's source queue takes the backpressure check (the logical
+    // queue was already checked above, which keeps the K=1 path
+    // bit-identical).
+    NodeId src = t.node;
+    NodeId pdst = dst;
+    TerminalState* tq = &t;
+    int plane = 0;
+    if (num_planes_ > 1) {
+      plane = route::select_plane(
+          static_cast<route::PlanePolicy>(plane_policy_), num_planes_,
+          net_.chip_of(t.node), net_.chip_of(dst), 0, false, rr_plane_[ti],
+          [&](int pl) {
+            const NodeId tw = net_.plane_twin(t.node, pl);
+            return ctx_->terms[static_cast<std::size_t>(
+                                   ctx_->term_of_node[static_cast<
+                                       std::size_t>(tw)])]
+                .queue.size();
+          });
+      if (plane != 0) {
+        src = net_.plane_twin(t.node, plane);
+        pdst = net_.plane_twin(dst, plane);
+        tq = &ctx_->terms[static_cast<std::size_t>(
+            ctx_->term_of_node[static_cast<std::size_t>(src)])];
+        if (static_cast<int>(tq->queue.size()) >= cfg_.max_src_queue) {
+          ++suppressed_;
+          continue;
+        }
+        if (!net_.node_live(src) || !net_.node_live(pdst)) continue;
+      }
+    }
+    const PacketId pid = pool.acquire();
     Packet& p = pool[pid];
-    if (t.pushed == 0) t.inj_vc = static_cast<VcIx>(p.vc_class);
-    const std::uint32_t ix = t.inj_base + static_cast<std::uint32_t>(t.inj_vc);
-    if (!fifos.full(ix)) {
-      Flit f;
-      f.pkt = pid;
-      f.idx = t.pushed;
-      f.head = (t.pushed == 0);
-      f.tail = (t.pushed + 1 == p.len);
-      fifos.push(ix, f);
-      if (fifos.size(ix) == 1) {
-        const std::uint32_t meta = fifos.meta(ix);
-        if (Network::ivc_state_of(meta) == IvcState::Idle)
-          set_bit(ctx_->ivc_pending, ix);  // fresh head flit: needs RC/VA
-        else  // refilled a streaming VC: wake its output port for SA
-          set_bit(ctx_->port_pending,
-                  net_.out_port_index(t.node, static_cast<PortIx>(
-                                                  Network::ivc_port_of(meta))));
-        mark_work(t.node);
-      }
-      activate_router_buffered(t.node);
-      if (++t.pushed == p.len) {
-        t.queue.pop_front();
-        t.pushed = 0;
-      }
+    p.src = src;
+    p.dst = pdst;
+    p.src_chip = net_.chip_of(src);
+    p.dst_chip = net_.chip_of(pdst);
+    p.len = static_cast<std::uint16_t>(cfg_.pkt_len);
+    p.t_gen = when;
+    p.measured = (when >= cfg_.warmup && when < gen_end) ? 1 : 0;
+    if (p.measured) ++generated_measured_;
+    ++generated_packets_;
+    generated_flits_ += p.len;
+    ++plane_generated_[static_cast<std::size_t>(plane)];
+    net_.routing()->init_packet(net_, p, rng_);
+    tq->queue.push_back(pid);
+    if (tq->queue.size() == 1)
+      inj_mark(static_cast<std::size_t>(tq - ctx_->terms.data()));
+  }
+  // --- injection: one flit per cycle into the injection port ---
+  if (t.queue.empty()) return;
+  const PacketId pid = t.queue.front();
+  Packet& p = pool[pid];
+  if (t.pushed == 0) t.inj_vc = static_cast<VcIx>(p.vc_class);
+  const std::uint32_t ix = t.inj_base + static_cast<std::uint32_t>(t.inj_vc);
+  if (!fifos.full(ix)) {
+    Flit f;
+    f.pkt = pid;
+    f.idx = t.pushed;
+    f.head = (t.pushed == 0);
+    f.tail = (t.pushed + 1 == p.len);
+    fifos.push(ix, f);
+    if (fifos.size(ix) == 1) {
+      const std::uint32_t meta = fifos.meta(ix);
+      if (Network::ivc_state_of(meta) == IvcState::Idle)
+        set_bit(ctx_->ivc_pending, ix);  // fresh head flit: needs RC/VA
+      else  // refilled a streaming VC: wake its output port for SA
+        set_bit(ctx_->port_pending,
+                net_.out_port_index(t.node, static_cast<PortIx>(
+                                                Network::ivc_port_of(meta))));
+      mark_work(t.node);
+    }
+    activate_router_buffered(t.node);
+    if (++t.pushed == p.len) {
+      t.queue.pop_front();
+      t.pushed = 0;
+      if (t.queue.empty()) inj_unmark(ti);
     }
   }
+}
+
+void Simulator::generate_and_inject_scan() {
+  const std::size_t n = ctx_->terms.size();
+  for (std::size_t ti = 0; ti < n; ++ti) gen_and_inject_terminal(ti);
+}
+
+void Simulator::generate_and_inject_sparse() {
+  // Pop every generation arrival due this cycle into the gen_due scratch
+  // bitmask (stale heap entries — fault deaths, re-arms — are discarded
+  // here; see GenEvent).
+  auto& heap = ctx_->gen_heap;
+  while (!heap.empty() && heap.front().when <= now_) {
+    std::pop_heap(heap.begin(), heap.end(), gen_event_after);
+    const GenEvent e = heap.back();
+    heap.pop_back();
+    if (ctx_->terms[e.term].next_gen == e.when)
+      set_bit(ctx_->gen_due, e.term);
+  }
+  // Walk the union of due-generation and injection-pending terminals in
+  // ascending index order — exactly the subset of terminals the full scan
+  // does anything at. The word is re-read after every processed terminal:
+  // generation can queue a packet onto a plane twin at a HIGHER index
+  // (which the full scan would reach later this same cycle, so it must be
+  // visited), while a twin at a LOWER index stays masked out by `done`
+  // (the full scan already passed it).
+  const std::size_t nw = ctx_->inj_pending.size();
+  for (std::size_t w = 0; w < nw; ++w) {
+    if ((ctx_->inj_pending[w] | ctx_->gen_due[w]) == 0) continue;
+    std::uint64_t done = 0;
+    for (;;) {
+      const std::uint64_t bits =
+          (ctx_->inj_pending[w] | ctx_->gen_due[w]) & ~done;
+      if (!bits) break;
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+      done |= b >= 63 ? ~0ULL : (1ULL << (b + 1)) - 1;
+      ctx_->gen_due[w] &= ~(1ULL << b);
+      gen_and_inject_terminal(w * 64 + b);
+    }
+  }
+}
+
+void Simulator::generate_and_inject() {
+  if (cfg_.idle_skip)
+    generate_and_inject_sparse();
+  else
+    generate_and_inject_scan();
+}
+
+void Simulator::gen_heap_push(Cycle when, std::size_t ti) {
+  ctx_->gen_heap.push_back(GenEvent{when, static_cast<std::uint32_t>(ti)});
+  std::push_heap(ctx_->gen_heap.begin(), ctx_->gen_heap.end(),
+                 gen_event_after);
+}
+
+void Simulator::inj_mark(std::size_t ti) {
+  set_bit(ctx_->inj_pending, static_cast<std::uint32_t>(ti));
+  ++inj_terms_;
+}
+
+void Simulator::inj_unmark(std::size_t ti) {
+  clear_bit(ctx_->inj_pending, static_cast<std::uint32_t>(ti));
+  --inj_terms_;
+}
+
+void Simulator::rebuild_gen_state() {
+  const std::size_t n = ctx_->terms.size();
+  ctx_->inj_pending.assign((n + 63) / 64, 0);
+  ctx_->gen_due.assign(ctx_->inj_pending.size(), 0);
+  ctx_->gen_heap.clear();
+  inj_terms_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TerminalState& t = ctx_->terms[i];
+    if (!t.queue.empty()) inj_mark(i);
+    if (cfg_.idle_skip && t.next_gen != ~0ULL)
+      ctx_->gen_heap.push_back(
+          GenEvent{t.next_gen, static_cast<std::uint32_t>(i)});
+  }
+  std::make_heap(ctx_->gen_heap.begin(), ctx_->gen_heap.end(),
+                 gen_event_after);
+}
+
+Cycle Simulator::next_event_cycle(Cycle limit) {
+  // Anything already scheduled for this cycle pins time in place: routers
+  // with buffered/pending work keep themselves on the active list, and a
+  // non-empty source queue injects a flit every cycle.
+  if (!ctx_->active.empty() || inj_terms_ != 0) return now_;
+  Cycle next = limit;
+  // Earliest live generation arrival (stale entries are discarded as they
+  // surface, so this also garbage-collects the heap while idling).
+  auto& heap = ctx_->gen_heap;
+  while (!heap.empty()) {
+    const GenEvent& e = heap.front();
+    if (ctx_->terms[e.term].next_gen == e.when) {
+      next = std::min(next, e.when);
+      break;
+    }
+    std::pop_heap(heap.begin(), heap.end(), gen_event_after);
+    heap.pop_back();
+  }
+  // Next fault-timeline transition.
+  if (fault_sched_ != nullptr && next_fault_ < fault_sched_->steps.size())
+    next = std::min(next, fault_sched_->steps[next_fault_].at);
+  // First non-empty timing-wheel slot. Every in-flight event lands within
+  // one wheel revolution of now (slot = cycle & mask is injective there),
+  // so the scan can stop at the first occupied slot.
+  const std::size_t nslots = wheel_mask_ + 1;
+  for (std::size_t k = 0; k < nslots; ++k) {
+    if (!ctx_->wheel[(now_ + k) & wheel_mask_].empty()) {
+      next = std::min(next, now_ + k);
+      break;
+    }
+  }
+  return next < now_ ? now_ : next;
+}
+
+Cycle Simulator::try_skip_idle(Cycle limit) {
+  if (!cfg_.idle_skip || limit <= now_) return now_;
+  now_ = next_event_cycle(limit);
+  return now_;
 }
 
 bool Simulator::inject_packet(NodeId src, NodeId dst, int len,
@@ -468,6 +600,8 @@ bool Simulator::inject_packet(NodeId src, NodeId dst, int len,
   ++plane_generated_[static_cast<std::size_t>(plane)];
   net_.routing()->init_packet(net_, p, rng_);
   t.queue.push_back(pid);
+  if (t.queue.size() == 1)
+    inj_mark(static_cast<std::size_t>(&t - ctx_->terms.data()));
   return true;
 }
 
@@ -886,10 +1020,12 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
       generated_flits_ += pk.flits_ejected;
       pk.flits_ejected = 0;
       net_.routing()->init_packet(net_, pk, rng_);
-      if (pos == 0)
+      if (pos == 0) {
         t.pushed = 0;
-      else if (pos < 0)
+      } else if (pos < 0) {
         t.queue.push_back(pid);
+        if (t.queue.size() == 1) inj_mark(static_cast<std::size_t>(ti));
+      }
     } else {
       if (pos >= 0) {
         const std::size_t qsz = t.queue.size();
@@ -899,6 +1035,7 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
           if (qp != pid) t.queue.push_back(qp);
         }
         if (pos == 0) t.pushed = 0;
+        if (t.queue.empty()) inj_unmark(static_cast<std::size_t>(ti));
       }
       drop_packet(pid);
     }
@@ -917,7 +1054,9 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
       // not drawn for twins, matching the init()-time convention.
       if (per_node_pkt_rate_ > 0.0 && net_.plane_of_node(n) == 0) {
         const auto skip = rng_.geometric_skip(per_node_pkt_rate_);
-        t.next_gen = (skip >= ~0ULL - now_ - 1) ? ~0ULL : now_ + 1 + skip;
+        t.next_gen = advance_next_gen(now_, skip);
+        if (cfg_.idle_skip && t.next_gen != ~0ULL)
+          gen_heap_push(t.next_gen, static_cast<std::size_t>(ti));
       } else {
         t.next_gen = ~0ULL;
       }
@@ -1175,31 +1314,105 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
 void Simulator::prefetch_snapshot(const std::vector<NodeId>& snap,
                                   std::size_t i) {
   const std::size_t n = snap.size();
+  // Far stage: the per-router offset entries every address computation
+  // below (and the processing itself) goes through.
   if (i + 8 < n) {
     const NodeId r8 = snap[i + 8];
     __builtin_prefetch(&ctx_->ract[static_cast<std::size_t>(r8)]);
     __builtin_prefetch(net_.in_port_base_addr(r8));
     __builtin_prefetch(net_.out_port_base_addr(r8));
   }
-  if (i + 3 < n && (ctx_->ract[static_cast<std::size_t>(snap[i + 3])] & 2)) {
-    const NodeId r3 = snap[i + 3];
+  // Mid stage: the router's pending-bitmask words, so the near stage can
+  // *read* them without stalling.
+  if (i + 5 < n) {
+    const NodeId r5 = snap[i + 5];
+    __builtin_prefetch(&ctx_->ivc_pending[net_.in_vc_index(r5, 0, 0) >> 6]);
+    __builtin_prefetch(&ctx_->port_pending[net_.out_port_index(r5, 0) >> 6]);
+  }
+  // Near stage: the pending bitmasks predict exactly which FIFO control
+  // words (RC/VA scan) and output-port records (SA/ST scan) the router
+  // will touch — issue those prefetches now, in straight-line batches, so
+  // the walk's dependent DRAM misses resolve in parallel instead of
+  // serially. The words are stable this far ahead: during the router walk
+  // every cross-router effect travels through the timing wheel, so only a
+  // router's OWN processing mutates its bits. Relaxed atomic loads because
+  // a neighbouring *shard* may still be flipping its bits of a shared
+  // boundary word; the values only steer prefetches, so a stale view is
+  // harmless.
+  if (!deep_prefetch_) return;
+  if (i + 2 < n && (ctx_->ract[static_cast<std::size_t>(snap[i + 2])] & 2)) {
+    const NodeId r2 = snap[i + 2];
     const FlitFifoArena& fifos = net_.fifos();
-    const std::uint32_t ib = net_.in_vc_index(r3, 0, 0);
-    const std::uint32_t pb = net_.out_port_index(r3, 0);
-    __builtin_prefetch(&ctx_->ivc_pending[ib >> 6]);
-    __builtin_prefetch(&ctx_->port_pending[pb >> 6]);
-    // Input-VC words (head/size + meta) span a couple of lines each; the
-    // per-port records are one line per port.
-    __builtin_prefetch(fifos.word_addr(ib));
-    if (ib + 8 < fifos.num_fifos())
-      __builtin_prefetch(fifos.word_addr(ib + 8));
-    if (ib + 16 < fifos.num_fifos())
-      __builtin_prefetch(fifos.word_addr(ib + 16));
-    const std::uint32_t nout = net_.num_out_ports_of(r3);
-    std::uint32_t* rec = net_.port_rec(pb);
-    const std::uint32_t words = net_.port_stride();
-    for (std::uint32_t p = 0; p < nout && p < 4; ++p)
-      __builtin_prefetch(rec + p * words);
+    const auto nvc = static_cast<std::uint32_t>(net_.num_vcs());
+    const auto word = [](const std::vector<std::uint64_t>& v,
+                         std::uint32_t w) {
+      return std::atomic_ref<std::uint64_t>(
+                 const_cast<std::uint64_t&>(v[w]))
+          .load(std::memory_order_relaxed);
+    };
+    const std::uint32_t ib = net_.in_vc_index(r2, 0, 0);
+    const std::uint32_t vend = ib + net_.num_in_ports_of(r2) * nvc;
+    int left = 16;  // cap per stage: don't flood the load/fill buffers
+    for (std::uint32_t w = ib >> 6; vend > ib && w <= (vend - 1) >> 6; ++w) {
+      std::uint64_t bits = word(ctx_->ivc_pending, w);
+      if (w == (ib >> 6)) bits &= ~0ULL << (ib & 63);
+      if (w == ((vend - 1) >> 6)) bits &= ~0ULL >> (63 - ((vend - 1) & 63));
+      while (bits && left-- > 0) {
+        const std::uint32_t ix =
+            (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        __builtin_prefetch(fifos.word_addr(ix));
+      }
+    }
+    const std::uint32_t pb = net_.out_port_index(r2, 0);
+    const std::uint32_t pend = pb + net_.num_out_ports_of(r2);
+    left = 16;
+    for (std::uint32_t w = pb >> 6; pend > pb && w <= (pend - 1) >> 6; ++w) {
+      std::uint64_t bits = word(ctx_->port_pending, w);
+      if (w == (pb >> 6)) bits &= ~0ULL << (pb & 63);
+      if (w == ((pend - 1) >> 6)) bits &= ~0ULL >> (63 - ((pend - 1) & 63));
+      while (bits && left-- > 0) {
+        const std::uint32_t pflat =
+            (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        __builtin_prefetch(net_.port_rec(pflat));
+      }
+    }
+  }
+  // Nearest stage: SA candidates. The previous entry's port-record
+  // prefetches have usually landed by now, so the requester lists are
+  // cheap to *read* — prefetch each candidate's FIFO control word, the
+  // grant loop's remaining serial misses. Port records are per-router
+  // (never shard-shared), so plain reads are race-free here.
+  if (i + 1 < n && (ctx_->ract[static_cast<std::size_t>(snap[i + 1])] & 2)) {
+    const NodeId r1 = snap[i + 1];
+    const FlitFifoArena& fifos = net_.fifos();
+    const auto nvc = static_cast<std::uint32_t>(net_.num_vcs());
+    const std::uint32_t ibase = net_.in_vc_index(r1, 0, 0);
+    const std::uint32_t pb = net_.out_port_index(r1, 0);
+    const std::uint32_t pend = pb + net_.num_out_ports_of(r1);
+    int left = 12;
+    for (std::uint32_t w = pb >> 6; pend > pb && w <= (pend - 1) >> 6; ++w) {
+      std::uint64_t bits =
+          std::atomic_ref<std::uint64_t>(
+              const_cast<std::uint64_t&>(ctx_->port_pending[w]))
+              .load(std::memory_order_relaxed);
+      if (w == (pb >> 6)) bits &= ~0ULL << (pb & 63);
+      if (w == ((pend - 1) >> 6)) bits &= ~0ULL >> (63 - ((pend - 1) & 63));
+      while (bits && left > 0) {
+        const std::uint32_t pflat =
+            (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t* rec = net_.port_rec(pflat);
+        const auto* reqs = reinterpret_cast<const std::uint16_t*>(
+            rec + Network::kOvc0 + nvc);
+        const std::uint32_t nreq = rec[0] & 0xffff;
+        for (std::uint32_t k = 0; k < nreq && left > 0; ++k, --left)
+          __builtin_prefetch(fifos.word_addr(
+              ibase + (static_cast<std::uint32_t>(reqs[k]) >> 8) * nvc +
+              (reqs[k] & 0xffu)));
+      }
+    }
   }
 }
 
@@ -1272,6 +1485,34 @@ void Simulator::step_sharded() {
     accepted_flits_ += sc.accepted_flits;
     ejected_flits_ += sc.ejected_flits;
   }
+  // Cheap-commit fast paths. The full replay below exists only to
+  // interleave the shards' buffered effects back into global snapshot
+  // order; when at most one shard buffered anything there is nothing to
+  // interleave, so drain in one merged pass and keep only the keep-alive
+  // re-activation walk. Both paths are order-equivalent to the replay:
+  // commit_tail() touches stats / the listener / the packet pool but never
+  // `ract` or the active list, and the re-activation walk touches only
+  // those — so "drain everything, then walk" commutes with the
+  // interleaved walk as long as the per-tail and per-event order is
+  // preserved (it is: a single shard's buffer order IS the global order).
+  std::size_t traffic_shards = 0;
+  ShardScratch* only = nullptr;
+  for (auto& sc : ctx_->shard_scratch)
+    if (!sc.events.empty() || !sc.tails.empty()) {
+      ++traffic_shards;
+      only = &sc;
+    }
+  if (traffic_shards <= 1) {
+    if (only != nullptr) {
+      for (const PendingEvent& pe : only->events)
+        ctx_->wheel[pe.slot].push_back(pe.ev);
+      for (PacketId pid : only->tails) commit_tail(pid);
+    }
+    for (NodeId rid : ctx_->scratch)
+      if (ctx_->ract[static_cast<std::size_t>(rid)] > 3) activate_router(rid);
+    ++now_;
+    return;
+  }
   for (NodeId rid : ctx_->scratch) {
     ShardScratch& sc =
         ctx_->shard_scratch[ctx_->shard_of[static_cast<std::size_t>(rid)]];
@@ -1328,7 +1569,15 @@ void Simulator::step() {
 
 SimResult Simulator::run() {
   const Cycle horizon = cfg_.warmup + cfg_.measure;
-  while (now_ < horizon) step();
+  // Skipped cycles are provably no-ops (see try_skip_idle), so a skipping
+  // run reaches the horizon with bit-identical state and the same now_.
+  while (now_ < horizon) {
+    if (cfg_.idle_skip) {
+      try_skip_idle(horizon);
+      if (now_ >= horizon) break;
+    }
+    step();
+  }
   // Drain: let measured packets land (background traffic keeps flowing).
   // Fault-dropped measured packets are accounted as terminal, so a lossy
   // timeline never spins the drain loop waiting for packets that no
@@ -1336,6 +1585,14 @@ SimResult Simulator::run() {
   Cycle drained_cycles = 0;
   while (drained_cycles < cfg_.drain &&
          delivered_measured_ + dropped_measured_ < generated_measured_) {
+    if (cfg_.idle_skip) {
+      // Idle stretches count against the drain budget exactly as if they
+      // had been stepped through one cycle at a time.
+      const Cycle before = now_;
+      try_skip_idle(before + (cfg_.drain - drained_cycles));
+      drained_cycles += now_ - before;
+      if (drained_cycles >= cfg_.drain) break;
+    }
     step();
     ++drained_cycles;
   }
@@ -1569,6 +1826,9 @@ void Simulator::restore_checkpoint(std::istream& in) {
   ck_get_vec(in, ctx_->ivc_pkt);
 
   net_.load_dynamic_state(in);
+  // The event-driven generation structures are derived state: never
+  // serialized, always reconstructed from the restored terminals.
+  rebuild_gen_state();
 }
 
 SimResult run_sim(Network& net, const SimConfig& cfg, TrafficSource& traffic) {

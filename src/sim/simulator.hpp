@@ -62,6 +62,12 @@ struct SimConfig {
   Cycle drain = 5000;          ///< Extra cycles to let measured packets land.
   std::uint64_t seed = 1;
   int max_src_queue = 256;     ///< Per-node source-queue cap (packets).
+  /// Event-driven fast paths: generation driven by a `next_gen` min-heap
+  /// (instead of a full terminal scan every cycle) and idle-cycle elision
+  /// (run()/try_skip_idle() jump over provably empty cycles). Results are
+  /// bit-identical either way — the switch exists so tests can A/B the
+  /// fast paths against the reference cycle-by-cycle scan engine.
+  bool idle_skip = true;
   /// Intra-simulation engine shards: N > 1 partitions one network's routers
   /// into N chip-aligned shards (Network::shard_bounds) processed by N
   /// threads per cycle under a two-phase compute/commit protocol; 1 runs
@@ -132,6 +138,25 @@ struct TerminalState {
   std::uint32_t inj_base = 0;  ///< Flat index of the injection port's VC 0.
   VcIx inj_vc = 0;            ///< VC fifo the current head packet uses.
   std::uint16_t pushed = 0;   ///< Flits of the head packet already pushed.
+};
+
+/// Advances a terminal generation clock: the arrival after `when` with
+/// `skip` failure cycles in between is `when + 1 + skip`, saturating at
+/// ~0ULL ("never") when that sum would wrap. The guard threshold is
+/// deliberately conservative by one (`skip == ~0ULL - when - 1`, whose sum
+/// would be exactly ~0ULL, already saturates) so that the sentinel value
+/// can never be produced by a legitimate arrival time.
+constexpr Cycle advance_next_gen(Cycle when, std::uint64_t skip) {
+  return (skip >= ~0ULL - when - 1) ? ~0ULL : when + 1 + skip;
+}
+
+/// One pending generation arrival in SimContext::gen_heap: terminal
+/// `term`'s clock fires at cycle `when`. Entries are lazily invalidated —
+/// an entry is live only while `terms[term].next_gen == when` still holds
+/// (fault deaths and re-arms leave stale entries to be discarded on pop).
+struct GenEvent {
+  Cycle when = 0;
+  std::uint32_t term = 0;
 };
 
 /// One wheel event whose commit the sharded engine deferred to the serial
@@ -205,6 +230,17 @@ struct SimContext {
   /// Node -> index into `terms` (-1 for non-terminal nodes); the lookup
   /// behind the closed-loop inject_packet() path.
   std::vector<std::int32_t> term_of_node;
+  // ---- event-driven generation (SimConfig::idle_skip only) ----
+  /// Min-heap (std::push_heap/pop_heap, earliest `when` first) of pending
+  /// generation arrivals, lazily invalidated (see GenEvent). Derived state:
+  /// never checkpointed, rebuilt from `terms` on restore.
+  std::vector<GenEvent> gen_heap;
+  /// One bit per terminal index: source queue non-empty (injection has
+  /// work). Derived state, rebuilt on restore.
+  std::vector<std::uint64_t> inj_pending;
+  /// Scratch bitmask of terminals whose generation clock fires this cycle
+  /// (always zero between cycles).
+  std::vector<std::uint64_t> gen_due;
   // ---- sharded engine (shards > 1 only; empty otherwise) ----
   std::vector<ShardScratch> shard_scratch;  ///< One per shard.
   std::vector<std::uint16_t> shard_of;      ///< Router -> owning shard.
@@ -253,6 +289,17 @@ class Simulator {
   /// closed-loop drivers, which interleave inject_packet() with step()).
   void step();
   [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Idle-cycle elision: when the active-router list, the injection-pending
+  /// bitmask, the terminal `next_gen` heap, the timing wheel, and the fault
+  /// timeline all agree that nothing can happen before some cycle T > now,
+  /// jumps simulation time directly to min(T, `limit`) and returns the new
+  /// now(). Otherwise (work pending this cycle, or cfg.idle_skip is off)
+  /// returns now() unchanged. The skipped cycles are provably no-ops, so a
+  /// skipping run is bit-identical to a stepping run; run() calls this
+  /// between step()s, and closed-loop drivers may call it with the next
+  /// cycle they themselves have work at (e.g. a timed release) as `limit`.
+  Cycle try_skip_idle(Cycle limit);
 
   // ---- closed-loop (message-level) interface ----
   /// Registers the packet-completion hook (nullptr disables it).
@@ -312,6 +359,18 @@ class Simulator {
 
   void init();
   void generate_and_inject();
+  /// Reference generation/injection path: full terminal scan every cycle
+  /// (cfg.idle_skip == false). The event-driven path must match it bit for
+  /// bit; tests A/B the two.
+  void generate_and_inject_scan();
+  /// Event-driven path: visits only terminals whose generation clock fires
+  /// this cycle (gen_heap) or whose source queue is non-empty
+  /// (inj_pending), in ascending terminal order — the exact subset of
+  /// terminals the full scan would have done anything at.
+  void generate_and_inject_sparse();
+  /// Generation + one-flit injection for terminal `ti` (the shared
+  /// per-terminal body of the two paths above).
+  void gen_and_inject_terminal(std::size_t ti);
   void deliver_channels();
   /// Applies every due FaultStep of the network's fault schedule (called
   /// at the top of step(), before any engine phase — always serial).
@@ -362,6 +421,20 @@ class Simulator {
     ctx_->ract[static_cast<std::size_t>(id)] |= 2;
   }
 
+  // ---- event-driven generation bookkeeping (cfg.idle_skip only) ----
+  /// Records terminal `ti`'s (re-)armed generation clock in the heap.
+  void gen_heap_push(Cycle when, std::size_t ti);
+  /// Call after pushing to terminal `ti`'s queue / after popping from it:
+  /// maintains the injection-pending bitmask and its population count.
+  void inj_mark(std::size_t ti);
+  void inj_unmark(std::size_t ti);
+  /// Rebuilds gen_heap/inj_pending/inj_terms_ from `terms` (init and
+  /// checkpoint restore — the derived state is never serialized).
+  void rebuild_gen_state();
+  /// Earliest cycle >= now() at which anything can happen, clamped to
+  /// `limit`; returns now() when this cycle already has work.
+  Cycle next_event_cycle(Cycle limit);
+
   Network& net_;
   SimConfig cfg_;
   TrafficSource& traffic_;
@@ -373,6 +446,12 @@ class Simulator {
   Cycle now_ = 0;
   double per_node_pkt_rate_ = 0.0;
   std::size_t wheel_mask_ = 0;
+  std::size_t inj_terms_ = 0;  ///< Terminals with a non-empty source queue.
+  /// Run the bitmask-directed exact-prefetch stages of the snapshot walk.
+  /// Set in init(): true only when the SoA arenas outsize the last-level
+  /// cache (large fabrics); on small ones every line is resident and the
+  /// extra reads/prefetches are measured pure overhead (~10%).
+  bool deep_prefetch_ = false;
   int shards_ = 1;                    ///< Resolved count (see shards()).
   std::unique_ptr<ShardTeam> team_;   ///< Worker threads (shards_ > 1).
 

@@ -99,6 +99,17 @@ class Runner final : public sim::PacketListener {
     // surfaces its failed messages and the run ends, instead of hanging
     // on deliveries that can never happen.
     while (done_ + failed_msgs_ + orphaned_msgs_ < total) {
+      // Idle-cycle elision: when no chip has anything to issue this cycle,
+      // let the engine jump ahead — bounded by the next timed release (the
+      // only future work the engine cannot see) and the horizon. A stalled
+      // graph (nothing in flight, nothing timed) must NOT skip, so the
+      // dependency-cycle diagnostic below still fires instead of silently
+      // running to the horizon.
+      if (active_.empty() && (in_flight_ > 0 || !timed_.empty()))
+        sim.try_skip_idle(timed_.empty()
+                              ? cfg_.max_cycles
+                              : std::min<Cycle>(cfg_.max_cycles,
+                                                timed_.top().first));
       if (sim.now() >= cfg_.max_cycles) {
         hit_horizon = true;
         break;

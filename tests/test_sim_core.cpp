@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
 #include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "test_fixtures.hpp"
+#include "traffic/pattern.hpp"
 
 using namespace sldf;
 using namespace sldf::sim;
@@ -374,4 +377,128 @@ TEST(SimCore, SerialAndParallelSweepsBitIdentical) {
     EXPECT_EQ(serial.points[i].rate, parallel.points[i].rate);
     expect_identical(serial.points[i].res, parallel.points[i].res);
   }
+}
+
+// ------------------------------------------------- idle-skip fast path ---
+
+TEST(IdleSkip, NextGenOverflowGuardAtExactBoundaries) {
+  // advance_next_gen() must saturate to the "terminal dead" sentinel
+  // (~0ULL) exactly when `when + 1 + skip` would reach or pass it, and
+  // stay one conservative step short of producing the sentinel as a
+  // legitimate arrival time. Pin the guard at the boundary values so a
+  // refactor that swaps the comparison for the naive `when + 1 + skip`
+  // (UB-prone and sentinel-colliding) fails loudly.
+  constexpr Cycle kDead = ~0ULL;
+  // Smallest overflowing skip: when + 1 + skip == kDead.
+  EXPECT_EQ(advance_next_gen(0, kDead - 1), kDead);
+  EXPECT_EQ(advance_next_gen(100, kDead - 101), kDead);
+  // One below the boundary: largest representable legitimate arrival.
+  EXPECT_EQ(advance_next_gen(0, kDead - 2), kDead - 1);
+  EXPECT_EQ(advance_next_gen(100, kDead - 102), kDead - 1);
+  // Far past the boundary (geometric_skip can return anything).
+  EXPECT_EQ(advance_next_gen(0, kDead), kDead);
+  EXPECT_EQ(advance_next_gen(kDead - 1, 0), kDead);
+  EXPECT_EQ(advance_next_gen(kDead - 2, 0), kDead - 1);
+  // Normal small values are untouched.
+  EXPECT_EQ(advance_next_gen(10, 5), 16u);
+  EXPECT_EQ(advance_next_gen(0, 0), 1u);
+}
+
+namespace {
+
+/// Runs `cfg` twice — idle_skip on and off — and checks the SimResults
+/// are field-for-field identical (including order-sensitive fp stats).
+void expect_skip_transparent(Network& net, SimConfig cfg,
+                             TrafficSource& tr) {
+  cfg.idle_skip = false;
+  const auto scan = run_sim(net, cfg, tr);
+  cfg.idle_skip = true;
+  const auto skip = run_sim(net, cfg, tr);
+  // A vacuously-empty run (NaN latencies) can't certify anything.
+  ASSERT_GT(scan.delivered_measured, 0u);
+  expect_identical(scan, skip);
+}
+
+}  // namespace
+
+TEST(IdleSkip, LowLoadSweepBitIdenticalToCycleByCycle) {
+  // Low load is where the elided-cycle fraction is highest; every skipped
+  // stretch must be a provable no-op.
+  Network net;
+  build_pair(net, 4, 1, 1, /*nvcs=*/2, /*buf=*/6);
+  FixedTraffic tr(1);
+  for (const double rate : {0.001, 0.01, 0.05}) {
+    SimConfig cfg = determinism_cfg();
+    cfg.inj_rate_per_chip = rate;
+    expect_skip_transparent(net, cfg, tr);
+  }
+}
+
+TEST(IdleSkip, DrainTailBitIdenticalWithLongQuietGaps) {
+  // A long drain window after generation stops is almost entirely idle:
+  // the drain loop must skip through it yet report the same drained
+  // budget, `cycles_run`, and drain success as the stepping engine.
+  Network net;
+  build_pair(net, 8, 1, 2, /*nvcs=*/2, /*buf=*/4);
+  FixedTraffic tr(1);
+  SimConfig cfg = determinism_cfg();
+  cfg.inj_rate_per_chip = 0.08;
+  cfg.measure = 800;
+  cfg.drain = 5000;  // far longer than the in-flight tail needs
+  expect_skip_transparent(net, cfg, tr);
+}
+
+TEST(IdleSkip, FaultTimelineQuietGapBitIdenticalAndCheckpointEqual) {
+  // Fault steps are engine events the skip must not jump over: a fail /
+  // repair pair separated from the traffic by a long quiet gap has to
+  // fire at its exact cycle (repair re-arms generation), and a
+  // checkpoint taken inside the gap must serialize the identical bytes
+  // whether the engine stepped or skipped to it — derived generation
+  // state is rebuilt on restore, never stored.
+  core::ScenarioSpec s;
+  s.topology = "tiny-swless";
+  s.traffic = "uniform";
+  s.sim.warmup = 100;
+  s.sim.measure = 600;
+  s.sim.drain = 2000;
+  s.sim.seed = 11;
+  s.sim.inj_rate_per_chip = 0.01;
+  s.fault.seed = 5;
+  s.fault.events = "fail@150:local=0.3;repair@600:local=0";
+
+  const auto run_one = [&](bool idle_skip) {
+    Network net;
+    core::build_network(net, s);
+    const auto pat = traffic::make_pattern("uniform", net, {});
+    SimConfig cfg = s.sim;
+    cfg.idle_skip = idle_skip;
+    Simulator sim(net, cfg, *pat);
+    return sim.run();
+  };
+  const auto scan = run_one(false);
+  const auto skip = run_one(true);
+  expect_identical(scan, skip);
+
+  // Checkpoint bytes at cycle 400 (inside the fail window, before the
+  // repair): stepping engine vs skipping engine.
+  const auto checkpoint_at = [&](bool idle_skip, Cycle at) {
+    Network net;
+    core::build_network(net, s);
+    const auto pat = traffic::make_pattern("uniform", net, {});
+    SimConfig cfg = s.sim;
+    cfg.idle_skip = idle_skip;
+    Simulator sim(net, cfg, *pat);
+    while (sim.now() < at) {
+      if (idle_skip) {
+        sim.try_skip_idle(at);
+        if (sim.now() >= at) break;
+      }
+      sim.step();
+    }
+    EXPECT_EQ(sim.now(), at);
+    std::stringstream ck;
+    sim.save_checkpoint(ck);
+    return ck.str();
+  };
+  EXPECT_EQ(checkpoint_at(false, 400), checkpoint_at(true, 400));
 }

@@ -186,6 +186,32 @@ TEST(WorkloadRun, RepeatRunsBitIdentical) {
     EXPECT_EQ(a.phases[i].completed, b.phases[i].completed);
 }
 
+TEST(WorkloadRun, IdleSkipBitIdenticalOnClosedLoopDrainTail) {
+  // Closed-loop drain tails are where idle elision bites hardest: between
+  // a phase's last ejection and the next timed release the fabric is
+  // empty, and the runner lets the engine jump those stretches
+  // (Simulator::try_skip_idle bounded by the next release). The skipping
+  // run must match the stepping run on every ledger field, including the
+  // per-phase completion times.
+  auto net = tiny_net();
+  for (const auto& g :
+       {tree_allreduce(net, Scope::CGroup, 512, 1),
+        ring_allreduce(net, Scope::WGroup, 512, 2, 1)}) {
+    WorkloadRunConfig rc;
+    rc.sim.idle_skip = false;
+    const auto scan = run_workload(net, g, rc);
+    rc.sim.idle_skip = true;
+    const auto skip = run_workload(net, g, rc);
+    EXPECT_EQ(scan.cycles, skip.cycles);
+    EXPECT_EQ(scan.packets, skip.packets);
+    EXPECT_EQ(scan.flit_hops, skip.flit_hops);
+    EXPECT_EQ(scan.avg_msg_cycles, skip.avg_msg_cycles);
+    ASSERT_EQ(scan.phases.size(), skip.phases.size());
+    for (std::size_t i = 0; i < scan.phases.size(); ++i)
+      EXPECT_EQ(scan.phases[i].completed, skip.phases[i].completed);
+  }
+}
+
 TEST(WorkloadRun, ThreadsKeyDoesNotAffectResults) {
   // A workload series runs one closed-loop simulation regardless of the
   // sweep-parallelism key; threads=1 and threads=auto must be
