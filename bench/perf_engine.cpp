@@ -222,6 +222,17 @@ core::ScenarioSpec planes_spec(bool quick, std::uint64_t seed) {
   return s;
 }
 
+/// Wafer-stack preset: two radix-16 switch-less wafers bonded into one
+/// stack (all-pairs vertical columns, doubled VC space, one-vertical-hop
+/// routing), uniform traffic at 0.5 — tracks the wafer dispatcher, the
+/// vertical-bond engine path, and the per-wafer counter plumbing.
+core::ScenarioSpec wafer_stack_spec(bool quick, std::uint64_t seed) {
+  core::ScenarioSpec s = point_spec("radix16-swless", 0.5, quick, seed);
+  s.label = "wafer2-radix16";
+  s.wafer_count = 2;
+  return s;
+}
+
 /// Folds one per-point RSS sample into the result's min/max/aggregate.
 void fold_rss(PerfResult& r, double rss, bool first) {
   if (first || rss < r.rss_min_mb) r.rss_min_mb = rss;
@@ -413,6 +424,16 @@ const std::vector<PresetDef>& preset_defs() {
                  true,
                  [](bool quick, std::uint64_t seed) {
                    return run_specs("planes-k2", {planes_spec(quick, seed)});
+                 }});
+    d.push_back({{"wafer2-radix16", "quick+full",
+                  "wafer-stack engine path: two radix-16 switch-less "
+                  "wafers bonded by vertical columns (2V+1 VC classes, one "
+                  "vertical hop per cross-wafer packet), uniform traffic "
+                  "at offered load 0.5"},
+                 true,
+                 [](bool quick, std::uint64_t seed) {
+                   return run_specs("wafer2-radix16",
+                                    {wafer_stack_spec(quick, seed)});
                  }});
     d.push_back({{"radix32-low", "full",
                   "latency-regime throughput at the paper's radix-32 scale, "

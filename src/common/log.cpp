@@ -50,6 +50,7 @@ std::string_view to_string(LinkType t) {
     case LinkType::LongReachLocal: return "lr-local";
     case LinkType::LongReachGlobal: return "lr-global";
     case LinkType::Terminal: return "terminal";
+    case LinkType::Vertical: return "vertical";
     default: return "?";
   }
 }

@@ -32,6 +32,8 @@ enum class LinkType : std::uint8_t {
   LongReachLocal,   ///< Intra-W-group cable/optics (H_l: 8 cycles, 20 pJ/bit)
   LongReachGlobal,  ///< Inter-W-group cable/optics (H_g: 8 cycles, 20 pJ/bit)
   Terminal,     ///< Processor-to-switch link in switch-based networks (H*_l)
+  Vertical,     ///< Inter-wafer bond in a wafer-on-wafer stack (TSV/hybrid
+                ///< bond column between vertically adjacent chip twins).
   kCount
 };
 inline constexpr int kNumLinkTypes = static_cast<int>(LinkType::kCount);

@@ -11,6 +11,7 @@
 #include "common/thread_pool.hpp"
 #include "sim/network.hpp"
 #include "topo/plane_set.hpp"
+#include "topo/wafer_stack.hpp"
 #include "traffic/pattern.hpp"
 #include "workload/registry.hpp"
 
@@ -190,6 +191,39 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     plane_policy = route::parse_plane_policy(value);
     return;
   }
+  if (key == "wafer.count") {
+    const long n = to_long(key, value);
+    if (n < 1)
+      throw std::invalid_argument(
+          "scenario key 'wafer.count' expects a count >= 1");
+    wafer_count = static_cast<int>(n);
+    return;
+  }
+  if (key == "wafer.latency") {
+    const long n = to_long(key, value);
+    if (n < 1)
+      throw std::invalid_argument(
+          "scenario key 'wafer.latency' expects a cycle count >= 1");
+    wafer_latency = static_cast<int>(n);
+    return;
+  }
+  if (key == "wafer.width") {
+    // A token fraction: `num/den` or a plain integer multiplier.
+    long num = 0, den = 1;
+    const auto slash = value.find('/');
+    const bool ok =
+        slash == std::string::npos
+            ? Cli::parse_long(Cli::trim(value), num)
+            : Cli::parse_long(Cli::trim(value.substr(0, slash)), num) &&
+                  Cli::parse_long(Cli::trim(value.substr(slash + 1)), den);
+    if (!ok || num < 1 || den < 1)
+      throw std::invalid_argument(
+          "scenario key 'wafer.width' expects a positive width `N` or "
+          "fraction `N/D`, got '" + value + "'");
+    wafer_width_num = static_cast<int>(num);
+    wafer_width_den = static_cast<int>(den);
+    return;
+  }
   if (key == "trace.file") {
     trace_file = value;
     return;
@@ -337,6 +371,19 @@ KvMap ScenarioSpec::to_kv() const {
       kv["plane.mix"] = joined;
     }
   }
+  // Wafer keys serialize only when engaged (count 0 = classic build path).
+  if (wafer_count > 0) {
+    kv["wafer.count"] = std::to_string(wafer_count);
+    const ScenarioSpec defaults;
+    if (wafer_latency != defaults.wafer_latency)
+      kv["wafer.latency"] = std::to_string(wafer_latency);
+    if (wafer_width_num != defaults.wafer_width_num ||
+        wafer_width_den != defaults.wafer_width_den)
+      kv["wafer.width"] = wafer_width_den == 1
+                              ? std::to_string(wafer_width_num)
+                              : std::to_string(wafer_width_num) + "/" +
+                                    std::to_string(wafer_width_den);
+  }
   // Tenant/trace keys serialize only when set, mirroring the fault keys.
   if (tenants > 0) kv["tenants"] = std::to_string(tenants);
   if (!tenants_isolation) kv["tenants.isolation"] = "0";
@@ -471,6 +518,17 @@ const std::vector<ScenarioKeyDoc>& scenario_key_docs() {
         {"plane.policy",
          "Plane selection: `hash` \\| `rr` \\| `adaptive` \\| `collective`",
          std::string(route::to_string(d.plane_policy))},
+        {"wafer.count",
+         "Wafer-on-wafer stack depth: that many copies of `topology` bonded "
+         "by vertical inter-wafer cables, one vertical hop max (see "
+         "Wafer stacks)",
+         "unset (classic single-fabric build)"},
+        {"wafer.latency", "Vertical-bond channel latency, cycles",
+         integer(d.wafer_latency)},
+        {"wafer.width",
+         "Vertical-bond token width, `N` or fraction `N/D` of a flit per "
+         "cycle",
+         integer(d.wafer_width_num)},
         {"tenants",
          "Concurrent tenant jobs; > 0 switches to one shared multi-tenant "
          "serving run (see Multi-tenancy)",
@@ -525,6 +583,7 @@ ScenarioSpec spec_from_cli(const Cli& cli, const ScenarioSpec& defaults,
                           key.rfind("workload.", 0) == 0 ||
                           key.rfind("fault.", 0) == 0 ||
                           key.rfind("plane.", 0) == 0 ||
+                          key.rfind("wafer.", 0) == 0 ||
                           key.rfind("trace.", 0) == 0 ||
                           key.rfind("tenant", 0) == 0;
     const auto& keys = scenario_keys();
@@ -612,7 +671,23 @@ std::vector<ScenarioSpec> load_scenario_file(const std::string& path,
 }
 
 void build_network(sim::Network& net, const ScenarioSpec& spec) {
-  if (spec.plane_count > 0) {
+  if (spec.wafer_count > 0 && spec.plane_count > 0)
+    throw std::invalid_argument(
+        "scenario sets both wafer.count and plane.count; planes and wafers "
+        "are mutually exclusive axes of one network");
+  if (spec.wafer_count > 0) {
+    // Wafer-on-wafer stack: every wafer wires its own copy of `topology`
+    // through the registry, then the WaferStack layer bonds the stack
+    // columns and seals the partition. wafer.count = 1 goes through here
+    // too — the structural result is bit-identical to the classic path,
+    // and tests hold it to that.
+    const TopoConfig cfg = spec.topo_config();
+    topo::build_wafer_stack(
+        net, spec.wafer_count, spec.wafer_latency, spec.wafer_width_num,
+        spec.wafer_width_den, [&](int /*wafer*/, sim::Network& n) {
+          return TopologyRegistry::instance().wire(spec.topology, n, cfg);
+        });
+  } else if (spec.plane_count > 0) {
     // Multi-plane build: every plane wires its own rail through the same
     // registry path (plane.mix picks per-plane presets; default = K copies
     // of `topology`), then the PlaneSet layer validates, aggregates, and

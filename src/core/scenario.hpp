@@ -54,6 +54,17 @@ struct ScenarioSpec {
   /// `plane.policy`: per-packet plane selection (route::PlanePolicy).
   route::PlanePolicy plane_policy = route::PlanePolicy::Hash;
 
+  /// Wafer-on-wafer stack (config keys `wafer.count` / `wafer.latency` /
+  /// `wafer.width`). wafer_count = 0 is the unset sentinel (classic
+  /// single-fabric build); an explicit `wafer.count = 1` builds through the
+  /// WaferStack layer (bit-identical results, exercised by tests); >= 2
+  /// stacks that many copies of `topology` bonded by vertical inter-wafer
+  /// cables (see topo/wafer_stack.hpp). Mutually exclusive with plane.*.
+  int wafer_count = 0;
+  int wafer_latency = 2;     ///< `wafer.latency`: vertical-bond cycles.
+  int wafer_width_num = 1;   ///< `wafer.width`: token fraction `num/den`
+  int wafer_width_den = 1;   ///< (1 = a full flit per cycle).
+
   /// Per-tenant keys of the multi-tenant serving mode (`tenant<i>.*`).
   /// Free-form strings here; trace::tenant_specs() parses and validates
   /// them against the declared `tenants` count at run time.

@@ -14,11 +14,14 @@ EnergyBreakdown price_hops(const double hops[kNumLinkTypes],
           costs.terminal.energy_pj_per_bit;
   const double sr = hops[static_cast<int>(LinkType::ShortReach)];
   const double oc = hops[static_cast<int>(LinkType::OnChip)];
+  // Vertical bonds are on-wafer-stack wiring: intra side of the split.
+  const double vt = hops[static_cast<int>(LinkType::Vertical)] *
+                    costs.vertical.energy_pj_per_bit;
   if (use_intra_avg) {
-    e.intra_cgroup_pj = (sr + oc) * costs.intra_cgroup_avg_pj;
+    e.intra_cgroup_pj = (sr + oc) * costs.intra_cgroup_avg_pj + vt;
   } else {
     e.intra_cgroup_pj = sr * costs.short_reach.energy_pj_per_bit +
-                        oc * costs.on_chip.energy_pj_per_bit;
+                        oc * costs.on_chip.energy_pj_per_bit + vt;
   }
   return e;
 }

@@ -75,6 +75,9 @@ struct HopCostTable {
   HopCost terminal{150.0, 20.0};      // H*l, similar to a local hop
   HopCost short_reach{5.0, 2.0};      // on-wafer RDL
   HopCost on_chip{1.0, 0.1};          // metal layer
+  /// Wafer-on-wafer vertical bond: dense hybrid-bond/TSV column, far
+  /// cheaper than a long-reach cable, pricier than an on-chip wire.
+  HopCost vertical{2.0, 0.5};
   /// The paper simplifies the average intra-C-group hop to 1 pJ/bit.
   double intra_cgroup_avg_pj = 1.0;
 };

@@ -48,8 +48,6 @@ struct Walker {
     sim::Packet pkt;
     pkt.src = src;
     pkt.dst = dst;
-    pkt.src_chip = net.chip_of(src);
-    pkt.dst_chip = net.chip_of(dst);
     pkt.len = 1;
     net.routing()->init_packet(net, pkt, rng);
     if (mid_override >= -1) pkt.mid_wgroup = mid_override;

@@ -374,10 +374,16 @@ sim::RouteDecision SwlessRouting::route(const sim::Network& net, NodeId router,
 
   if (router == pkt.dst) return {net.eject_port_of(router), vcix()};
   if (pkt.target == kInvalidNode ||
+      (pkt.exit_chan == kInvalidChan && pkt.target != pkt.dst) ||
       (net.has_faults() && pkt.exit_chan != kInvalidChan &&
        (!net.chan_live(pkt.exit_chan) || !net.node_live(pkt.target)))) {
     // No plan yet, or a fault step invalidated the cached one (the planned
-    // exit cable or its gateway host died under the packet).
+    // exit cable or its gateway host died under the packet). The middle
+    // clause catches a stale *final-leg* plan: exit_chan == kInvalidChan
+    // means "target IS the destination", which only holds while
+    // target == dst — a wafer dispatcher re-aiming pkt.dst at a different
+    // portal column (fault-driven exit rechoice) must force a re-plan, or
+    // the router == target case below would dereference the invalid chan.
     plan_leg(net, T, router, pkt);
   }
 

@@ -1,0 +1,70 @@
+// Cross-wafer routing for wafer-on-wafer stacks (topo/wafer_stack.hpp):
+// dimension-ordered over the stack axis with AT MOST ONE vertical hop.
+// A packet whose destination lives on another wafer routes within its
+// source wafer (the wafer's own routing algorithm, unchanged) to the portal
+// router of the destination's stack column, crosses the vertical bond, and
+// finishes within the destination wafer. Verticals are wired all-pairs per
+// column, so no journey ever visits a third wafer.
+//
+// Deadlock freedom by VC class tripling-in-spirit: the network is finalized
+// with 2V+1 VCs where V is one wafer's budget. The source-wafer leg uses
+// the child classes [0, V) unchanged, the vertical hop uses class 2V, and
+// the destination-wafer leg uses the child classes shifted up to [V, 2V).
+// Dependencies only ever flow source-leg -> vertical -> dest-leg (each leg
+// internally acyclic by the child scheme; the legs of different wafers are
+// router-disjoint), so the aggregate CDG is acyclic even when a fault
+// detour crosses at an alternate column and the dest leg re-traverses
+// local/global cables.
+//
+// Determinism: route() is RNG-free (fault detours scan columns lowest-index
+// first), and the destination-leg re-initialization draws from a LOCAL
+// generator seeded from (src, dst, t_gen) — packet state only — so serial,
+// sharded, repeat, and checkpoint-resumed runs make bit-identical choices
+// and the shared injection RNG stream is never perturbed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+#include "topo/wafer_stack.hpp"
+
+namespace sldf::route {
+
+class WaferRouting final : public sim::RoutingAlgorithm {
+ public:
+  explicit WaferRouting(
+      std::vector<std::unique_ptr<sim::RoutingAlgorithm>> children)
+      : children_(std::move(children)) {}
+
+  void bind_topo(const sim::TopoInfo& info, int /*num_vcs*/) override {
+    topo_ = dynamic_cast<const topo::WaferStackTopo*>(&info);
+  }
+  void init_packet(const sim::Network& net, sim::Packet& pkt,
+                   Rng& rng) override;
+  sim::RouteDecision route(const sim::Network& net, NodeId router,
+                           PortIx in_port, sim::Packet& pkt) override;
+  [[nodiscard]] const char* name() const override { return "wafers"; }
+
+  [[nodiscard]] std::size_t num_children() const { return children_.size(); }
+
+ private:
+  /// The stack column a (router-wafer -> dst-wafer) packet should cross at:
+  /// the destination's own column when its bond is usable, else the
+  /// lowest-index column with a live bond and live portals (deterministic,
+  /// RNG-free), else the destination's column again — the caller stalls on
+  /// the dead bond and the fault audit reports the severed stack.
+  [[nodiscard]] std::int32_t exit_column(const sim::Network& net, int wr,
+                                         int wd, std::int32_t pref) const;
+  [[nodiscard]] bool column_usable(const sim::Network& net, int wa, int wb,
+                                   std::int32_t col) const;
+
+  std::vector<std::unique_ptr<sim::RoutingAlgorithm>> children_;
+  /// Bound at install time (build_wafer_stack); stable for the owning
+  /// network's lifetime.
+  const topo::WaferStackTopo* topo_ = nullptr;
+};
+
+}  // namespace sldf::route

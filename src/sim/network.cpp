@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/error.hpp"
+
 namespace sldf::sim {
 
 namespace {
@@ -88,6 +90,7 @@ ChanId Network::add_duplex(NodeId a, NodeId b, LinkType type, int latency,
 }
 
 void Network::make_terminal(NodeId core, ChipId chip) {
+  chip += chip_offset_;  // wafer stacks: builder-local chip -> global chip
   Router& r = router(core);
   if (r.has_terminal()) throw std::logic_error("terminal already attached");
   // Injection input port.
@@ -143,11 +146,28 @@ void Network::finalize(int num_vcs, int vc_buf_flits) {
          << 8) |
         static_cast<std::uint32_t>(routers_[i].kind);
 
-  // Flat VC state + one FIFO arena for every input VC.
-  if (vc_buf_flits > 0xffff)
-    throw std::invalid_argument("finalize: vc_buf_flits must be <= 65535");
+  // Packed-width capacity checks: every quantity narrowed by the packed
+  // port record is validated here, so an oversized build fails loudly at
+  // finalize instead of silently truncating counters mid-run.
+  if (vc_buf_flits > 0x7fff)
+    throw ScenarioError(
+        "finalize: vc_buf " + std::to_string(vc_buf_flits) +
+        " exceeds the packed credit width (max 32767)");
   if (num_vcs > 0xff)
-    throw std::invalid_argument("finalize: num_vcs must be <= 255");
+    throw ScenarioError("finalize: num_vcs " + std::to_string(num_vcs) +
+                        " exceeds the packed VC width (max 255)");
+  if (out_ports >= (1u << 23))
+    throw ScenarioError(
+        "finalize: " + std::to_string(out_ports) +
+        " output ports exceed the packed credit-event width (max 8388607)");
+  for (std::size_t i = 0; i < routers_.size(); ++i)
+    if (routers_[i].in.size() > 0xff)
+      throw ScenarioError(
+          "finalize: router " + std::to_string(i) + " has " +
+          std::to_string(routers_[i].in.size()) +
+          " input ports, exceeding the packed requester width (max 255)");
+
+  // Flat VC state + one FIFO arena for every input VC.
   fifos_.init(static_cast<std::size_t>(n_ivc),
               static_cast<std::uint32_t>(vc_buf_flits),
               pack_ivc(kInvalidPort, kInvalidVc, IvcState::Idle));
@@ -161,16 +181,13 @@ void Network::finalize(int num_vcs, int vc_buf_flits) {
     src_port_by_chan_[i] = channels_[i].src_port;
   }
 
-  // Lay out the per-output-port records: fixed words + one credit word per
-  // VC + the u16 requester slots, rounded up to a power of two.
-  const std::uint32_t rec_words =
-      kOvc0 + static_cast<std::uint32_t>(num_vcs) +
-      (static_cast<std::uint32_t>(num_vcs) + 1) / 2;
-  port_shift_ = static_cast<std::uint32_t>(
-      std::countr_zero(std::bit_ceil(rec_words)));
-  port_state_.assign(static_cast<std::size_t>(num_out_ports_)
-                         << port_shift_,
-                     0);
+  // Lay out the per-output-port records: five fixed words + one u32 word
+  // per VC holding the two u16 lanes (credit word + requester slot). The
+  // stride is exact — no power-of-two rounding — so nvc=4 costs 36 bytes
+  // per port instead of the former 64.
+  port_stride_ = kOvc0 + static_cast<std::uint32_t>(num_vcs);
+  port_state_.assign(
+      static_cast<std::size_t>(num_out_ports_) * port_stride_, 0);
   for (std::size_t i = 0; i < routers_.size(); ++i) {
     const Router& r = routers_[i];
     for (std::size_t p = 0; p < r.out.size(); ++p) {
@@ -202,12 +219,10 @@ void Network::finalize(int num_vcs, int vc_buf_flits) {
       CreditReturn& cr = credit_return_by_port_[in_port_base_[i] + p];
       if (r.in[p].in_chan != kInvalidChan) {
         const Channel& c = chan(r.in[p].in_chan);
-        const std::uint32_t base =
-            (out_port_index(c.src, c.src_port) << port_shift_) + kOvc0;
-        if (base > 0xffffff)
-          throw std::invalid_argument(
-              "finalize: network too large for packed credit-return bases");
-        cr.meta = base | (static_cast<std::uint32_t>(c.latency) << 24);
+        // Low 24 bits: the flat upstream output port (fits — finalize
+        // already rejected builds with >= 2^23 output ports).
+        cr.meta = out_port_index(c.src, c.src_port) |
+                  (static_cast<std::uint32_t>(c.latency) << 24);
         cr.src = c.src;
       }
     }
@@ -219,20 +234,19 @@ void Network::finalize(int num_vcs, int vc_buf_flits) {
 void Network::init_port_dynamic_state() {
   for (std::uint32_t p = 0; p < num_out_ports_; ++p) {
     std::uint32_t* rec = port_rec(p);
-    rec[0] = 0;  // SA count | rr
     const std::uint32_t meta = rec[kLinkMeta];
     const std::uint32_t wnum = (meta >> 16) & 0xff;
     const std::uint32_t wden = meta >> 24;
-    // Full bucket (token_cap); 0 for ejection ports and disabled channels
-    // (wnum == 0: the bucket must stay empty across resets).
-    rec[kTokens] = wnum == 0 ? 0 : wnum + wden;
+    // SA count = 0, rr = 0, and a full token bucket (token_cap) in the
+    // high half; 0 for ejection ports and disabled channels (wnum == 0:
+    // the bucket must stay empty across resets).
+    rec[0] = wnum == 0 ? 0 : (wnum + wden) << 16;
     rec[kTokenCycle] = 0;
+    std::uint16_t* ov = ovc16(rec);
     for (int v = 0; v < num_vcs_; ++v)
-      rec[kOvc0 + static_cast<std::uint32_t>(v)] =
-          static_cast<std::uint32_t>(vc_buf_) << 8;
-    std::uint16_t* reqs = reinterpret_cast<std::uint16_t*>(
-        rec + kOvc0 + static_cast<std::uint32_t>(num_vcs_));
-    for (int v = 0; v < num_vcs_; ++v) reqs[v] = 0;
+      ov[v] = static_cast<std::uint16_t>(vc_buf_ << 1);
+    for (int v = 0; v < num_vcs_; ++v)
+      ov[num_vcs_ + v] = 0;
   }
 }
 
@@ -248,14 +262,16 @@ void Network::restore_fault_baseline() {
       chan_alive_[i] = 1;
       --dead_channels_;
       rec[kLinkMeta] |= static_cast<std::uint32_t>(ch.width_num) << 16;
-      rec[kTokens] = static_cast<std::uint32_t>(ch.width_num) +
-                     static_cast<std::uint32_t>(ch.width_den);
+      rec[0] = (rec[0] & 0xffffu) |
+               ((static_cast<std::uint32_t>(ch.width_num) +
+                 static_cast<std::uint32_t>(ch.width_den))
+                << 16);
       rec[kTokenCycle] = 0;
     } else {
       chan_alive_[i] = 0;
       ++dead_channels_;
       rec[kLinkMeta] &= ~(0xffu << 16);
-      rec[kTokens] = 0;
+      rec[0] &= 0xffffu;  // bucket -> 0; count/rr untouched
     }
   }
   for (std::size_t i = 0; i < routers_.size(); ++i) {
@@ -299,7 +315,7 @@ void Network::disable_channel(ChanId c) {
   const Channel& ch = chan(c);
   std::uint32_t* rec = port_rec(out_port_index(ch.src, ch.src_port));
   rec[kLinkMeta] &= ~(0xffu << 16);  // width_num = 0
-  rec[kTokens] = 0;
+  rec[0] &= 0xffffu;                 // bucket = 0; count/rr untouched
 }
 
 void Network::disable_node(NodeId n) {
@@ -328,8 +344,10 @@ void Network::enable_channel(ChanId c, Cycle now) {
   const Channel& ch = chan(c);
   std::uint32_t* rec = port_rec(out_port_index(ch.src, ch.src_port));
   rec[kLinkMeta] |= static_cast<std::uint32_t>(ch.width_num) << 16;
-  rec[kTokens] = static_cast<std::uint32_t>(ch.width_num) +
-                 static_cast<std::uint32_t>(ch.width_den);
+  rec[0] = (rec[0] & 0xffffu) |
+           ((static_cast<std::uint32_t>(ch.width_num) +
+             static_cast<std::uint32_t>(ch.width_den))
+            << 16);
   rec[kTokenCycle] = static_cast<std::uint32_t>(now);
 }
 
@@ -428,6 +446,9 @@ std::vector<std::uint32_t> Network::shard_bounds(int shards) const {
 void Network::begin_plane() {
   if (planes_sealed_)
     throw std::logic_error("begin_plane: planes already sealed");
+  if (!wafer_node_base_.empty())
+    throw std::logic_error(
+        "begin_plane: planes and wafers are mutually exclusive axes");
   plane_node_base_.push_back(static_cast<std::uint32_t>(routers_.size()));
   plane_term_base_.push_back(
       static_cast<std::uint32_t>(terminal_nodes_.size()));
@@ -485,6 +506,40 @@ void Network::seal_planes(int policy) {
       }
     }
   }
+}
+
+void Network::begin_wafer() {
+  if (wafers_sealed_)
+    throw std::logic_error("begin_wafer: wafers already sealed");
+  if (!plane_node_base_.empty())
+    throw std::logic_error(
+        "begin_wafer: planes and wafers are mutually exclusive axes");
+  wafer_node_base_.push_back(static_cast<std::uint32_t>(routers_.size()));
+  wafer_chip_base_.push_back(static_cast<std::uint32_t>(num_chips()));
+  chip_offset_ = static_cast<ChipId>(num_chips());
+}
+
+void Network::seal_wafers() {
+  if (wafers_sealed_) throw std::logic_error("seal_wafers: already sealed");
+  if (wafer_node_base_.empty())
+    throw std::logic_error("seal_wafers: no begin_wafer() marks");
+  if (!finalized())
+    throw std::logic_error("seal_wafers: network not finalized");
+  wafer_node_base_.push_back(static_cast<std::uint32_t>(routers_.size()));
+  wafer_chip_base_.push_back(static_cast<std::uint32_t>(num_chips()));
+  // Every wafer must span the same chip count: wafer_of_chip divides by it,
+  // and the cross-wafer twin-column mapping (dst chip % chips_per_wafer)
+  // relies on the wafer-major layout being uniform.
+  const std::uint32_t cpw = wafer_chip_base_[1] - wafer_chip_base_[0];
+  for (std::size_t w = 1; w + 1 < wafer_chip_base_.size(); ++w) {
+    if (wafer_chip_base_[w + 1] - wafer_chip_base_[w] != cpw)
+      throw std::logic_error(
+          "seal_wafers: wafer " + std::to_string(w) + " spans " +
+          std::to_string(wafer_chip_base_[w + 1] - wafer_chip_base_[w]) +
+          " chips, expected " + std::to_string(cpw));
+  }
+  if (cpw == 0) throw std::logic_error("seal_wafers: empty wafer");
+  wafers_sealed_ = true;
 }
 
 std::size_t Network::num_dead_channels() const { return dead_channels_; }

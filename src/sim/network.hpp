@@ -285,6 +285,52 @@ class Network {
     return chip_nodes_[chip][off + slot];
   }
 
+  // ---- wafer-on-wafer stack (topo/wafer_stack.hpp builds it) -------------
+  // W copies of one fabric stacked in this network. Unlike planes (redundant
+  // rails over SHARED logical chips), wafers scale OUT: each wafer owns its
+  // own chip range (chips are laid out wafer-major: wafer w covers
+  // [w * chips_per_wafer, (w+1) * chips_per_wafer)), terminals of every
+  // wafer are ordinary traffic endpoints, and cross-wafer packets cross
+  // exactly one vertical inter-wafer cable (LinkType::Vertical). Planes and
+  // wafers are mutually exclusive axes of one network.
+
+  /// Marks the start of the next wafer: routers/chips/terminals added after
+  /// this call belong to it, and builder-local chip ids are offset by the
+  /// chips already present so every wafer's chips are globally distinct.
+  void begin_wafer();
+  /// Seals the wafer partition after the last wafer (and the vertical
+  /// cables) are wired and the network is finalized: freezes the per-wafer
+  /// node/chip ranges. Validates that every wafer spans the same number of
+  /// chips.
+  void seal_wafers();
+  [[nodiscard]] bool has_wafers() const { return wafers_sealed_; }
+  /// Number of stacked wafers (1 for classic single-fabric builds).
+  [[nodiscard]] int num_wafers() const {
+    return wafers_sealed_
+               ? static_cast<int>(wafer_node_base_.size()) - 1
+               : 1;
+  }
+  [[nodiscard]] std::size_t chips_per_wafer() const {
+    return wafers_sealed_ ? wafer_chip_base_[1] : num_chips();
+  }
+  /// Wafer owning node `n` (0 for single-fabric builds). Vertical cables
+  /// belong to no wafer leg; their endpoint nodes resolve per wafer.
+  [[nodiscard]] int wafer_of_node(NodeId n) const {
+    if (!wafers_sealed_) return 0;
+    const auto u = static_cast<std::uint32_t>(n);
+    int w = 0;
+    while (w + 2 < static_cast<int>(wafer_node_base_.size()) &&
+           u >= wafer_node_base_[static_cast<std::size_t>(w) + 1])
+      ++w;
+    return w;
+  }
+  [[nodiscard]] int wafer_of_chip(ChipId c) const {
+    return wafers_sealed_
+               ? static_cast<int>(static_cast<std::uint32_t>(c) /
+                                  wafer_chip_base_[1])
+               : 0;
+  }
+
  private:
   /// (Re)initializes the dynamic words of every per-port record.
   void init_port_dynamic_state();
@@ -435,41 +481,65 @@ class Network {
 
   // ---- per-output-port record -------------------------------------------
   // Everything SA/VA/credit handling touches for one output port lives in
-  // one cache-line-sized record (power-of-two u32 stride) in port_state_:
+  // one compact record (`port_stride()` u32 words, `5 + num_vcs`) in
+  // port_state_. Word 0 packs the three per-grant counters; the tail is a
+  // u16 lane region holding the per-VC credit words and the SA requester
+  // list:
   //
-  //   word 0          : SA requester count (low u16) | round-robin (high)
-  //   word kTokens    : channel token bucket (micro-tokens; a grant costs
+  //   word 0          : SA requester count (u8) | round-robin cursor
+  //                     (u8, bits 8..15) | channel token bucket (u16,
+  //                     bits 16..31; micro-tokens — a grant costs
   //                     width_den tokens, a cycle refills width_num, so
-  //                     fractional-bandwidth links meter exactly)
+  //                     fractional-bandwidth links meter exactly; the cap
+  //                     width_num + width_den is <= 510, far inside u16)
   //   word kTokenCycle: cycle of the last token refresh (truncated u32)
   //   word kDstVcBase : flat input-VC base of the downstream port
   //   word kDstNode   : downstream router (kInvalidNode for ejection ports)
   //   word kLinkMeta  : latency | link type | width_num | width_den (u8 each)
-  //   words kOvc0..   : one word per output VC: credits << 8 | busy bit
-  //                     (busy = some input VC holds this output VC, wormhole
-  //                     exclusivity; credits = free downstream buffer flits)
-  //   then            : SA requesters, u16 each, encoded (in_port << 8) | vc
+  //   words kOvc0..   : u16 lanes, addressed via ovc16(rec):
+  //                       lanes [0, nvc)     one per output VC:
+  //                                          credits << 1 | busy bit
+  //                                          (busy = some input VC holds
+  //                                          this output VC, wormhole
+  //                                          exclusivity; credits = free
+  //                                          downstream buffer flits)
+  //                       lanes [nvc, 2*nvc) SA requesters, encoded
+  //                                          (in_port << 8) | vc
   //
   // A port never has more than num_vcs requesters (each output VC is held
-  // by at most one input VC), so the record size is static. In the sharded
-  // engine a record is written only by its owning router's shard.
-  static constexpr std::uint32_t kTokens = 1;
-  static constexpr std::uint32_t kTokenCycle = 2;
-  static constexpr std::uint32_t kDstVcBase = 3;
-  static constexpr std::uint32_t kDstNode = 4;
-  static constexpr std::uint32_t kLinkMeta = 5;
-  static constexpr std::uint32_t kOvc0 = 6;
+  // by at most one input VC), so both the record size and the u8 count are
+  // static-safe. finalize() rejects (ScenarioError) any build whose
+  // vc_buf, per-router input-port count, or flat output-port count would
+  // overflow the packed widths. In the sharded engine a record is written
+  // only by its owning router's shard.
+  static constexpr std::uint32_t kTokenCycle = 1;
+  static constexpr std::uint32_t kDstVcBase = 2;
+  static constexpr std::uint32_t kDstNode = 3;
+  static constexpr std::uint32_t kLinkMeta = 4;
+  static constexpr std::uint32_t kOvc0 = 5;
+  /// First u16 lane of the output-VC region (lane units: 2 * kOvc0).
+  static constexpr std::uint32_t kOvcLane0 = 2 * kOvc0;
+  /// Credit wheel events address a u16 lane directly: the event's vc_flat
+  /// is `(pflat << kPortLaneBits) | (kOvcLane0 + vc)`. 9 bits covers
+  /// kOvcLane0 + 255 < 512 lanes; finalize() checks pflat fits the rest.
+  static constexpr std::uint32_t kPortLaneBits = 9;
+  static constexpr std::uint32_t kLaneMask = (1u << kPortLaneBits) - 1;
 
-  /// log2 of the per-port record stride in u32 words.
-  [[nodiscard]] std::uint32_t port_shift() const { return port_shift_; }
-  /// Per-port record stride in u32 words (a power of two).
-  [[nodiscard]] std::uint32_t port_stride() const { return 1u << port_shift_; }
+  /// Per-port record stride in u32 words (5 + num_vcs; NOT a power of two).
+  [[nodiscard]] std::uint32_t port_stride() const { return port_stride_; }
   /// The record of flat output port `pflat` (see the layout above).
   std::uint32_t* port_rec(std::uint32_t pflat) {
-    return &port_state_[static_cast<std::size_t>(pflat) << port_shift_];
+    return &port_state_[static_cast<std::size_t>(pflat) * port_stride_];
   }
   [[nodiscard]] const std::uint32_t* port_rec(std::uint32_t pflat) const {
-    return &port_state_[static_cast<std::size_t>(pflat) << port_shift_];
+    return &port_state_[static_cast<std::size_t>(pflat) * port_stride_];
+  }
+  /// u16 view of a record's output-VC + requester lane region.
+  static std::uint16_t* ovc16(std::uint32_t* rec) {
+    return reinterpret_cast<std::uint16_t*>(rec + kOvc0);
+  }
+  static const std::uint16_t* ovc16(const std::uint32_t* rec) {
+    return reinterpret_cast<const std::uint16_t*>(rec + kOvc0);
   }
   std::vector<std::uint32_t, HugePageAllocator<std::uint32_t>>&
   port_state() {
@@ -479,13 +549,13 @@ class Network {
   /// Credit-return wiring of one input port (src == kInvalidNode for
   /// injection ports, which return no credits). Packed to 8 bytes so the
   /// per-grant load is one naturally-aligned access: `meta` holds the
-  /// channel latency in the top 8 bits and the port_state_ index of the
-  /// upstream port's first output-VC word in the low 24.
+  /// channel latency in the top 8 bits and the flat index of the upstream
+  /// output port in the low 24 (finalize() checks it fits).
   struct CreditReturn {
     std::uint32_t meta = 0;
     NodeId src = kInvalidNode;
 
-    [[nodiscard]] std::uint32_t credit_base() const {
+    [[nodiscard]] std::uint32_t credit_port() const {
       return meta & 0xffffff;
     }
     [[nodiscard]] std::uint32_t latency() const { return meta >> 24; }
@@ -501,12 +571,11 @@ class Network {
   [[nodiscard]] int channel_occupancy(ChanId c) const {
     if (c == kInvalidChan) return 0;
     const Channel& ch = chan(c);
-    const std::uint32_t* rec =
-        port_rec(out_port_index(ch.src, ch.src_port));
+    const std::uint16_t* ov =
+        ovc16(port_rec(out_port_index(ch.src, ch.src_port)));
     int used = 0;
     for (int v = 0; v < num_vcs_; ++v)
-      used += vc_buf_ -
-              static_cast<int>(rec[kOvc0 + static_cast<std::uint32_t>(v)] >> 8);
+      used += vc_buf_ - static_cast<int>(ov[v] >> 1);
     return used;
   }
 
@@ -530,7 +599,7 @@ class Network {
   FlitFifoArena fifos_;  ///< FIFO rings + per-VC meta words (pack_ivc()).
   /// Per-output-port records (see the offset constants above).
   std::vector<std::uint32_t, HugePageAllocator<std::uint32_t>> port_state_;
-  std::uint32_t port_shift_ = 0;
+  std::uint32_t port_stride_ = 0;  ///< Record stride in u32 words (5 + nvc).
   std::vector<CreditReturn> credit_return_by_port_;
   std::vector<PortIx> src_port_by_chan_;  ///< Compact chan -> src_port.
   // Fault mask (empty = all live; see enable_fault_mask()).
@@ -554,6 +623,11 @@ class Network {
   std::vector<std::uint32_t> node_plane_slot_;
   bool planes_sealed_ = false;
   int plane_policy_ = 0;
+  // Wafer-stack partition (static topology metadata; see seal_wafers()).
+  std::vector<std::uint32_t> wafer_node_base_;  ///< Starts; +sentinel sealed.
+  std::vector<std::uint32_t> wafer_chip_base_;  ///< Per-wafer first chip id.
+  ChipId chip_offset_ = 0;  ///< Added to make_terminal chip ids (wafers).
+  bool wafers_sealed_ = false;
 };
 
 }  // namespace sldf::sim

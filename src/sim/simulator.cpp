@@ -267,6 +267,10 @@ void Simulator::init() {
   plane_generated_.assign(static_cast<std::size_t>(num_planes_), 0);
   plane_delivered_.assign(static_cast<std::size_t>(num_planes_), 0);
   plane_dropped_.assign(static_cast<std::size_t>(num_planes_), 0);
+  num_wafers_ = net_.num_wafers();
+  wafer_generated_.assign(static_cast<std::size_t>(num_wafers_), 0);
+  wafer_delivered_.assign(static_cast<std::size_t>(num_wafers_), 0);
+  wafer_dropped_.assign(static_cast<std::size_t>(num_wafers_), 0);
 
   wheel_mask_ = prepare_context(*ctx_, net_);
 
@@ -393,8 +397,6 @@ void Simulator::gen_and_inject_terminal(std::size_t ti) {
     Packet& p = pool[pid];
     p.src = src;
     p.dst = pdst;
-    p.src_chip = net_.chip_of(src);
-    p.dst_chip = net_.chip_of(pdst);
     p.len = static_cast<std::uint16_t>(cfg_.pkt_len);
     p.t_gen = when;
     p.measured = (when >= cfg_.warmup && when < gen_end) ? 1 : 0;
@@ -402,6 +404,7 @@ void Simulator::gen_and_inject_terminal(std::size_t ti) {
     ++generated_packets_;
     generated_flits_ += p.len;
     ++plane_generated_[static_cast<std::size_t>(plane)];
+    ++wafer_generated_[static_cast<std::size_t>(net_.wafer_of_node(src))];
     net_.routing()->init_packet(net_, p, rng_);
     tq->queue.push_back(pid);
     if (tq->queue.size() == 1)
@@ -414,11 +417,7 @@ void Simulator::gen_and_inject_terminal(std::size_t ti) {
   if (t.pushed == 0) t.inj_vc = static_cast<VcIx>(p.vc_class);
   const std::uint32_t ix = t.inj_base + static_cast<std::uint32_t>(t.inj_vc);
   if (!fifos.full(ix)) {
-    Flit f;
-    f.pkt = pid;
-    f.idx = t.pushed;
-    f.head = (t.pushed == 0);
-    f.tail = (t.pushed + 1 == p.len);
+    const Flit f(pid, t.pushed == 0, t.pushed + 1 == p.len);
     fifos.push(ix, f);
     if (fifos.size(ix) == 1) {
       const std::uint32_t meta = fifos.meta(ix);
@@ -588,8 +587,6 @@ bool Simulator::inject_packet(NodeId src, NodeId dst, int len,
   Packet& p = ctx_->pool[pid];
   p.src = src;
   p.dst = dst;
-  p.src_chip = net_.chip_of(src);
-  p.dst_chip = net_.chip_of(dst);
   p.len = static_cast<std::uint16_t>(len);
   p.t_gen = now_;
   p.tag = tag;
@@ -598,6 +595,7 @@ bool Simulator::inject_packet(NodeId src, NodeId dst, int len,
   ++generated_packets_;
   generated_flits_ += p.len;
   ++plane_generated_[static_cast<std::size_t>(plane)];
+  ++wafer_generated_[static_cast<std::size_t>(net_.wafer_of_node(src))];
   net_.routing()->init_packet(net_, p, rng_);
   t.queue.push_back(pid);
   if (t.queue.size() == 1)
@@ -614,11 +612,11 @@ void Simulator::deliver_channels() {
   for (std::size_t i = 0; i < n; ++i) {
     if (i + kPf < n) {
       const auto& pe = slot[i + kPf];
-      if (pe.flit.pkt != kInvalidPacket)  // vc_flat indexes the VC arrays
+      if (pe.flit.carries_packet())  // vc_flat indexes the VC arrays
         __builtin_prefetch(fifos.word_addr(pe.vc_flat));
     }
     const auto& ev = slot[i];
-    if (ev.flit.pkt == kInvalidPacket) continue;
+    if (!ev.flit.carries_packet()) continue;
     assert(!fifos.full(ev.vc_flat) && "credit protocol violated");
     fifos.push(ev.vc_flat, ev.flit);
     if (fifos.size(ev.vc_flat) == 1) {
@@ -626,7 +624,7 @@ void Simulator::deliver_channels() {
       if (Network::ivc_state_of(meta) == IvcState::Idle) {
         set_bit(ctx_->ivc_pending, ev.vc_flat);  // fresh head: needs RC/VA
         // RC will read this packet next cycle — pull its line in now.
-        __builtin_prefetch(&ctx_->pool[ev.flit.pkt]);
+        __builtin_prefetch(&ctx_->pool[ev.flit.pkt()]);
         mark_work(ev.node);
       } else {
         // Refilled an Active VC: its output port may have been parked on
@@ -642,22 +640,27 @@ void Simulator::deliver_channels() {
     activate_router_buffered(ev.node);
   }
   // Pass 2: credit returns. A credit can unblock the output port that owns
-  // the VC, so wake it if it has requesters. For credit events `vc_flat`
-  // indexes the port_state_ arena directly; the whole port record shares
-  // one cache line, so the count check is free after the credit bump.
+  // the VC, so wake it if it has requesters. A credit event's `vc_flat` is
+  // `(pflat << kPortLaneBits) | u16-lane`; the whole port record shares one
+  // cache line, so the count check is free after the credit bump.
   auto& ps = net_.port_state();
-  const std::uint32_t pshift = net_.port_shift();
+  const std::uint32_t stride = net_.port_stride();
   for (std::size_t i = 0; i < n; ++i) {
     if (i + kPf < n) {
       const auto& pe = slot[i + kPf];
-      if (pe.flit.pkt == kInvalidPacket)  // vc_flat indexes port_state_
-        __builtin_prefetch(&ps[pe.vc_flat]);
+      if (!pe.flit.carries_packet())  // vc_flat addresses a port record
+        __builtin_prefetch(
+            &ps[static_cast<std::size_t>(pe.vc_flat >>
+                                         Network::kPortLaneBits) *
+                stride]);
     }
     const auto& ev = slot[i];
-    if (ev.flit.pkt != kInvalidPacket) continue;
-    ps[ev.vc_flat] += 0x100;  // ++credits
-    const std::uint32_t pflat = ev.vc_flat >> pshift;
-    if ((ps[static_cast<std::size_t>(pflat) << pshift] & 0xffff) != 0) {
+    if (ev.flit.carries_packet()) continue;
+    const std::uint32_t pflat = ev.vc_flat >> Network::kPortLaneBits;
+    std::uint32_t* rec = &ps[static_cast<std::size_t>(pflat) * stride];
+    reinterpret_cast<std::uint16_t*>(rec)[ev.vc_flat & Network::kLaneMask] +=
+        2;  // ++credits (bit 0 of the lane is the busy flag)
+    if ((rec[0] & 0xff) != 0) {
       set_bit(ctx_->port_pending, pflat);
       mark_work(ev.node);
     }
@@ -670,9 +673,13 @@ void Simulator::commit_tail(PacketId pid) {
   Packet& p = ctx_->pool[pid];
   ++delivered_total_;
   ++plane_delivered_[static_cast<std::size_t>(net_.plane_of_node(p.src))];
+  ++wafer_delivered_[static_cast<std::size_t>(net_.wafer_of_node(p.src))];
   if (p.measured) {
     ++delivered_measured_;
-    const auto lat = static_cast<double>(p.latency());
+    // Tail delivery is committed at the cycle it happened (the sharded
+    // commit pass runs before now_ advances), so the latency is now - t_gen
+    // without a stored ejection stamp.
+    const auto lat = static_cast<double>(now_ - p.t_gen);
     lat_.add(lat);
     lat_hist_.add(lat);
     for (int h = 0; h < kNumLinkTypes; ++h)
@@ -684,16 +691,13 @@ void Simulator::commit_tail(PacketId pid) {
 }
 
 void Simulator::handle_eject(const Flit& f) {
-  Packet& p = ctx_->pool[f.pkt];
+  Packet& p = ctx_->pool[f.pkt()];
   ++p.flits_ejected;
   ++ejected_flits_;
   const bool in_window =
       now_ >= cfg_.warmup && now_ < cfg_.warmup + cfg_.measure;
   if (in_window) ++accepted_flits_;
-  if (f.tail) {
-    p.t_eject = now_;
-    commit_tail(f.pkt);
-  }
+  if (f.tail()) commit_tail(f.pkt());
 }
 
 void Simulator::apply_fault_steps() {
@@ -710,6 +714,7 @@ void Simulator::drop_packet(PacketId pid) {
   // prefix was already counted into ejected_flits_.
   lost_flits_ += static_cast<std::uint64_t>(p.len) - p.flits_ejected;
   ++plane_dropped_[static_cast<std::size_t>(net_.plane_of_node(p.src))];
+  ++wafer_dropped_[static_cast<std::size_t>(net_.wafer_of_node(p.src))];
   if (p.measured) ++dropped_measured_;
   // The listener may inject (pool.acquire) — don't touch `p` after it.
   if (listener_) listener_->on_packet_dropped(p, now_);
@@ -730,7 +735,7 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
   FlitFifoArena& fifos = net_.fifos();
   auto& ps = net_.port_state();
   const auto nvc = static_cast<std::uint32_t>(net_.num_vcs());
-  const std::uint32_t pshift = net_.port_shift();
+  const std::uint32_t stride = net_.port_stride();
 
   // --- (1) mark node deaths first, so liveness predicates below see them.
   for (const NodeId n : fs.fail_nodes) {
@@ -761,14 +766,14 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
   // 2a. in flight on a dying channel, or bound for a dead destination.
   for (const auto& slot : ctx_->wheel) {
     for (const WheelEvent& ev : slot) {
-      if (ev.flit.pkt == kInvalidPacket) continue;  // credits keep flowing
+      if (!ev.flit.carries_packet()) continue;  // credits keep flowing
       const std::uint32_t p =
           (ev.vc_flat - net_.in_vc_index(ev.node, 0, 0)) / nvc;
       const ChanId c =
           net_.router(ev.node).in[static_cast<std::size_t>(p)].in_chan;
       if ((c != kInvalidChan && chan_dying[static_cast<std::size_t>(c)]) ||
-          dst_dead(ev.flit.pkt))
-        add_r(ev.flit.pkt);
+          dst_dead(ev.flit.pkt()))
+        add_r(ev.flit.pkt());
     }
   }
   // 2b. buffered in a dying router; owning a VC there; or torn across a
@@ -783,7 +788,7 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
       const auto sz = static_cast<std::uint32_t>(fifos.size(ix));
       for (std::uint32_t k = 0; k < sz; ++k) {
         const Flit& f = fifos.at(ix, k);
-        if (rdead || dst_dead(f.pkt)) add_r(f.pkt);
+        if (rdead || dst_dead(f.pkt())) add_r(f.pkt());
       }
       const std::uint32_t meta = fifos.meta(ix);
       if (Network::ivc_state_of(meta) == IvcState::Idle) continue;
@@ -796,8 +801,9 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
       if (Network::ivc_state_of(meta) == IvcState::Active &&
           port_dying[pbegin + Network::ivc_port_of(meta)]) {
         // Untorn = the whole remaining packet is still buffered here (its
-        // first flit never crossed); those are re-routed in place below.
-        const bool untorn = !fifos.empty(ix) && fifos.front(ix).idx == 0;
+        // first flit never crossed, so the head flit is still at the
+        // front); those are re-routed in place below.
+        const bool untorn = !fifos.empty(ix) && fifos.front(ix).head();
         if (!untorn) add_r(owner);
       }
     }
@@ -816,7 +822,7 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
     std::size_t w = 0;
     for (std::size_t i = 0; i < slot.size(); ++i) {
       const WheelEvent& ev = slot[i];
-      if (ev.flit.pkt == kInvalidPacket || !affected[ev.flit.pkt]) {
+      if (!ev.flit.carries_packet() || !affected[ev.flit.pkt()]) {
         slot[w++] = slot[i];
         continue;
       }
@@ -829,8 +835,8 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
       const Channel& ch = net_.chan(c);
       const std::uint32_t up = net_.out_port_index(ch.src, ch.src_port);
       std::uint32_t* rec = net_.port_rec(up);
-      rec[Network::kOvc0 + (ev.vc_flat - rec[Network::kDstVcBase])] += 0x100;
-      if ((rec[0] & 0xffff) != 0) {
+      Network::ovc16(rec)[ev.vc_flat - rec[Network::kDstVcBase]] += 2;
+      if ((rec[0] & 0xff) != 0) {
         set_bit(ctx_->port_pending, up);
         mark_work(ch.src);
         activate_router(ch.src);
@@ -856,9 +862,9 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
   };
   const auto remove_requester = [&](std::uint32_t* rec, std::uint32_t p,
                                     std::uint32_t v) {
-    auto* reqs = reinterpret_cast<std::uint16_t*>(rec + Network::kOvc0 + nvc);
-    const std::uint32_t nreq = rec[0] & 0xffff;
-    std::uint32_t rr = rec[0] >> 16;
+    std::uint16_t* reqs = Network::ovc16(rec) + nvc;
+    const std::uint32_t nreq = rec[0] & 0xff;
+    std::uint32_t rr = (rec[0] >> 8) & 0xff;
     const auto enc = static_cast<std::uint16_t>((p << 8) | v);
     std::uint32_t k = 0;
     while (k < nreq && reqs[k] != enc) ++k;
@@ -866,12 +872,12 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
     for (std::uint32_t j = k; j + 1 < nreq; ++j) reqs[j] = reqs[j + 1];
     const std::uint32_t left = nreq - 1;
     if (left == 0) {
-      rec[0] = 0;
+      rec[0] &= 0xffff0000u;  // count/rr = 0, token bucket untouched
       return;
     }
     if (rr > k) --rr;
     if (rr >= left) rr = 0;
-    rec[0] = left | (rr << 16);
+    rec[0] = (rec[0] & 0xffff0000u) | left | (rr << 8);
   };
 
   std::vector<Flit> keep;
@@ -892,16 +898,18 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
         keep.clear();
         for (std::uint32_t k = 0; k < sz; ++k) {
           const Flit f = fifos.at(ix, k);
-          if (!affected[f.pkt]) {
+          if (!affected[f.pkt()]) {
             keep.push_back(f);
             continue;
           }
           removed_any = true;
           ctx_->ract[r] -= 4;  // one fewer buffered flit
           if (cr.src != kInvalidNode) {
-            ps[cr.credit_base() + v] += 0x100;
-            const std::uint32_t up = (cr.credit_base() + v) >> pshift;
-            if ((ps[static_cast<std::size_t>(up) << pshift] & 0xffff) != 0) {
+            const std::uint32_t up = cr.credit_port();
+            std::uint32_t* urec =
+                &ps[static_cast<std::size_t>(up) * stride];
+            Network::ovc16(urec)[v] += 2;
+            if ((urec[0] & 0xff) != 0) {
               set_bit(ctx_->port_pending, up);
               mark_work(cr.src);
               activate_router(cr.src);
@@ -930,7 +938,7 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
         // packet, or (untorn case) must re-route away from a dying port.
         std::uint32_t* rec = net_.port_rec(pflat);
         if (st == IvcState::Active) {
-          rec[Network::kOvc0 + ovc] &= ~1u;  // release the output VC
+          Network::ovc16(rec)[ovc] &= 0xfffe;  // release the output VC
           if (!dying_port) {
             remove_requester(rec, p, v);
             // Wake parked waiters so one of them can claim the freed VC.
@@ -946,7 +954,7 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
               mark_work(rid);
               activate_router(rid);
             }
-            if ((rec[0] & 0xffff) == 0)
+            if ((rec[0] & 0xff) == 0)
               clear_bit(ctx_->port_pending, pflat);
           }
         } else {  // Routed: parked on a waiter chain, or pending re-scan
@@ -972,9 +980,9 @@ void Simulator::apply_fault_step(const FaultStep& fs) {
     const Channel& ch = net_.chan(c);
     const std::uint32_t pflat = net_.out_port_index(ch.src, ch.src_port);
     std::uint32_t* rec = net_.port_rec(pflat);
-    rec[0] = 0;
+    rec[0] &= 0xffff0000u;  // count/rr = 0 (disable_channel clears tokens)
     for (std::uint32_t v = 0; v < nvc; ++v) {
-      rec[Network::kOvc0 + v] &= ~1u;
+      Network::ovc16(rec)[v] &= 0xfffe;
       ctx_->ovc_waiters[pflat * nvc + v] = kNoWaiter;
     }
     clear_bit(ctx_->port_pending, pflat);
@@ -1096,8 +1104,8 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
         std::uint32_t meta = fifos.meta(ix);
         if (Network::ivc_state_of(meta) == IvcState::Idle) {
           const Flit& f = fifos.front(ix);
-          assert(f.head && "non-head flit at idle VC");
-          Packet& pkt = ctx_->pool[f.pkt];
+          assert(f.head() && "non-head flit at idle VC");
+          Packet& pkt = ctx_->pool[f.pkt()];
           const RouteDecision d = net_.routing()->route(
               net_, rid, static_cast<PortIx>(pi), pkt);
           assert(d.out_port >= 0 &&
@@ -1105,21 +1113,20 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
           assert(d.out_vc >= 0 && d.out_vc < static_cast<VcIx>(nvc));
           meta = Network::pack_ivc(d.out_port, d.out_vc, IvcState::Routed);
           fifos.set_meta(ix, meta);
-          ctx_->ivc_pkt[ix] = f.pkt;  // VC ownership, for the fault sweep
+          ctx_->ivc_pkt[ix] = f.pkt();  // VC ownership, for the fault sweep
         }
         // Routed: try VA (claim the chosen output VC).
         const std::uint32_t pflat = pbegin + Network::ivc_port_of(meta);
         std::uint32_t* rec = net_.port_rec(pflat);
-        std::uint32_t& ow = rec[Network::kOvc0 + Network::ivc_vc_of(meta)];
+        std::uint16_t& ow = Network::ovc16(rec)[Network::ivc_vc_of(meta)];
         if (!(ow & 1)) {
           ow |= 1;  // busy
           // Always wake the port: a parked (stalled) port may be grantable
           // through this new requester even while the others are blocked.
           set_bit<Sharded>(ctx_->port_pending, pflat);
-          auto* reqs =
-              reinterpret_cast<std::uint16_t*>(rec + Network::kOvc0 + nvc);
-          reqs[rec[0] & 0xffff] = static_cast<std::uint16_t>((pi << 8) | vi);
-          ++rec[0];  // ++count (low u16; rr lives in the high half)
+          std::uint16_t* reqs = Network::ovc16(rec) + nvc;
+          reqs[rec[0] & 0xff] = static_cast<std::uint16_t>((pi << 8) | vi);
+          ++rec[0];  // ++count (u8, max nvc requesters — never carries)
           fifos.set_meta(ix, (meta & ~0xffu) |
                                  static_cast<std::uint32_t>(IvcState::Active));
           clear_bit<Sharded>(ctx_->ivc_pending, ix);
@@ -1150,34 +1157,32 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
       pbits &= pbits - 1;
       bool port_left = true;  // bit still set when the grant loop ends?
       std::uint32_t* rec = net_.port_rec(pflat);
-      auto* reqs =
-          reinterpret_cast<std::uint16_t*>(rec + Network::kOvc0 + nvc);
-      assert((rec[0] & 0xffff) > 0);
+      std::uint16_t* ov = Network::ovc16(rec);
+      std::uint16_t* reqs = ov + nvc;
+      assert((rec[0] & 0xff) > 0);
       const std::uint32_t link_meta = rec[Network::kLinkMeta];
       const auto dst = static_cast<NodeId>(rec[Network::kDstNode]);
       const bool is_eject = (dst == kInvalidNode);
       int budget = 1;  // ejection: one flit per cycle per node
       if (!is_eject) {
-        // Token-bucket refresh, on the record's copy of the channel state.
+        // Token-bucket refresh, on the bucket half of word 0.
         const std::uint32_t wnum = (link_meta >> 16) & 0xff;
         const std::uint32_t wden = link_meta >> 24;
         const auto now32 = static_cast<std::uint32_t>(now_);
         const std::uint32_t elapsed = now32 - rec[Network::kTokenCycle];
         if (elapsed > 0) {
           const std::uint64_t add =
-              static_cast<std::uint64_t>(elapsed) * wnum +
-              rec[Network::kTokens];
+              static_cast<std::uint64_t>(elapsed) * wnum + (rec[0] >> 16);
           const std::uint32_t cap = wnum + wden;
-          rec[Network::kTokens] =
-              static_cast<std::uint32_t>(add > cap ? cap : add);
+          rec[0] = (rec[0] & 0xffffu) |
+                   (static_cast<std::uint32_t>(add > cap ? cap : add) << 16);
           rec[Network::kTokenCycle] = now32;
         }
-        budget = static_cast<int>(rec[Network::kTokens] /
-                                  (link_meta >> 24));
+        budget = static_cast<int>((rec[0] >> 16) / (link_meta >> 24));
       }
       for (int grant = 0; grant < budget; ++grant) {
-        const std::uint32_t nreq = rec[0] & 0xffff;
-        const std::uint32_t rr = rec[0] >> 16;
+        const std::uint32_t nreq = rec[0] & 0xff;
+        const std::uint32_t rr = (rec[0] >> 8) & 0xff;
         std::uint32_t chosen = nreq;
         std::uint32_t ix = 0;
         std::uint32_t out_vc = 0;
@@ -1190,8 +1195,7 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
               static_cast<std::uint32_t>(enc & 0xff);
           if (fifos.empty(cand)) continue;
           const std::uint32_t cand_vc = Network::ivc_vc_of(fifos.meta(cand));
-          if (!is_eject && (rec[Network::kOvc0 + cand_vc] >> 8) == 0)
-            continue;
+          if (!is_eject && (ov[cand_vc] >> 1) == 0) continue;
           chosen = idx;
           ix = cand;
           out_vc = cand_vc;
@@ -1222,10 +1226,14 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
         const Network::CreditReturn cr =
             net_.credit_return_by_port()[net_.in_port_index(rid, 0) + pi];
         if (cr.src != kInvalidNode) {
-          // pkt == kInvalidPacket marks a credit event.
+          // A default Flit (no packet) marks a credit event; vc_flat is
+          // the upstream port's u16 credit lane (see kPortLaneBits).
           const auto slot =
               static_cast<std::uint32_t>((now_ + cr.latency()) & wheel_mask_);
-          const WheelEvent ev{cr.credit_base() + vi, cr.src, Flit{}};
+          const WheelEvent ev{
+              (cr.credit_port() << Network::kPortLaneBits) |
+                  (Network::kOvcLane0 + vi),
+              cr.src, Flit{}};
           if constexpr (Sharded)
             ss->events.push_back(PendingEvent{slot, ev});
           else
@@ -1236,15 +1244,12 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
             // Packet-local and order-insensitive parts happen here; the
             // order-sensitive rest (fp stats, listener, pool release) is
             // deferred so the commit pass replays it in snapshot order.
-            Packet& p = ctx_->pool[f.pkt];
+            Packet& p = ctx_->pool[f.pkt()];
             ++p.flits_ejected;
             ++ss->ejected_flits;
             if (now_ >= cfg_.warmup && now_ < cfg_.warmup + cfg_.measure)
               ++ss->accepted_flits;
-            if (f.tail) {
-              p.t_eject = now_;
-              ss->tails.push_back(f.pkt);
-            }
+            if (f.tail()) ss->tails.push_back(f.pkt());
           } else {
             handle_eject(f);
           }
@@ -1253,10 +1258,10 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
             ++ss->flit_hops;
           else
             ++flit_hops_;
-          rec[Network::kOvc0 + out_vc] -= 0x100;          // --credits
-          rec[Network::kTokens] -= link_meta >> 24;       // consume token
-          if (f.head) {
-            Packet& pkt = ctx_->pool[f.pkt];
+          ov[out_vc] -= 2;                     // --credits
+          rec[0] -= (link_meta >> 24) << 16;   // consume width_den tokens
+          if (f.head()) {
+            Packet& pkt = ctx_->pool[f.pkt()];
             ++pkt.hops[static_cast<int>((link_meta >> 8) & 0xff)];
           }
           const auto slot = static_cast<std::uint32_t>(
@@ -1267,8 +1272,8 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
           else
             ctx_->wheel[slot].push_back(ev);
         }
-        if (f.tail) {
-          rec[Network::kOvc0 + out_vc] &= ~1u;  // release the output VC
+        if (f.tail()) {
+          ov[out_vc] &= 0xfffe;  // release the output VC
           // Wake every VC parked on this output VC (see the VA else-branch).
           std::uint32_t wix = ctx_->ovc_waiters[pflat * nvc + out_vc];
           if (wix != kNoWaiter) {
@@ -1286,26 +1291,27 @@ void Simulator::process_router_impl(NodeId rid, ShardScratch* ss) {
           ctx_->ivc_pkt[ix] = kInvalidPacket;
           if (!fifos.empty(ix)) {
             set_bit<Sharded>(ctx_->ivc_pending, ix);  // next head is waiting
-            __builtin_prefetch(&ctx_->pool[fifos.front(ix).pkt]);  // for RC
+            __builtin_prefetch(&ctx_->pool[fifos.front(ix).pkt()]);  // RC
             leftover = true;
           }
           const std::uint32_t left = nreq - 1;
           for (std::uint32_t k = chosen; k < left; ++k)
             reqs[k] = reqs[k + 1];
           if (left > 0) {
-            rec[0] = left | ((chosen == left ? 0 : chosen) << 16);
+            rec[0] = (rec[0] & 0xffff0000u) | left |
+                     ((chosen == left ? 0 : chosen) << 8);
           } else {
-            rec[0] = 0;
+            rec[0] &= 0xffff0000u;
             clear_bit<Sharded>(ctx_->port_pending, pflat);
             port_left = false;
             break;  // no requesters left for the remaining budget
           }
         } else {
           const std::uint32_t nrr = chosen + 1 == nreq ? 0 : chosen + 1;
-          rec[0] = nreq | (nrr << 16);
+          rec[0] = (rec[0] & 0xffff0000u) | nreq | (nrr << 8);
         }
       }
-      if (port_left && (rec[0] & 0xffff) != 0) leftover = true;
+      if (port_left && (rec[0] & 0xff) != 0) leftover = true;
     }
   }
   if (!leftover) ctx_->ract[static_cast<std::size_t>(rid)] &= ~2u;
@@ -1404,9 +1410,8 @@ void Simulator::prefetch_snapshot(const std::vector<NodeId>& snap,
             (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
         bits &= bits - 1;
         const std::uint32_t* rec = net_.port_rec(pflat);
-        const auto* reqs = reinterpret_cast<const std::uint16_t*>(
-            rec + Network::kOvc0 + nvc);
-        const std::uint32_t nreq = rec[0] & 0xffff;
+        const std::uint16_t* reqs = Network::ovc16(rec) + nvc;
+        const std::uint32_t nreq = rec[0] & 0xff;
         for (std::uint32_t k = 0; k < nreq && left > 0; ++k, --left)
           __builtin_prefetch(fifos.word_addr(
               ibase + (static_cast<std::uint32_t>(reqs[k]) >> 8) * nvc +
@@ -1628,20 +1633,25 @@ SimResult Simulator::run() {
   res.plane_delivered = plane_delivered_;
   res.plane_dropped = plane_dropped_;
   res.plane_inflight.assign(static_cast<std::size_t>(num_planes_), 0);
+  res.wafer_generated = wafer_generated_;
+  res.wafer_delivered = wafer_delivered_;
+  res.wafer_dropped = wafer_dropped_;
+  res.wafer_inflight.assign(static_cast<std::size_t>(num_wafers_), 0);
   {
     const PacketPool& pool = ctx_->pool;
     std::vector<char> is_free(pool.capacity(), 0);
     for (const PacketId id : pool.free_list())
       is_free[static_cast<std::size_t>(id)] = 1;
-    const Packet* slots = pool.slots_data();
     for (std::size_t i = 0; i < pool.capacity(); ++i) {
       if (is_free[i]) continue;
-      const Packet& p = slots[i];
+      const Packet& p = pool[static_cast<PacketId>(i)];
       ++res.inflight_packets;
       res.inflight_flits +=
           static_cast<std::uint64_t>(p.len) - p.flits_ejected;
       ++res.plane_inflight[static_cast<std::size_t>(
           net_.plane_of_node(p.src))];
+      ++res.wafer_inflight[static_cast<std::size_t>(
+          net_.wafer_of_node(p.src))];
     }
   }
   double total = 0.0;
@@ -1702,13 +1712,20 @@ void Simulator::save_checkpoint(std::ostream& out) const {
   ck_put_vec(out, plane_generated_);
   ck_put_vec(out, plane_delivered_);
   ck_put_vec(out, plane_dropped_);
+  ck_put_vec(out, wafer_generated_);
+  ck_put_vec(out, wafer_delivered_);
+  ck_put_vec(out, wafer_dropped_);
   ck_put_vec(out, rr_plane_);
   ck_put_v(out, static_cast<std::uint64_t>(next_fault_));
   ck_put(out, hop_sum_, sizeof(hop_sum_));
 
-  // Packet pool: raw slots (POD) + the free list.
+  // Packet pool: raw slots (POD, streamed chunk-wise — the byte stream is
+  // identical to a contiguous layout's) + the free list.
   ck_put_v(out, static_cast<std::uint64_t>(ctx_->pool.capacity()));
-  ck_put(out, ctx_->pool.slots_data(), ctx_->pool.capacity() * sizeof(Packet));
+  for (std::size_t c = 0; c < ctx_->pool.num_chunks(); ++c) {
+    const auto [ptr, cn] = ctx_->pool.chunk(c);
+    ck_put(out, ptr, cn * sizeof(Packet));
+  }
   ck_put_vec(out, ctx_->pool.free_list());
 
   for (const TerminalState& t : ctx_->terms) {
@@ -1786,6 +1803,9 @@ void Simulator::restore_checkpoint(std::istream& in) {
   ck_get_vec(in, plane_generated_);
   ck_get_vec(in, plane_delivered_);
   ck_get_vec(in, plane_dropped_);
+  ck_get_vec(in, wafer_generated_);
+  ck_get_vec(in, wafer_delivered_);
+  ck_get_vec(in, wafer_dropped_);
   ck_get_vec(in, rr_plane_);
   next_fault_ = static_cast<std::size_t>(ck_get_v<std::uint64_t>(in));
   ck_get(in, hop_sum_, sizeof(hop_sum_));
@@ -1793,8 +1813,10 @@ void Simulator::restore_checkpoint(std::istream& in) {
   const auto nslots = ck_get_v<std::uint64_t>(in);
   check_ck_size(nslots, sizeof(Packet));
   ctx_->pool.restore_slots(static_cast<std::size_t>(nslots));
-  ck_get(in, ctx_->pool.slots_data(),
-         static_cast<std::size_t>(nslots) * sizeof(Packet));
+  for (std::size_t c = 0; c < ctx_->pool.num_chunks(); ++c) {
+    const auto [ptr, cn] = ctx_->pool.chunk(c);
+    ck_get(in, ptr, cn * sizeof(Packet));
+  }
   std::vector<PacketId> free_list;
   ck_get_vec(in, free_list);
   ctx_->pool.restore_free_list(std::move(free_list));

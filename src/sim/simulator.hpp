@@ -119,12 +119,20 @@ struct SimResult {
   std::vector<std::uint64_t> plane_delivered;
   std::vector<std::uint64_t> plane_dropped;
   std::vector<std::uint64_t> plane_inflight;
+  // --- per-wafer accounting (size num_wafers(); one entry single-wafer).
+  // Packets are attributed to their SOURCE wafer, like the plane split, so
+  // summing any vector over wafers reproduces the global counter. ---
+  std::vector<std::uint64_t> wafer_generated;
+  std::vector<std::uint64_t> wafer_delivered;
+  std::vector<std::uint64_t> wafer_dropped;
+  std::vector<std::uint64_t> wafer_inflight;
 };
 
 /// One timing-wheel record: a flit arriving at an input VC, or (when
-/// `flit.pkt == kInvalidPacket`) a credit returning to an output VC.
-/// `vc_flat` indexes the corresponding flat VC array; `node` is the router
-/// to re-activate.
+/// `!flit.carries_packet()`) a credit returning to an output VC. For flit
+/// arrivals `vc_flat` is the destination input VC's flat index; for
+/// credits it is `(upstream pflat << kPortLaneBits) | u16 credit lane`.
+/// `node` is the router to re-activate.
 struct WheelEvent {
   std::uint32_t vc_flat = 0;
   NodeId node = kInvalidNode;
@@ -487,6 +495,11 @@ class Simulator {
   std::vector<std::uint32_t> rr_plane_;
   int num_planes_ = 1;    ///< Cached net_.num_planes() (init()).
   int plane_policy_ = 0;  ///< Cached net_.plane_policy() (init()).
+  // Wafer bookkeeping (sized num_wafers(); single entry without wafers).
+  std::vector<std::uint64_t> wafer_generated_;
+  std::vector<std::uint64_t> wafer_delivered_;
+  std::vector<std::uint64_t> wafer_dropped_;
+  int num_wafers_ = 1;  ///< Cached net_.num_wafers() (init()).
   double hop_sum_[kNumLinkTypes] = {};
 };
 

@@ -20,6 +20,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::Intra: return "intra";
     case FaultKind::Local: return "local";
     case FaultKind::Global: return "global";
+    case FaultKind::Vertical: return "vertical";
   }
   return "?";
 }
@@ -29,8 +30,9 @@ FaultKind parse_fault_kind(const std::string& s) {
   if (s == "intra") return FaultKind::Intra;
   if (s == "local") return FaultKind::Local;
   if (s == "global") return FaultKind::Global;
+  if (s == "vertical") return FaultKind::Vertical;
   throw std::invalid_argument("unknown fault kind '" + s +
-                              "' (expected any|intra|local|global)");
+                              "' (expected any|intra|local|global|vertical)");
 }
 
 namespace {
@@ -48,9 +50,11 @@ bool is_candidate(const sim::Network& net, const sim::Channel& ch,
     case FaultKind::Intra: return mesh;
     case FaultKind::Local: return ch.type == LinkType::LongReachLocal;
     case FaultKind::Global: return ch.type == LinkType::LongReachGlobal;
+    case FaultKind::Vertical: return ch.type == LinkType::Vertical;
     case FaultKind::Any:
       return mesh || ch.type == LinkType::LongReachLocal ||
-             ch.type == LinkType::LongReachGlobal;
+             ch.type == LinkType::LongReachGlobal ||
+             ch.type == LinkType::Vertical;
   }
   return false;
 }
@@ -143,8 +147,6 @@ FaultAudit audit_fault_routing(const sim::Network& net,
       sim::Packet pkt;
       pkt.src = src;
       pkt.dst = dst;
-      pkt.src_chip = net.chip_of(src);
-      pkt.dst_chip = net.chip_of(dst);
       pkt.len = 1;
       net.routing()->init_packet(net, pkt, rng);
       NodeId cur = src;

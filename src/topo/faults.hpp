@@ -28,15 +28,16 @@ class FaultError : public ScenarioError {
 
 /// Which candidate link class random faults are drawn from.
 enum class FaultKind : std::uint8_t {
-  Any,     ///< Union of the three classes below.
+  Any,     ///< Union of the classes below.
   Intra,   ///< Intra-C-group mesh links (OnChip/ShortReach between cores).
   Local,   ///< Long-reach local cables (intra-W-group, C-group to C-group).
   Global,  ///< Long-reach global cables (W-group to W-group).
+  Vertical,  ///< Inter-wafer vertical bonds (wafer-on-wafer stacks).
 };
 
 const char* to_string(FaultKind k);
-/// Accepted names match to_string(): any|intra|local|global. Throws
-/// std::invalid_argument on unknown names.
+/// Accepted names match to_string(): any|intra|local|global|vertical.
+/// Throws std::invalid_argument on unknown names.
 FaultKind parse_fault_kind(const std::string& s);
 
 struct FaultSpec {

@@ -1,0 +1,131 @@
+#include "topo/wafer_stack.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "route/wafer_route.hpp"
+
+namespace sldf::topo {
+
+void build_wafer_stack(sim::Network& net, int count, int vertical_latency,
+                       int vertical_width_num, int vertical_width_den,
+                       const RailWirer& wire_rail) {
+  if (count < 1)
+    throw std::invalid_argument("wafer.count must be >= 1, got " +
+                                std::to_string(count));
+  if (net.num_routers() != 0)
+    throw std::invalid_argument(
+        "build_wafer_stack: network already has routers");
+
+  if (count == 1) {
+    // Degenerate stack: the classic single-fabric build, sealed as one
+    // wafer. No verticals, no dispatcher, no extra VCs — bit-identical
+    // engine behavior to a pre-wafer build.
+    net.begin_wafer();
+    install_fabric(net, wire_rail(0, net));
+    net.seal_wafers();
+    return;
+  }
+
+  auto agg = std::make_unique<WaferStackTopo>();
+  std::vector<std::unique_ptr<sim::RoutingAlgorithm>> routings;
+  routings.reserve(static_cast<std::size_t>(count));
+  std::size_t chips_per_wafer = 0;
+  int num_vcs = 0;
+  int vc_buf = 0;
+
+  for (int w = 0; w < count; ++w) {
+    net.begin_wafer();
+    WiredFabric f = wire_rail(w, net);
+    if (f.info == nullptr || f.routing == nullptr || f.num_vcs < 1 ||
+        f.vc_buf < 1)
+      throw std::invalid_argument("wafer " + std::to_string(w) +
+                                  ": rail wirer returned an empty fabric");
+    if (w == 0) {
+      chips_per_wafer = net.num_chips();
+      num_vcs = f.num_vcs;
+      vc_buf = f.vc_buf;
+      const auto* hier = dynamic_cast<const HierTopo*>(f.info.get());
+      if (hier == nullptr)
+        throw std::invalid_argument(
+            "wafer 0 fabric has no hierarchy metadata (HierTopo); it cannot "
+            "anchor a wafer stack");
+      static_cast<HierTopo&>(*agg) = *hier;  // template for concatenation
+    } else {
+      if (net.num_chips() != chips_per_wafer * static_cast<std::size_t>(w + 1))
+        throw std::invalid_argument(
+            "wafer " + std::to_string(w) + " spans " +
+            std::to_string(net.num_chips() -
+                           chips_per_wafer * static_cast<std::size_t>(w)) +
+            " chips, wafer 0 spans " + std::to_string(chips_per_wafer) +
+            " (all wafers of a stack must be identical)");
+      if (f.num_vcs != num_vcs || f.vc_buf != vc_buf)
+        throw std::invalid_argument(
+            "wafer " + std::to_string(w) + " wants " +
+            std::to_string(f.num_vcs) + " VCs x " + std::to_string(f.vc_buf) +
+            " flits, wafer 0 wants " + std::to_string(num_vcs) + " x " +
+            std::to_string(vc_buf) +
+            " (all wafers of a stack must be identical)");
+    }
+    f.routing->bind_topo(*f.info, f.num_vcs);
+    agg->wafers.push_back(std::move(f.info));
+    routings.push_back(std::move(f.routing));
+  }
+
+  agg->count = count;
+  agg->chips_per_wafer = static_cast<std::int32_t>(chips_per_wafer);
+  agg->child_num_vcs = num_vcs;
+
+  // Wafer-major concatenation of the hierarchy tables: wafer w's chip c
+  // maps to wafer 0's chip (c % chips_per_wafer) with group indices offset
+  // by w stacks' worth of groups.
+  const HierTopo tmpl = static_cast<const HierTopo&>(*agg);
+  const std::size_t total_chips = net.num_chips();
+  agg->chip_cgroup.resize(total_chips);
+  agg->chip_wgroup.resize(total_chips);
+  agg->chip_ring_rank.resize(total_chips);
+  for (std::size_t c = 0; c < total_chips; ++c) {
+    const auto w = static_cast<std::int32_t>(c / chips_per_wafer);
+    const std::size_t l = c % chips_per_wafer;
+    agg->chip_cgroup[c] = w * tmpl.num_cgroups + tmpl.chip_cgroup[l];
+    agg->chip_wgroup[c] = w * tmpl.num_wgroups + tmpl.chip_wgroup[l];
+    agg->chip_ring_rank[c] = tmpl.chip_ring_rank[l];
+  }
+  agg->num_cgroups = tmpl.num_cgroups * count;
+  agg->num_wgroups = tmpl.num_wgroups * count;
+
+  // Vertical bond columns: every chip column gets all-pairs duplex cables
+  // between the wafers' portal routers, so any wafer pair is one vertical
+  // hop apart (and faults on one pair can detour through another column,
+  // never through a third wafer).
+  agg->portal_of_chip.resize(total_chips);
+  for (std::size_t c = 0; c < total_chips; ++c)
+    agg->portal_of_chip[c] = net.chip_nodes(static_cast<ChipId>(c)).front();
+  const auto wn = static_cast<std::size_t>(count);
+  agg->vert.assign(chips_per_wafer * wn * wn, kInvalidChan);
+  for (std::size_t col = 0; col < chips_per_wafer; ++col) {
+    for (int wa = 0; wa < count; ++wa) {
+      for (int wb = wa + 1; wb < count; ++wb) {
+        const ChanId fwd = net.add_duplex(
+            agg->portal(wa, static_cast<std::int32_t>(col)),
+            agg->portal(wb, static_cast<std::int32_t>(col)),
+            LinkType::Vertical, vertical_latency, vertical_width_num,
+            vertical_width_den);
+        agg->vert[col * wn * wn + static_cast<std::size_t>(wa) * wn +
+                  static_cast<std::size_t>(wb)] = fwd;
+        agg->vert[col * wn * wn + static_cast<std::size_t>(wb) * wn +
+                  static_cast<std::size_t>(wa)] = fwd + 1;
+      }
+    }
+  }
+
+  auto routing = std::make_unique<route::WaferRouting>(std::move(routings));
+  routing->bind_topo(*agg, 2 * num_vcs + 1);
+  net.set_topo_info(std::move(agg));
+  net.set_routing(std::move(routing));
+  net.finalize(2 * num_vcs + 1, vc_buf);
+  net.seal_wafers();
+}
+
+}  // namespace sldf::topo

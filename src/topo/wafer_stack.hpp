@@ -1,0 +1,74 @@
+// Wafer-on-wafer scale-out: W copies of one fabric stacked into ONE
+// sim::Network. Unlike multi-plane builds (topo/plane_set.hpp), wafers do
+// not share the logical chip space — each wafer owns its own chip range
+// (wafer-major layout), so a W-stack of an N-chip fabric is a 2^0..W*N-chip
+// machine. Vertically adjacent chip twins (same chip column across wafers)
+// are bonded by dense vertical columns (LinkType::Vertical) between their
+// portal routers, wired all-pairs per column so any cross-wafer packet
+// crosses exactly ONE vertical hop: route within the source wafer to the
+// destination's stack column, bond across, finish within the destination
+// wafer (route/wafer_route.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "topo/fabric.hpp"
+#include "topo/hier.hpp"
+#include "topo/plane_set.hpp"  // RailWirer
+
+namespace sldf::topo {
+
+/// Aggregate topology info of a wafer stack. The HierTopo tables are the
+/// wafer-major concatenation of W copies of wafer 0's hierarchy (every
+/// wafer is wired from the same builder, so wafer 0's tables are the
+/// template), giving hierarchical traffic patterns and placement a single
+/// consistent C-group/W-group numbering across the whole stack. The child
+/// infos stay alive here for their routings.
+struct WaferStackTopo : HierTopo {
+  std::vector<std::unique_ptr<sim::TopoInfo>> wafers;
+  int count = 1;
+  std::int32_t chips_per_wafer = 0;
+  int child_num_vcs = 0;  ///< V of one wafer; the network carries 2V+1.
+
+  /// Portal router per GLOBAL chip: the chip's first terminal node, where
+  /// the chip's vertical bond column lands.
+  std::vector<NodeId> portal_of_chip;
+  /// Directed vertical channel portal(wa, col) -> portal(wb, col), indexed
+  /// [col * count * count + wa * count + wb]; kInvalidChan on the diagonal.
+  std::vector<ChanId> vert;
+
+  [[nodiscard]] NodeId portal(int wafer, std::int32_t col) const {
+    return portal_of_chip[static_cast<std::size_t>(wafer) *
+                              static_cast<std::size_t>(chips_per_wafer) +
+                          static_cast<std::size_t>(col)];
+  }
+  [[nodiscard]] ChanId vertical(std::int32_t col, int wa, int wb) const {
+    const auto w = static_cast<std::size_t>(count);
+    return vert[static_cast<std::size_t>(col) * w * w +
+                static_cast<std::size_t>(wa) * w + static_cast<std::size_t>(wb)];
+  }
+};
+
+/// Builds a W-wafer stack: wires each wafer between begin_wafer() marks
+/// (the same RailWirer contract as build_plane_set — the scenario layer
+/// passes a TopologyRegistry::wire call), validates the wafers are
+/// identical (chip count, VC geometry), bonds every chip column all-pairs
+/// with vertical duplex cables (latency/width below), assembles the
+/// aggregate info + dispatcher routing, finalizes with 2V+1 VCs (source-leg
+/// classes [0,V), destination-leg classes [V,2V), vertical class 2V — see
+/// route/wafer_route.hpp for why), and seals the wafer partition.
+///
+/// count == 1 degenerates to the classic single-fabric build (install the
+/// child fabric directly; no vertical cables, no dispatcher, V VCs) plus a
+/// sealed one-wafer partition — bit-identical engine behavior to a build
+/// that never heard of wafers. Throws std::invalid_argument on bad counts
+/// or inconsistent wafers.
+void build_wafer_stack(sim::Network& net, int count, int vertical_latency,
+                       int vertical_width_num, int vertical_width_den,
+                       const RailWirer& wire_rail);
+
+}  // namespace sldf::topo

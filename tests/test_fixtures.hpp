@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "sim/network.hpp"
@@ -16,6 +17,18 @@
 #include "topo/swless.hpp"
 
 namespace sldf::testing {
+
+/// Base seed of every randomized (property/fuzz) suite: `SLDF_FUZZ_SEED`
+/// in the environment, else the suite's fixed CI default — the same knob
+/// everywhere, mirroring how `SLDF_REGEN_GOLDEN` is the one regeneration
+/// switch of the golden tiers. Randomized suites must print the seed they
+/// ran with in every failure message, so a red run reproduces with one
+/// env var and nothing else.
+inline std::uint64_t fuzz_seed(std::uint64_t fixed_default) {
+  if (const char* env = std::getenv("SLDF_FUZZ_SEED"))
+    return std::strtoull(env, nullptr, 0);
+  return fixed_default;
+}
 
 /// Flit/packet conservation audit over a finished run's ledger: everything
 /// injected is delivered, dropped, or still in flight at drain — per plane
@@ -62,6 +75,32 @@ inline ::testing::AssertionResult audit_conservation(
              << r.plane_delivered[p] << " + dropped " << r.plane_dropped[p]
              << " + inflight " << r.plane_inflight[p];
   }
+  // Same discipline for the wafer split of a wafer-on-wafer stack.
+  if (sum(r.wafer_generated) != r.generated_packets)
+    return ::testing::AssertionFailure()
+           << "wafer_generated sums to " << sum(r.wafer_generated)
+           << ", total is " << r.generated_packets;
+  if (sum(r.wafer_delivered) != r.delivered_total)
+    return ::testing::AssertionFailure()
+           << "wafer_delivered sums to " << sum(r.wafer_delivered)
+           << ", total is " << r.delivered_total;
+  if (sum(r.wafer_dropped) != r.dropped_packets)
+    return ::testing::AssertionFailure()
+           << "wafer_dropped sums to " << sum(r.wafer_dropped)
+           << ", total is " << r.dropped_packets;
+  if (sum(r.wafer_inflight) != r.inflight_packets)
+    return ::testing::AssertionFailure()
+           << "wafer_inflight sums to " << sum(r.wafer_inflight)
+           << ", total is " << r.inflight_packets;
+  for (std::size_t w = 0; w < r.wafer_generated.size(); ++w) {
+    if (r.wafer_generated[w] != r.wafer_delivered[w] + r.wafer_dropped[w] +
+                                    r.wafer_inflight[w])
+      return ::testing::AssertionFailure()
+             << "wafer " << w << " ledger: generated "
+             << r.wafer_generated[w] << " != delivered "
+             << r.wafer_delivered[w] << " + dropped " << r.wafer_dropped[w]
+             << " + inflight " << r.wafer_inflight[w];
+  }
   return ::testing::AssertionSuccess();
 }
 
@@ -103,6 +142,7 @@ struct RouteWalk {
   int channel_hops = 0;
   int lr_hops = 0;  ///< Long-reach (local + global) hops.
   int global_hops = 0;
+  int vertical_hops = 0;  ///< Inter-wafer bond crossings.
   int max_vc = 0;
   bool vc_monotone = true;        ///< VC never decreases across any hop.
   bool vc_monotone_on_lr = true;  ///< VC never decreases across LR hops.
@@ -120,8 +160,6 @@ inline RouteWalk walk_route(const sim::Network& net, NodeId s, NodeId d,
   sim::Packet pkt;
   pkt.src = s;
   pkt.dst = d;
-  pkt.src_chip = net.chip_of(s);
-  pkt.dst_chip = net.chip_of(d);
   Rng rng(rng_seed);
   net.routing()->init_packet(net, pkt, rng);
   if (mid >= -1) pkt.mid_wgroup = mid;
@@ -145,6 +183,7 @@ inline RouteWalk walk_route(const sim::Network& net, NodeId s, NodeId d,
     }
     const auto& ch = net.chan(c);
     w.max_vc = std::max(w.max_vc, static_cast<int>(dec.out_vc));
+    if (ch.type == LinkType::Vertical) ++w.vertical_hops;
     if (ch.type == LinkType::LongReachLocal ||
         ch.type == LinkType::LongReachGlobal) {
       ++w.lr_hops;

@@ -250,22 +250,24 @@ TEST(SimCore, FifoArenaRing) {
   FlitFifoArena a;
   a.init(/*num_fifos=*/3, /*capacity=*/4, /*meta_init=*/0);
   EXPECT_TRUE(a.empty(1));
-  for (std::uint16_t i = 0; i < 4; ++i)
-    a.push(1, Flit{0, i, i == 0, i == 3});
+  for (std::uint32_t i = 0; i < 4; ++i)
+    a.push(1, Flit(i, i == 0, i == 3));
   EXPECT_TRUE(a.full(1));
   EXPECT_TRUE(a.empty(0));  // neighbours unaffected
   EXPECT_TRUE(a.empty(2));
-  for (std::uint16_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(a.front(1).idx, i);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.front(1).pkt(), i);
+    EXPECT_EQ(a.front(1).head(), i == 0);
+    EXPECT_EQ(a.front(1).tail(), i == 3);
     a.pop(1);
   }
   EXPECT_TRUE(a.empty(1));
   // Wrap-around.
-  for (std::uint16_t i = 0; i < 3; ++i) a.push(1, Flit{1, i, 0, 0});
+  for (std::uint32_t i = 0; i < 3; ++i) a.push(1, Flit(i, false, false));
   a.pop(1);
-  a.push(1, Flit{1, 3, 0, 0});
+  a.push(1, Flit(3, false, false));
   EXPECT_EQ(a.size(1), 3u);
-  EXPECT_EQ(a.pop(1).idx, 1);
+  EXPECT_EQ(a.pop(1).pkt(), 1u);
 }
 
 TEST(SimCore, FifoArenaNonPowerOfTwoCapacity) {
@@ -276,13 +278,13 @@ TEST(SimCore, FifoArenaNonPowerOfTwoCapacity) {
   EXPECT_EQ(a.meta(0), 0x1234u);
   EXPECT_EQ(a.capacity(), 6u);
   EXPECT_EQ(a.stride(), 8u);
-  for (std::uint16_t i = 0; i < 6; ++i) a.push(0, Flit{0, i, 0, 0});
+  for (std::uint32_t i = 0; i < 6; ++i) a.push(0, Flit(i, false, false));
   EXPECT_TRUE(a.full(0));
   // Many push/pop rounds to exercise wrap at the (rounded) stride while
   // full() still triggers at the logical capacity.
-  for (std::uint16_t i = 0; i < 40; ++i) {
-    EXPECT_EQ(a.pop(0).idx % 6, i % 6);
-    a.push(0, Flit{0, static_cast<std::uint16_t>((i + 6) % 6), 0, 0});
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(a.pop(0).pkt() % 6, i % 6);
+    a.push(0, Flit((i + 6) % 6, false, false));
     EXPECT_TRUE(a.full(0));
   }
   // Metadata rides in the same control word but is independent of the ring.

@@ -69,12 +69,17 @@ void print_usage() {
       "  label topology traffic workload mode scheme rates max_rate points\n"
       "  stop_factor threads shards warmup measure drain pkt_len seed\n"
       "  max_src_queue fault.rate fault.kind fault.seed fault.chips\n"
-      "  tenants tenants.isolation trace.file trace.seed\n"
+      "  plane.count plane.mix plane.policy wafer.count wafer.latency\n"
+      "  wafer.width tenants tenants.isolation trace.file trace.seed\n"
       "  topo.<param> traffic.<option> workload.<option> tenant<i>.<field>\n"
       "\n"
       "  fault.rate=F deterministically fails F of the fault.kind\n"
-      "  (any|intra|local|global) cables (seeded by fault.seed) and routes\n"
-      "  around them; fault.chips=I,J,... fails whole chips.\n"
+      "  (any|intra|local|global|vertical) cables (seeded by fault.seed)\n"
+      "  and routes around them; fault.chips=I,J,... fails whole chips.\n"
+      "\n"
+      "  wafer.count=W stacks W copies of the topology bonded by vertical\n"
+      "  inter-wafer cables (one vertical hop max); mutually exclusive\n"
+      "  with plane.count.\n"
       "\n"
       "  --threads=N runs N sweep points of every series concurrently\n"
       "  (N=auto or 0 picks the hardware thread count); it overrides the\n"
@@ -136,7 +141,7 @@ std::string network_cache_key(const core::ScenarioSpec& spec) {
   for (const auto& [k, v] : spec.to_kv()) {
     if (k == "topology" || k == "mode" || k == "scheme" ||
         k.rfind("topo.", 0) == 0 || k.rfind("fault.", 0) == 0 ||
-        k.rfind("plane.", 0) == 0)
+        k.rfind("plane.", 0) == 0 || k.rfind("wafer.", 0) == 0)
       key += k + "=" + v + ";";
   }
   return key;
